@@ -1,0 +1,30 @@
+# Convenience targets for the DVM reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments examples clean
+
+install:
+	pip install -e . || \
+	echo "$(CURDIR)/src" > "$$($(PYTHON) -c 'import site; print(site.getsitepackages()[0])')/repro.pth"
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro all
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/graph_accelerator.py
+	$(PYTHON) examples/cpu_cdvm.py
+	$(PYTHON) examples/fragmentation_study.py
+	$(PYTHON) examples/virtualization.py
+	$(PYTHON) examples/trace_diagnostics.py
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -rf .pytest_cache .hypothesis benchmarks/.benchmarks

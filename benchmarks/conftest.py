@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates its paper table/figure at bench scale (small
+graphs + bench-scale hardware so the paper's footprint-to-reach regime — and
+therefore the figures' shapes — is preserved; DESIGN.md "Scaling"), times
+the regeneration, and writes the rendered rows to ``benchmarks/results/``.
+Full-scale renderings live in EXPERIMENTS.md, produced by the
+``repro.experiments`` modules' ``main()`` functions.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.config import HardwareScale
+from repro.sim.runner import ExperimentRunner
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory collecting each benchmark's rendered table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_runner() -> ExperimentRunner:
+    """One shared bench-scale runner; its caches are shared across
+    benchmarks exactly as the figures share runs in the paper."""
+    return ExperimentRunner(profile="bench", scale=HardwareScale.bench())
+
+
+def save(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist a rendered table next to the benchmark results."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,44 @@
+"""Benchmarks: the design-choice ablations DESIGN.md calls out."""
+
+from conftest import save
+
+from repro.experiments import ablations
+
+
+def test_avc_size_sweep(benchmark, bench_runner, results_dir):
+    rows = benchmark.pedantic(
+        lambda: ablations.avc_size_sweep(bench_runner, sizes=(4, 8, 16, 32)),
+        rounds=1, iterations=1,
+    )
+    save(results_dir, "ablation_avc_size",
+         ablations.render("Ablation: AVC capacity (DVM-PE)", rows))
+    # Bigger AVCs never hurt, and capacity has a knee.
+    times = [r.normalized_time for r in rows]
+    assert times == sorted(times, reverse=True)
+    assert times[0] > times[-1]
+
+
+def test_pe_contribution(benchmark, bench_runner, results_dir):
+    rows = benchmark.pedantic(
+        lambda: ablations.pe_contribution(bench_runner), rounds=1,
+        iterations=1,
+    )
+    save(results_dir, "ablation_pe_contribution",
+         ablations.render("Ablation: Permission Entries' contribution",
+                          rows))
+    with_pes, without_pes = rows
+    # The paper's central mechanism: PEs shrink the tables so the AVC works.
+    assert with_pes.normalized_time < without_pes.normalized_time
+    assert with_pes.walk_mem_accesses < without_pes.walk_mem_accesses
+
+
+def test_bitmap_cache_sweep(benchmark, bench_runner, results_dir):
+    rows = benchmark.pedantic(
+        lambda: ablations.bitmap_cache_sweep(bench_runner,
+                                             sizes=(4, 8, 16, 32)),
+        rounds=1, iterations=1,
+    )
+    save(results_dir, "ablation_bitmap_cache",
+         ablations.render("Ablation: bitmap-cache capacity (DVM-BM)", rows))
+    times = [r.normalized_time for r in rows]
+    assert times[-1] <= times[0]

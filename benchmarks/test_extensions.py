@@ -1,0 +1,27 @@
+"""Benchmarks: the extension studies (multiplexing, security entropy)."""
+
+from conftest import save
+
+from repro.experiments import multiplexing, security
+
+
+def test_multiplexing(benchmark, bench_runner, results_dir):
+    rows = benchmark.pedantic(
+        lambda: multiplexing.multiplexing(
+            bench_runner, slices=8,
+            config_names=("conv_4k", "dvm_pe", "dvm_pe_plus")),
+        rounds=1, iterations=1,
+    )
+    save(results_dir, "multiplexing", multiplexing.render(rows))
+    for row in rows:
+        assert row.slowdown < 1.3
+
+
+def test_security_entropy(benchmark, results_dir):
+    results = benchmark.pedantic(
+        lambda: security.security_study(samples=24), rounds=1, iterations=1,
+    )
+    save(results_dir, "security_entropy", security.render(results))
+    conventional, dvm = results
+    # The Section 5 trade-off: DVM placements are nearly deterministic.
+    assert conventional.sample_entropy_bits > dvm.sample_entropy_bits + 1.0

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 10 (cDVM CPU overheads)."""
+
+from conftest import save
+
+from repro.cpu.model import CPUModel
+from repro.experiments import figure10
+
+
+def test_figure10(benchmark, results_dir):
+    model = CPUModel(trace_length=120_000)
+    rows = benchmark.pedantic(
+        lambda: figure10.figure10(model), rounds=1, iterations=1
+    )
+    assert len(rows) == 5
+    save(results_dir, "figure10", figure10.render(rows))
+    avg = figure10.averages(rows)
+    # The paper's ordering: 4K >> THP >> cDVM, with cDVM within a few %.
+    assert avg["cpu_4k"] > avg["cpu_thp"] > avg["cpu_cdvm"]
+    assert avg["cpu_cdvm"] < 0.10

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 2 (TLB miss rates, 4K vs 2M analog)."""
+
+from conftest import save
+
+from repro.experiments import figure2
+
+
+def test_figure2(benchmark, bench_runner, results_dir):
+    rows = benchmark.pedantic(
+        lambda: figure2.figure2(bench_runner), rounds=1, iterations=1
+    )
+    assert len(rows) == 15
+    text = figure2.render(rows)
+    save(results_dir, "figure2", text)
+    # Shape: huge pages help only marginally on the irregular workloads.
+    avg4k = sum(r.miss_rate_4k for r in rows) / len(rows)
+    avg2m = sum(r.miss_rate_2m for r in rows) / len(rows)
+    assert avg4k > 0.05
+    assert avg2m <= avg4k

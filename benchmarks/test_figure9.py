@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 9 (normalized MMU dynamic energy)."""
+
+from conftest import save
+
+from repro.experiments import figure9
+
+
+def test_figure9(benchmark, bench_runner, results_dir):
+    rows = benchmark.pedantic(
+        lambda: figure9.figure9(bench_runner), rounds=1, iterations=1
+    )
+    assert len(rows) == 15
+    save(results_dir, "figure9", figure9.render(rows))
+    avg = figure9.averages(rows)
+    # The paper's ordering: DVM-PE well below the 4K baseline and below 2M.
+    assert avg["dvm_pe"] < 0.7
+    assert avg["dvm_pe"] < avg["conv_2m"]
+    assert avg["dvm_pe_plus"] >= avg["dvm_pe"]

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 1 (page-table sizes with/without PEs)."""
+
+from conftest import save
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: table1.table1(profile="bench", phys_bytes=512 << 20),
+        rounds=1, iterations=1,
+    )
+    assert len(rows) == 7
+    save(results_dir, "table1", table1.render(rows))
+    # Shape: PEs never grow the tables, and shrink at least some of them.
+    assert all(r.table_bytes_pe <= r.table_bytes for r in rows)
+    assert any(r.shrink_factor > 1.0 for r in rows)

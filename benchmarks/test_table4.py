@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 4 (identity mapping under fragmentation)."""
+
+from conftest import save
+
+from repro.experiments import table4
+
+#: Small memory grid keeps the benchmark in seconds; the experiment module
+#: defaults to the full scaled grid.
+BENCH_MEMORY_SIZES = (256 << 20, 512 << 20)
+
+
+def test_table4(benchmark, results_dir):
+    cells = benchmark.pedantic(
+        lambda: table4.table4(memory_sizes=BENCH_MEMORY_SIZES,
+                              experiments=["expt2", "expt3"], seed=1),
+        rounds=1, iterations=1,
+    )
+    assert len(cells) == 4
+    save(results_dir, "table4", table4.render(cells))
+    # Shape: the overwhelming majority of memory identity-maps.
+    for cell in cells:
+        assert cell.result.percent_allocated > 85.0

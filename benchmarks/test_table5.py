@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 5 (lines of OS change for DVM)."""
+
+from conftest import save
+
+from repro.experiments import table5
+
+
+def test_table5(benchmark, results_dir):
+    rows = benchmark.pedantic(lambda: table5.table5(), rounds=1,
+                              iterations=1)
+    save(results_dir, "table5", table5.render(rows))
+    # The claim: DVM's OS support is a few hundred lines, not thousands.
+    assert sum(r.our_loc for r in rows) < 500

@@ -1,0 +1,19 @@
+"""Benchmark: the virtualization extension (Section 5's 2D-walk claim)."""
+
+from conftest import save
+
+from repro.experiments import virt_extension
+
+
+def test_virt_extension(benchmark, results_dir):
+    results = benchmark.pedantic(
+        lambda: virt_extension.virt_table(buffer_size=4 << 20, probes=128),
+        rounds=1, iterations=1,
+    )
+    save(results_dir, "virt_extension", virt_extension.render(results))
+    steady = results["steady"]
+    # DVM collapses the 2D walk toward 1D, and end-to-end DVM eliminates it.
+    assert steady["nested"]["mem_per_miss"] > steady["host_dvm"]["mem_per_miss"]
+    assert steady["nested"]["mem_per_miss"] > steady["guest_dvm"]["mem_per_miss"]
+    assert steady["full_dvm"]["mem_per_miss"] < 0.2
+    assert steady["full_dvm"]["identity_fraction"] == 1.0

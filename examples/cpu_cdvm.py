@@ -1,0 +1,47 @@
+"""cDVM: devirtualizing memory for CPUs (paper Section 7).
+
+Evaluates the five Figure 10 CPU workloads under 4 KB pages, transparent
+huge pages, and cDVM — showing how PE-compacted page tables walked through
+an AVC collapse page-walk cost even though the TLBs (and their miss rates)
+are unchanged.
+
+Run:  python examples/cpu_cdvm.py
+"""
+
+from repro.core.cdvm import cpu_configs
+from repro.cpu.model import CPUModel
+from repro.experiments.reporting import render_table
+
+
+def main() -> None:
+    model = CPUModel(trace_length=300_000)
+    configs = cpu_configs()
+    rows = []
+    for name in ("mcf", "bt", "cg", "canneal", "xsbench"):
+        results = {cfg: model.evaluate(name, configs[cfg])
+                   for cfg in configs}
+        base = results["cpu_4k"]
+        cdvm = results["cpu_cdvm"]
+        rows.append([
+            name,
+            f"{base.miss_rate * 100:.2f}%",
+            f"{base.overhead * 100:.1f}%",
+            f"{results['cpu_thp'].overhead * 100:.1f}%",
+            f"{cdvm.overhead * 100:.1f}%",
+            f"{base.walk_mem_accesses / max(base.tlb_misses, 1):.2f}",
+            f"{cdvm.walk_mem_accesses / max(cdvm.tlb_misses, 1):.3f}",
+        ])
+    print(render_table(
+        ["Workload", "TLB miss", "4K ovh", "THP ovh", "cDVM ovh",
+         "mem/walk 4K", "mem/walk cDVM"],
+        rows,
+        title="Figure 10 scenario: CPU VM overheads and why cDVM wins"))
+    print()
+    print("cDVM keeps the same TLBs and the same miss rates; the win is")
+    print("page walks that finish in 2-4 AVC (SRAM) accesses instead of")
+    print("fetching PTEs from memory (compare the mem-accesses-per-walk")
+    print("columns).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Identity mapping under fragmentation: the Table 4 study, interactive.
+
+Runs the shbench-style stressor against a simulated machine and reports
+how much memory could be allocated with VA == PA before identity mapping
+first failed, plus the buddy allocator's fragmentation picture at that
+point.
+
+Run:  python examples/fragmentation_study.py [memory_gb]
+"""
+
+import sys
+
+from repro.common.util import human_bytes
+from repro.experiments.reporting import render_table
+from repro.experiments.shbench import run_shbench
+from repro.experiments.table4 import EXPERIMENTS
+
+
+def main(memory_gb: int = 1) -> None:
+    memory = memory_gb << 30
+    print(f"machine: {human_bytes(memory)} physical memory, DVM policy\n")
+    rows = []
+    for name, (chunk_min, chunk_max, instances) in EXPERIMENTS.items():
+        result = run_shbench(memory, chunk_min, chunk_max,
+                             instances=instances, seed=7)
+        rows.append([
+            name,
+            f"{chunk_min}-{chunk_max} B",
+            str(instances),
+            str(result.allocations),
+            f"{result.percent_allocated:.1f}%",
+            "memory exhausted" if not result.failed
+            else "identity mapping failed",
+        ])
+    print(render_table(
+        ["Experiment", "Chunk sizes", "Instances", "Allocations",
+         "Allocated (VA==PA)", "Stopped because"],
+        rows,
+        title=f"shbench stressor at {human_bytes(memory)} "
+              f"(paper Table 4: 95-97%)"))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1)

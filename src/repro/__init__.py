@@ -1,0 +1,37 @@
+"""repro: a reproduction of "Devirtualizing Memory in Heterogeneous Systems".
+
+Haria, Hill & Swift, ASPLOS 2018 (DOI 10.1145/3173162.3173194).
+
+The library implements Devirtualized Memory (DVM) end to end in a
+trace-driven Python simulator: the OS half (identity mapping, Permission
+Entries, flexible address spaces — :mod:`repro.kernel`), the hardware half
+(TLBs, the Access Validation Cache, the IOMMU's seven configurations —
+:mod:`repro.hw`, :mod:`repro.core`), the Graphicionado graph accelerator it
+is evaluated on (:mod:`repro.accel`, :mod:`repro.graphs`), the cDVM CPU
+extension (:mod:`repro.cpu`), and one experiment module per paper
+table/figure (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import DVM
+    dvm = DVM()                 # a DVM-PE+ machine with one host process
+    va = dvm.malloc(4 << 20)    # identity-mapped allocation
+    assert dvm.is_identity(va)
+    assert dvm.validate(va, "r").direct
+"""
+
+from repro.core.config import HardwareScale, MMUConfig, standard_configs
+from repro.core.dvm import DVM, DVMStats
+from repro.sim.runner import ExperimentRunner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DVM",
+    "DVMStats",
+    "ExperimentRunner",
+    "HardwareScale",
+    "MMUConfig",
+    "standard_configs",
+    "__version__",
+]

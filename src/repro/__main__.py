@@ -1,0 +1,68 @@
+"""Command-line entry point: regenerate paper artifacts.
+
+Usage::
+
+    python -m repro list                 # what can be regenerated
+    python -m repro figure8              # one artifact, full profile
+    python -m repro figure8 --bench      # quick bench-scale version
+    python -m repro all                  # everything (minutes)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    ablations,
+    figure2,
+    figure8,
+    figure9,
+    figure10,
+    multiplexing,
+    security,
+    table1,
+    table4,
+    table5,
+    virt_extension,
+)
+
+#: Artifact name -> (runner, takes profile?).
+ARTIFACTS = {
+    "figure2": (figure2.main, True),
+    "figure8": (figure8.main, True),
+    "figure9": (figure9.main, True),
+    "figure10": (lambda: figure10.main(), False),
+    "table1": (table1.main, True),
+    "table4": (lambda: table4.main(), False),
+    "table5": (lambda: table5.main(), False),
+    "ablations": (ablations.main, True),
+    "virt": (lambda: virt_extension.main(), False),
+    "multiplex": (multiplexing.main, True),
+    "security": (lambda: security.main(), False),
+}
+
+
+def main(argv: list[str]) -> int:
+    args = [a for a in argv if not a.startswith("--")]
+    profile = "bench" if "--bench" in argv else "full"
+    if not args or args[0] in ("list", "help", "-h"):
+        print(__doc__)
+        print("artifacts:", ", ".join(sorted(ARTIFACTS)), "or 'all'")
+        return 0
+    names = sorted(ARTIFACTS) if args[0] == "all" else args
+    for name in names:
+        if name not in ARTIFACTS:
+            print(f"unknown artifact {name!r}; have {sorted(ARTIFACTS)}")
+            return 1
+        runner, takes_profile = ARTIFACTS[name]
+        print(f"=== {name} ===")
+        if takes_profile:
+            runner(profile)
+        else:
+            runner()
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,61 @@
+"""Graphicionado substrate: vertex programs, trace generation, layout."""
+
+from repro.accel.algorithms import (
+    CF_PROP_BYTES,
+    WORKLOADS,
+    default_source,
+    prop_bytes_for,
+    run_workload,
+)
+from repro.accel.graphicionado import (
+    DEFAULT_NUM_PES,
+    ExecutionResult,
+    Graphicionado,
+)
+from repro.accel.layout import GraphLayout, identity_fraction, place_graph
+from repro.accel.trace import (
+    EDGES,
+    FRONTIER,
+    OFFSETS,
+    STREAM_NAMES,
+    VPROP,
+    VPROP_TMP,
+    SymbolicTrace,
+    interleave_chunks,
+)
+from repro.accel.vertex_program import (
+    PROGRAMS,
+    BFSProgram,
+    ConnectedComponentsProgram,
+    PageRankProgram,
+    SSSPProgram,
+    VertexProgram,
+)
+
+__all__ = [
+    "CF_PROP_BYTES",
+    "WORKLOADS",
+    "default_source",
+    "prop_bytes_for",
+    "run_workload",
+    "DEFAULT_NUM_PES",
+    "ExecutionResult",
+    "Graphicionado",
+    "GraphLayout",
+    "identity_fraction",
+    "place_graph",
+    "EDGES",
+    "FRONTIER",
+    "OFFSETS",
+    "STREAM_NAMES",
+    "VPROP",
+    "VPROP_TMP",
+    "SymbolicTrace",
+    "interleave_chunks",
+    "PROGRAMS",
+    "BFSProgram",
+    "ConnectedComponentsProgram",
+    "PageRankProgram",
+    "SSSPProgram",
+    "VertexProgram",
+]

@@ -1,0 +1,74 @@
+"""Workload-level entry points: the paper's four graph algorithms.
+
+``run_workload`` dispatches a named workload — ``bfs``, ``pagerank``,
+``sssp`` or ``cf`` (Section 6.2) — on a graph, returning the accelerator's
+:class:`ExecutionResult` (functional output + symbolic memory trace).
+
+Knobs mirror the experiments' needs: PageRank runs a fixed iteration count
+(per-iteration MMU behaviour is steady-state, so one iteration measures the
+same overheads as running to convergence); SSSP takes an iteration cap to
+bound the Bellman–Ford tail on large graphs; traversal sources default to
+the highest-out-degree vertex so BFS/SSSP reach most of the graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel.graphicionado import DEFAULT_NUM_PES, ExecutionResult, Graphicionado
+from repro.accel.vertex_program import (
+    BFSProgram,
+    ConnectedComponentsProgram,
+    PageRankProgram,
+    SSSPProgram,
+)
+from repro.graphs.bipartite import BipartiteShape
+from repro.graphs.csr import CSRGraph
+
+#: Workload names as used in the paper's figures, plus connected
+#: components (``cc``) as an extra vertex program beyond the paper's set.
+WORKLOADS = ("bfs", "pagerank", "sssp", "cf", "cc")
+
+#: CF's per-vertex property: an 8-float latent-feature vector (64 B).
+CF_PROP_BYTES = 64
+
+
+def default_source(graph: CSRGraph) -> int:
+    """Traversal source: the highest-out-degree vertex (reaches the most)."""
+    return int(np.argmax(graph.out_degree()))
+
+
+def run_workload(name: str, graph: CSRGraph, *,
+                 shape: BipartiteShape | None = None,
+                 num_pes: int = DEFAULT_NUM_PES,
+                 source: int | None = None,
+                 pagerank_iters: int = 1,
+                 sssp_max_iters: int = 5,
+                 cf_passes: int = 1,
+                 seed: int = 0) -> ExecutionResult:
+    """Run one named workload; returns functional results plus the trace."""
+    accel = Graphicionado(num_pes=num_pes)
+    if name == "cf":
+        if shape is None:
+            raise ValueError("cf needs the bipartite shape (user count)")
+        return accel.run_cf(graph, shape.num_users, passes=cf_passes,
+                            seed=seed)
+    if source is None:
+        source = default_source(graph)
+    if name == "bfs":
+        return accel.run_program(BFSProgram(), graph, source=source)
+    if name == "sssp":
+        return accel.run_program(SSSPProgram(max_iters=sssp_max_iters),
+                                 graph, source=source)
+    if name == "pagerank":
+        return accel.run_program(PageRankProgram(iterations=pagerank_iters),
+                                 graph, source=source)
+    if name == "cc":
+        return accel.run_program(ConnectedComponentsProgram(), graph,
+                                 source=source)
+    raise ValueError(f"unknown workload {name!r}; have {WORKLOADS}")
+
+
+def prop_bytes_for(name: str) -> int:
+    """Per-vertex property size a workload's layout needs."""
+    return CF_PROP_BYTES if name == "cf" else 8

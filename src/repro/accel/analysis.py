@@ -1,0 +1,153 @@
+"""Trace analytics: the locality statistics behind the paper's regimes.
+
+The paper's results are functions of a few trace properties — footprints
+versus TLB reach, access irregularity, stream composition (Section 2's
+motivation; Figure 2).  This module computes those properties from a
+symbolic trace so the scaling invariants in DESIGN.md can be *measured*
+rather than assumed (see ``examples/trace_diagnostics.py`` and the
+tests in ``tests/accel/test_analysis.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accel.trace import STREAM_NAMES, SymbolicTrace
+
+#: 4 KB pages, as everywhere else.
+PAGE_SHIFT = 12
+
+
+@dataclass
+class StreamStats:
+    """Locality profile of one stream within a trace."""
+
+    name: str
+    accesses: int
+    footprint_bytes: int        # distinct 4 KB pages touched * 4 KB
+    write_fraction: float
+    sequential_fraction: float  # accesses within 64 B of their predecessor
+
+
+@dataclass
+class TraceProfile:
+    """Whole-trace locality profile."""
+
+    accesses: int
+    footprint_bytes: int
+    streams: list[StreamStats]
+    hot_page_coverage: dict[int, float]   # top-N pages -> access coverage
+
+    def stream(self, name: str) -> StreamStats:
+        """Look up one stream's stats by name."""
+        for s in self.streams:
+            if s.name == name:
+                return s
+        raise KeyError(f"no stream named {name!r}")
+
+
+def profile_trace(trace: SymbolicTrace,
+                  hot_page_counts=(16, 32, 128)) -> TraceProfile:
+    """Compute the locality profile of a symbolic trace.
+
+    ``hot_page_coverage[n]`` is the fraction of accesses that fall on the
+    ``n`` most-accessed (stream, page) pairs — an upper bound on any
+    ``n``-entry TLB's hit rate, and the quantity the scaling table in
+    DESIGN.md keeps in the paper's regime.
+    """
+    if len(trace) == 0:
+        return TraceProfile(accesses=0, footprint_bytes=0, streams=[],
+                            hot_page_coverage={n: 0.0
+                                               for n in hot_page_counts})
+    # Globally unique page key: stream id in the high bits.
+    pages = (trace.offsets >> PAGE_SHIFT).astype(np.int64)
+    keys = (trace.streams.astype(np.int64) << 48) | pages
+    unique_keys, counts = np.unique(keys, return_counts=True)
+    total = len(trace)
+    sorted_counts = np.sort(counts)[::-1]
+    coverage = {
+        n: float(sorted_counts[:n].sum()) / total
+        for n in hot_page_counts
+    }
+    streams = []
+    for stream_id, name in STREAM_NAMES.items():
+        mask = trace.streams == stream_id
+        n = int(mask.sum())
+        if n == 0:
+            continue
+        offsets = trace.offsets[mask]
+        distinct_pages = len(np.unique(offsets >> PAGE_SHIFT))
+        deltas = np.abs(np.diff(offsets))
+        sequential = float((deltas <= 64).mean()) if len(deltas) else 1.0
+        streams.append(StreamStats(
+            name=name,
+            accesses=n,
+            footprint_bytes=distinct_pages << PAGE_SHIFT,
+            write_fraction=float(trace.writes[mask].mean()),
+            sequential_fraction=sequential,
+        ))
+    return TraceProfile(
+        accesses=total,
+        footprint_bytes=len(unique_keys) << PAGE_SHIFT,
+        streams=streams,
+        hot_page_coverage=coverage,
+    )
+
+
+def reuse_distances(addrs, *, page_shift: int = PAGE_SHIFT,
+                    max_samples: int = 50_000) -> np.ndarray:
+    """Exact LRU stack distances of a page-reference stream.
+
+    The distance of an access is the number of *distinct* pages referenced
+    since the previous access to the same page (``-1`` for cold accesses).
+    A fully-associative LRU TLB of ``k`` entries hits exactly the accesses
+    with distance < ``k`` — this is the ground truth the TLB models are
+    validated against (``tests/accel/test_analysis.py``).
+
+    Computed over the first ``max_samples`` accesses (O(n log n) via a
+    Fenwick tree over positions).
+    """
+    pages = (np.asarray(addrs, dtype=np.int64) >> page_shift)[:max_samples]
+    n = len(pages)
+    tree = [0] * (n + 1)
+
+    def update(i: int, delta: int) -> None:
+        i += 1
+        while i <= n:
+            tree[i] += delta
+            i += i & (-i)
+
+    def query(i: int) -> int:
+        # Sum of marks at positions <= i.
+        i += 1
+        total = 0
+        while i > 0:
+            total += tree[i]
+            i -= i & (-i)
+        return total
+
+    last_pos: dict[int, int] = {}
+    out = np.empty(n, dtype=np.int64)
+    for pos, page in enumerate(pages.tolist()):
+        prev = last_pos.get(page)
+        if prev is None:
+            out[pos] = -1
+        else:
+            # Distinct pages touched strictly after prev: marked positions
+            # in (prev, pos).
+            out[pos] = query(pos - 1) - query(prev)
+            update(prev, -1)
+        update(pos, 1)
+        last_pos[page] = pos
+    return out
+
+
+def lru_hit_rate(distances: np.ndarray, entries: int) -> float:
+    """Hit rate of a fully-associative LRU structure of ``entries`` slots
+    on a stream with the given reuse distances."""
+    if len(distances) == 0:
+        return 0.0
+    hits = np.count_nonzero((distances >= 0) & (distances < entries))
+    return hits / len(distances)

@@ -1,0 +1,71 @@
+"""Placement of Graphicionado's data structures in a simulated process.
+
+The paper's workloads allocate the graph on the application heap (shared
+with the accelerator), so each stream here is a ``malloc`` by the host
+process — which, under a DVM policy, identity-maps them (Figure 7) and,
+under a conventional policy, demand-pages them at the configured page size.
+The resulting base addresses are what :meth:`SymbolicTrace.concretize`
+binds the trace to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel import trace as T
+from repro.graphs.csr import CSRGraph
+from repro.kernel.process import Process
+
+
+@dataclass
+class GraphLayout:
+    """Base VAs of every stream plus footprint accounting."""
+
+    stream_bases: dict[int, int]
+    stream_sizes: dict[int, int]
+    prop_bytes: int
+
+    @property
+    def heap_bytes(self) -> int:
+        """Total bytes allocated for the graph (the Table 3 'heap size')."""
+        return sum(self.stream_sizes.values())
+
+    def base(self, stream: int) -> int:
+        """Base VA of a stream."""
+        return self.stream_bases[stream]
+
+
+def place_graph(process: Process, graph: CSRGraph,
+                prop_bytes: int = T.PROP_BYTES) -> GraphLayout:
+    """Allocate the accelerator-visible arrays in ``process``'s heap.
+
+    ``prop_bytes`` is the per-vertex property size: 8 B for BFS / PageRank /
+    SSSP scalars, 64 B for CF's latent-feature vectors.
+    """
+    v = graph.num_vertices
+    e = graph.num_edges
+    sizes = {
+        T.VPROP: v * prop_bytes,
+        T.VPROP_TMP: v * T.PROP_BYTES,
+        T.OFFSETS: (v + 1) * T.OFFSET_BYTES,
+        T.EDGES: e * T.EDGE_RECORD_BYTES,
+        T.FRONTIER: v * T.FRONTIER_BYTES,
+    }
+    bases = {}
+    for stream, size in sizes.items():
+        va = process.malloc.malloc(size)
+        bases[stream] = va
+    return GraphLayout(stream_bases=bases, stream_sizes=sizes,
+                       prop_bytes=prop_bytes)
+
+
+def identity_fraction(process: Process, layout: GraphLayout) -> float:
+    """Fraction of the graph's bytes that ended up identity mapped."""
+    total = 0
+    identity = 0
+    for stream, base in layout.stream_bases.items():
+        size = layout.stream_sizes[stream]
+        total += size
+        if process.is_identity(base) and process.is_identity(base + size - 1):
+            identity += size
+    return identity / total if total else 0.0

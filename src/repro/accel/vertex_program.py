@@ -1,0 +1,168 @@
+"""Graphicionado's vertex-programming abstraction.
+
+The accelerator exposes three custom functions (paper Section 6.1): a graph
+algorithm is expressed as ``processEdge`` (produce an update from a source
+vertex's property and an edge weight), ``reduce`` (an associative combine
+of updates at the destination) and ``apply`` (fold the reduced temporary
+into the vertex property at the end of an iteration).
+
+Our programs are *vectorised*: ``propagate`` maps processEdge over an edge
+batch, ``reduce_ufunc`` is the numpy ufunc whose ``.at`` performs the
+destination-side reduction, and ``apply`` folds whole arrays.  The
+iteration engine in :mod:`repro.accel.graphicionado` is generic over this
+interface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+#: Sentinel for "unreached" in BFS/SSSP properties.
+INF = np.float64(np.inf)
+
+
+class VertexProgram:
+    """Base class: one graph algorithm in Graphicionado's model."""
+
+    #: Per-vertex property size in simulated memory (8 B scalars).
+    prop_bytes = 8
+    #: Whether every vertex is active every iteration (PageRank-style).
+    all_active = False
+    #: Iteration cap (frontier programs stop early when the frontier empties).
+    max_iters = 1
+
+    def initial(self, graph: CSRGraph, source: int) -> np.ndarray:
+        """Initial vertex-property array."""
+        raise NotImplementedError
+
+    def reduce_identity(self) -> float:
+        """Identity element of the reduce operator."""
+        raise NotImplementedError
+
+    #: numpy ufunc implementing ``reduce`` (must be associative).
+    reduce_ufunc: np.ufunc
+
+    def propagate(self, src_prop: np.ndarray, weight: np.ndarray,
+                  graph: CSRGraph, src_ids: np.ndarray) -> np.ndarray:
+        """Vectorised ``processEdge`` over an edge batch."""
+        raise NotImplementedError
+
+    def apply(self, prop: np.ndarray, tmp: np.ndarray) -> np.ndarray:
+        """Vectorised ``apply``: fold reduced temporaries into properties."""
+        raise NotImplementedError
+
+    def initial_frontier(self, graph: CSRGraph, source: int) -> np.ndarray:
+        """Active vertices of the first iteration."""
+        if self.all_active:
+            return np.arange(graph.num_vertices, dtype=np.int64)
+        return np.array([source], dtype=np.int64)
+
+
+class BFSProgram(VertexProgram):
+    """Breadth-first search: property = hop distance from the source."""
+
+    max_iters = 1_000_000  # bounded by the frontier emptying
+    reduce_ufunc = np.minimum
+
+    def initial(self, graph: CSRGraph, source: int) -> np.ndarray:
+        prop = np.full(graph.num_vertices, INF)
+        prop[source] = 0.0
+        return prop
+
+    def reduce_identity(self) -> float:
+        return float(INF)
+
+    def propagate(self, src_prop, weight, graph, src_ids):
+        return src_prop + 1.0
+
+    def apply(self, prop, tmp):
+        return np.minimum(prop, tmp)
+
+
+class SSSPProgram(VertexProgram):
+    """Single-source shortest path (Bellman–Ford flavoured)."""
+
+    def __init__(self, max_iters: int = 1_000_000):
+        self.max_iters = max_iters
+
+    reduce_ufunc = np.minimum
+
+    def initial(self, graph: CSRGraph, source: int) -> np.ndarray:
+        prop = np.full(graph.num_vertices, INF)
+        prop[source] = 0.0
+        return prop
+
+    def reduce_identity(self) -> float:
+        return float(INF)
+
+    def propagate(self, src_prop, weight, graph, src_ids):
+        return src_prop + weight
+
+    def apply(self, prop, tmp):
+        return np.minimum(prop, tmp)
+
+
+class PageRankProgram(VertexProgram):
+    """PageRank: property = rank; runs a fixed number of iterations."""
+
+    all_active = True
+    reduce_ufunc = np.add
+
+    def __init__(self, iterations: int = 1, damping: float = 0.85):
+        self.max_iters = iterations
+        self.damping = damping
+
+    def initial(self, graph: CSRGraph, source: int) -> np.ndarray:
+        self._out_degree = np.maximum(graph.out_degree(), 1).astype(np.float64)
+        self._num_vertices = graph.num_vertices
+        return np.full(graph.num_vertices, 1.0 / graph.num_vertices)
+
+    def reduce_identity(self) -> float:
+        return 0.0
+
+    def propagate(self, src_prop, weight, graph, src_ids):
+        return src_prop / self._out_degree[src_ids]
+
+    def apply(self, prop, tmp):
+        return (1.0 - self.damping) / self._num_vertices + self.damping * tmp
+
+
+class ConnectedComponentsProgram(VertexProgram):
+    """Label-propagation weakly-connected components.
+
+    Not part of the paper's evaluation set, but expressible in the same
+    three custom functions ("Most graph algorithms can be specified and
+    executed on Graphicionado", Section 6.1): the property is a component
+    label, processEdge forwards the source's label, reduce takes the
+    minimum, apply keeps the smaller label.  Treats edges as undirected by
+    propagating along out-edges until a fixed point.
+    """
+
+    max_iters = 1_000_000
+    reduce_ufunc = np.minimum
+
+    def initial(self, graph: CSRGraph, source: int) -> np.ndarray:
+        return np.arange(graph.num_vertices, dtype=np.float64)
+
+    def reduce_identity(self) -> float:
+        return float(INF)
+
+    def propagate(self, src_prop, weight, graph, src_ids):
+        return src_prop
+
+    def apply(self, prop, tmp):
+        return np.minimum(prop, tmp)
+
+    def initial_frontier(self, graph: CSRGraph, source: int) -> np.ndarray:
+        # Every vertex starts with its own label and must broadcast it.
+        return np.arange(graph.num_vertices, dtype=np.int64)
+
+
+PROGRAMS = {
+    "bfs": BFSProgram,
+    "sssp": SSSPProgram,
+    "pagerank": PageRankProgram,
+    "cc": ConnectedComponentsProgram,
+}

@@ -1,0 +1,93 @@
+"""Architectural constants for the simulated x86-64 memory system.
+
+The paper models a standard x86-64 4-level page table (Figure 5) with 4 KB
+base pages, 2 MB (L2 leaf) and 1 GB (L3 leaf) huge pages, and the new
+Permission Entry (PE) format usable at any level.  This module centralises
+the address arithmetic so every component (buddy allocator, page tables,
+TLBs, walkers) agrees on geometry.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Base page geometry
+# ---------------------------------------------------------------------------
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT          # 4 KB
+PAGE_MASK = PAGE_SIZE - 1
+
+# Bits of VA translated per page-table level.
+LEVEL_BITS = 9
+ENTRIES_PER_NODE = 1 << LEVEL_BITS   # 512 entries per page-table node
+PTE_SIZE = 8                         # bytes per page-table entry
+NODE_SIZE = ENTRIES_PER_NODE * PTE_SIZE  # 4 KB: one frame per node
+
+# Page-table levels, numbered as in the paper: L1 is the leaf level for
+# 4 KB pages, L4 is the root (PML4 in x86 terms).
+NUM_LEVELS = 4
+LEVELS = (4, 3, 2, 1)
+
+# Size of the VA region mapped by a single entry at each level.
+#   L1 entry -> 4 KB page
+#   L2 entry -> 2 MB
+#   L3 entry -> 1 GB
+#   L4 entry -> 512 GB
+LEVEL_SPAN = {
+    1: PAGE_SIZE,
+    2: PAGE_SIZE << LEVEL_BITS,            # 2 MB
+    3: PAGE_SIZE << (2 * LEVEL_BITS),      # 1 GB
+    4: PAGE_SIZE << (3 * LEVEL_BITS),      # 512 GB
+}
+
+# Huge-page sizes supported by the baseline configurations.
+SIZE_4K = LEVEL_SPAN[1]
+SIZE_2M = LEVEL_SPAN[2]
+SIZE_1G = LEVEL_SPAN[3]
+
+# 48-bit canonical virtual address space (we model the user half).
+VA_BITS = 48
+VA_LIMIT = 1 << VA_BITS
+
+# ---------------------------------------------------------------------------
+# Permission Entries (paper Section 4.1.1, Figure 6)
+# ---------------------------------------------------------------------------
+
+# Each PE stores separate permissions for sixteen aligned sub-regions of the
+# VA range mapped by the entry it replaces.
+PE_FIELDS = 16
+
+# Sub-region size per PE level: 1/16th of the level span.
+#   L2 PE -> 128 KB sub-regions; L3 PE -> 64 MB; L4 PE -> 32 GB.
+PE_REGION_SIZE = {level: LEVEL_SPAN[level] // PE_FIELDS for level in (2, 3, 4)}
+
+
+def level_index(va: int, level: int) -> int:
+    """Index of ``va`` within the page-table node at ``level``.
+
+    Mirrors the x86-64 split: bits [47:39] select the L4 entry, [38:30] the
+    L3 entry, [29:21] the L2 entry and [20:12] the L1 entry.
+    """
+    shift = PAGE_SHIFT + (level - 1) * LEVEL_BITS
+    return (va >> shift) & (ENTRIES_PER_NODE - 1)
+
+
+def level_base(va: int, level: int) -> int:
+    """Base VA of the region mapped by the entry covering ``va`` at ``level``."""
+    return va & ~(LEVEL_SPAN[level] - 1)
+
+
+def pe_field_index(va: int, level: int) -> int:
+    """Which of the sixteen PE permission fields covers ``va`` at ``level``."""
+    offset = va - level_base(va, level)
+    return offset // PE_REGION_SIZE[level]
+
+
+def vpn(va: int, page_size: int = PAGE_SIZE) -> int:
+    """Virtual page number of ``va`` for the given page size."""
+    return va // page_size
+
+
+def page_offset(va: int, page_size: int = PAGE_SIZE) -> int:
+    """Offset of ``va`` within its page for the given page size."""
+    return va % page_size

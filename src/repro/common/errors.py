@@ -1,0 +1,50 @@
+"""Exception hierarchy for the reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class OutOfMemoryError(ReproError):
+    """The physical allocator could not satisfy a request."""
+
+
+class AddressSpaceError(ReproError):
+    """A virtual-address-space operation failed (overlap, exhaustion...)."""
+
+
+class MappingError(ReproError):
+    """A page-table mapping operation was invalid (misalignment, remap...)."""
+
+
+class ProtectionFault(ReproError):
+    """An access was attempted without sufficient permissions.
+
+    Mirrors the exception the IOMMU raises on the host CPU when DAV finds
+    insufficient permissions (paper Section 4.1.1).
+    """
+
+    def __init__(self, va: int, access: str, message: str | None = None):
+        self.va = va
+        self.access = access
+        super().__init__(
+            message or f"protection fault: {access!r} access to {va:#x} denied"
+        )
+
+
+class PageFault(ReproError):
+    """An access touched an unmapped virtual address."""
+
+    def __init__(self, va: int, message: str | None = None):
+        self.va = va
+        super().__init__(message or f"page fault at {va:#x}")
+
+
+class ConfigError(ReproError):
+    """An experiment or hardware configuration was inconsistent."""

@@ -1,0 +1,47 @@
+"""DVM core: configurations, DAV, preload, the public facade, cDVM."""
+
+from repro.core.cdvm import (
+    BASE_CPI_PER_ACCESS,
+    CPU_ANALOG_2M,
+    CPU_WALK_LATENCY,
+    CPUMMUConfig,
+    CPUOverheadResult,
+    cpu_configs,
+    estimate_overhead,
+)
+from repro.core.config import (
+    ANALOG_1G,
+    ANALOG_2M,
+    HardwareScale,
+    MMUConfig,
+    config_with,
+    standard_configs,
+    two_level_tlb_config,
+)
+from repro.core.dav import AccessValidator, DAVOutcome, DAVResult
+from repro.core.dvm import DVM, DVMStats
+from repro.core.preload import PreloadDecision, preload_decision
+
+__all__ = [
+    "BASE_CPI_PER_ACCESS",
+    "CPU_ANALOG_2M",
+    "CPU_WALK_LATENCY",
+    "CPUMMUConfig",
+    "CPUOverheadResult",
+    "cpu_configs",
+    "estimate_overhead",
+    "ANALOG_1G",
+    "ANALOG_2M",
+    "HardwareScale",
+    "MMUConfig",
+    "config_with",
+    "standard_configs",
+    "two_level_tlb_config",
+    "AccessValidator",
+    "DAVOutcome",
+    "DAVResult",
+    "DVM",
+    "DVMStats",
+    "PreloadDecision",
+    "preload_decision",
+]

@@ -1,0 +1,129 @@
+"""The DVM public API: a devirtualized process memory manager.
+
+This facade is the library's front door (see ``examples/quickstart.py``):
+it boots a kernel under a chosen MMU configuration, spawns the host
+process, and exposes allocation, access validation and the paper's key
+statistics without requiring callers to assemble kernel/process/IOMMU
+plumbing by hand.
+
+    >>> from repro.core.dvm import DVM
+    >>> dvm = DVM()                      # DVM-PE+ by default
+    >>> va = dvm.malloc(4 << 20)
+    >>> dvm.is_identity(va)
+    True
+    >>> dvm.validate(va).direct
+    True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.perms import Perm
+from repro.core.config import HardwareScale, MMUConfig, standard_configs
+from repro.core.dav import AccessValidator, DAVResult
+from repro.hw.bitmap import PermissionBitmap
+from repro.hw.dram import DRAMModel
+from repro.hw.iommu import IOMMU, TimingStats
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import Process
+
+
+@dataclass
+class DVMStats:
+    """Headline statistics of a DVM instance."""
+
+    identity_bytes: int
+    demand_bytes: int
+    identity_allocations: int
+    demand_allocations: int
+    page_table_bytes: int
+    identity_failures: int
+
+    @property
+    def identity_fraction(self) -> float:
+        """Fraction of mapped bytes that are identity mapped."""
+        total = self.identity_bytes + self.demand_bytes
+        return self.identity_bytes / total if total else 0.0
+
+
+class DVM:
+    """A devirtualized-memory machine with one host process.
+
+    Parameters
+    ----------
+    config:
+        One of :func:`standard_configs`'s configurations, or the name of
+        one (default ``"dvm_pe_plus"``).
+    phys_bytes:
+        Physical memory size.
+    seed:
+        Determinism seed (ASLR etc.).
+    """
+
+    def __init__(self, config: MMUConfig | str = "dvm_pe_plus", *,
+                 phys_bytes: int = 2 << 30, seed: int = 0,
+                 scale: HardwareScale | None = None):
+        if isinstance(config, str):
+            config = standard_configs(scale)[config]
+        self.config = config
+        self.perm_bitmap = (
+            PermissionBitmap(cache_blocks=config.bitmap_cache_blocks)
+            if config.mech == "dvm_bm" else None
+        )
+        factory = None
+        if self.perm_bitmap is not None:
+            bitmap = self.perm_bitmap
+            factory = lambda kernel, process: bitmap  # noqa: E731
+        self.kernel = Kernel(phys_bytes=phys_bytes, policy=config.policy,
+                             seed=seed, perm_bitmap_factory=factory)
+        self.process: Process = self.kernel.spawn(name="dvm-host")
+        self.process.setup_segments()
+        self.dram = DRAMModel()
+        self.iommu = IOMMU(config, self.process.page_table, self.dram,
+                           perm_bitmap=self.perm_bitmap)
+        self.validator = AccessValidator(self.process.page_table)
+
+    # -- allocation -----------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        """Allocate ``size`` bytes on the heap; returns the virtual address."""
+        return self.process.malloc.malloc(size)
+
+    def free(self, va: int) -> None:
+        """Free a pointer returned by :meth:`malloc`."""
+        self.process.malloc.free(va)
+
+    def mmap(self, size: int, perm: Perm = Perm.READ_WRITE):
+        """Map an anonymous region (identity mapped when the policy allows)."""
+        return self.process.vmm.mmap(size, perm)
+
+    # -- validation ---------------------------------------------------------------
+
+    def is_identity(self, va: int) -> bool:
+        """Whether ``va`` is identity mapped (PA == VA)."""
+        return self.process.is_identity(va)
+
+    def validate(self, va: int, access: str = "r") -> DAVResult:
+        """Functional Devirtualized Access Validation of one access."""
+        return self.validator.validate(va, access)
+
+    def run_accelerator_trace(self, addrs, writes) -> TimingStats:
+        """Timing-simulate an accelerator access trace through the IOMMU."""
+        if self.iommu.walker is not None:
+            self.iommu.walker.invalidate()
+        return self.iommu.run_trace(addrs, writes)
+
+    # -- statistics --------------------------------------------------------------
+
+    def stats(self) -> DVMStats:
+        """Headline allocation/page-table statistics."""
+        vmm = self.process.vmm
+        return DVMStats(
+            identity_bytes=vmm.stats.identity_bytes,
+            demand_bytes=vmm.stats.demand_bytes,
+            identity_allocations=vmm.stats.identity_allocs,
+            demand_allocations=vmm.stats.demand_allocs,
+            page_table_bytes=self.process.page_table.table_bytes(),
+            identity_failures=vmm.identity_mapper.stats.failures,
+        )

@@ -1,0 +1,51 @@
+"""Preload-on-read: overlapping DAV with the data fetch (Section 4.2).
+
+If the accelerator can squash and retry an in-flight load, DVM predicts
+that every read targets an identity-mapped page and launches the load at
+PA == VA *in parallel* with DAV.  The timing consequences, modelled here
+and inlined (identically) in the IOMMU's DVM-PE+ loop:
+
+* validated read — the preload *is* the access; only DAV time beyond the
+  data latency is exposed (with an AVC-resident walk, nothing is);
+* mispredicted read (non-identity page) — the preload is squashed, costing
+  a wasted memory access (energy + bandwidth), and the load retries at the
+  translated PA, exposing one serialized data latency;
+* write — never preloaded: the PA must be validated before memory is
+  updated, so writes pay the full DAV latency (DVM-PE behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PreloadDecision:
+    """Timing outcome of one access under preload-on-read."""
+
+    exposed_sram_cycles: int   # validation SRAM cycles on the critical path
+    exposed_mem_cycles: int    # serialized memory cycles on the critical path
+    squashed: bool             # a wasted preload memory access occurred
+
+
+def preload_decision(*, is_write: bool, identity: bool, dav_sram_cycles: int,
+                     dav_mem_accesses: int, walk_latency: int,
+                     data_latency: int) -> PreloadDecision:
+    """Resolve one access's exposed stall under the DVM-PE+ policy."""
+    if is_write:
+        return PreloadDecision(
+            exposed_sram_cycles=dav_sram_cycles,
+            exposed_mem_cycles=dav_mem_accesses * walk_latency,
+            squashed=False,
+        )
+    exposed_mem = 0
+    if dav_mem_accesses:
+        overlap_excess = dav_mem_accesses * walk_latency - data_latency
+        if overlap_excess > 0:
+            exposed_mem = overlap_excess
+    squashed = not identity
+    if squashed:
+        # Retry at the translated PA: one serialized data access.
+        exposed_mem += data_latency
+    return PreloadDecision(exposed_sram_cycles=0, exposed_mem_cycles=exposed_mem,
+                           squashed=squashed)

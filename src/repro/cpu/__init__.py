@@ -1,0 +1,24 @@
+"""CPU substrate for the cDVM study: workloads, instrumentation, model."""
+
+from repro.cpu.badgertrap import BadgerTrapReport, instrument
+from repro.cpu.model import CPUModel
+from repro.cpu.workloads import (
+    AUX,
+    CPU_WORKLOADS,
+    LOCAL,
+    MAIN,
+    CPUWorkload,
+    build,
+)
+
+__all__ = [
+    "BadgerTrapReport",
+    "instrument",
+    "CPUModel",
+    "AUX",
+    "CPU_WORKLOADS",
+    "LOCAL",
+    "MAIN",
+    "CPUWorkload",
+    "build",
+]

@@ -1,0 +1,85 @@
+"""BadgerTrap stand-in: TLB-miss instrumentation for CPU traces.
+
+The paper (Section 7.3) uses BadgerTrap — a kernel tool that traps x86-64
+TLB misses — to instrument the CPU workloads and estimate what fraction of
+walks the AVC would satisfy.  Our version plays the same role in the
+simulated machine: it runs an address trace through the two-level TLB
+hierarchy and records, per access, whether a page walk was needed — the
+walk addresses are then handed to the analytical model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.tlb import TwoLevelTLB
+
+
+@dataclass
+class BadgerTrapReport:
+    """Instrumentation result for one trace."""
+
+    accesses: int
+    l1_misses: int
+    l2_misses: int
+    miss_vas: np.ndarray     # VAs whose accesses required a page walk
+
+    @property
+    def l1_miss_rate(self) -> float:
+        """L1 DTLB miss rate."""
+        return self.l1_misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def walk_rate(self) -> float:
+        """Walks per access (the L2 miss rate)."""
+        return self.l2_misses / self.accesses if self.accesses else 0.0
+
+
+def instrument(addrs, tlb: TwoLevelTLB) -> BadgerTrapReport:
+    """Run a VA trace through the TLB hierarchy, recording walk-causing VAs.
+
+    TLB fills use the identity translation placeholder (PA bookkeeping is
+    not needed to count misses, exactly as BadgerTrap observes misses
+    without replaying translations).
+    """
+    addr_list = addrs.tolist() if hasattr(addrs, "tolist") else list(addrs)
+    l1 = tlb.l1
+    l2 = tlb.l2
+    shift = l1.page_shift
+    l1_sets = l1._sets
+    n1sets = l1.num_sets
+    w1 = l1.ways
+    l2_sets = l2._sets
+    n2sets = l2.num_sets
+    w2 = l2.ways
+    l1_misses = 0
+    misses: list[int] = []
+    for va in addr_list:
+        vpn = va >> shift
+        s1 = l1_sets[vpn % n1sets]
+        if vpn in s1:
+            del s1[vpn]
+            s1[vpn] = (0, 2)
+            continue
+        l1_misses += 1
+        s2 = l2_sets[vpn % n2sets]
+        if vpn in s2:
+            del s2[vpn]
+            s2[vpn] = (0, 2)
+        else:
+            misses.append(va)
+            if len(s2) >= w2:
+                for lru in s2:
+                    break
+                del s2[lru]
+            s2[vpn] = (0, 2)
+        if len(s1) >= w1:
+            for lru in s1:
+                break
+            del s1[lru]
+        s1[vpn] = (0, 2)
+    miss_vas = np.asarray(misses, dtype=np.int64)
+    return BadgerTrapReport(accesses=len(addr_list), l1_misses=l1_misses,
+                            l2_misses=len(miss_vas), miss_vas=miss_vas)

@@ -1,0 +1,107 @@
+"""The cDVM CPU evaluation driver (Figure 10).
+
+For each (workload, configuration) pair this module rebuilds the paper's
+Section 7.3 pipeline inside the simulator:
+
+1. boot a kernel under the configuration's policy and lay the workload's
+   arrays out in a process (cDVM identity-maps all segments, Section 7.2);
+2. instrument the trace's TLB behaviour (:mod:`repro.cpu.badgertrap`);
+3. walk every TLB miss through the configuration's walker — a conventional
+   PWC for 4K/THP, the AVC over PE-compacted tables for cDVM;
+4. feed the measured walk statistics to the analytical overhead model
+   (:mod:`repro.core.cdvm`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cdvm import (
+    BASE_CPI_PER_ACCESS,
+    CPU_WALK_LATENCY,
+    CPUMMUConfig,
+    CPUOverheadResult,
+    cpu_configs,
+    estimate_overhead,
+)
+from repro.cpu.badgertrap import instrument
+from repro.cpu.workloads import CPUWorkload, build
+from repro.hw.tlb import TwoLevelTLB
+from repro.hw.walkcache import AccessValidationCache, PageWalkCache
+from repro.hw.walker import PageTableWalker
+from repro.kernel.kernel import Kernel
+
+
+@dataclass
+class CPUModel:
+    """Evaluates the Figure 10 matrix."""
+
+    trace_length: int = 1_000_000
+    phys_bytes: int = 2 << 30
+    seed: int = 0
+    base_cpi: float = BASE_CPI_PER_ACCESS
+    walk_latency: int = CPU_WALK_LATENCY
+    _workloads: dict = field(default_factory=dict, init=False)
+
+    def workload(self, name: str) -> CPUWorkload:
+        """Build (and cache) a named workload trace."""
+        wl = self._workloads.get(name)
+        if wl is None:
+            wl = build(name, self.trace_length)
+            self._workloads[name] = wl
+        return wl
+
+    def evaluate(self, name: str, config: CPUMMUConfig) -> CPUOverheadResult:
+        """Run one (workload, configuration) cell of Figure 10."""
+        wl = self.workload(name)
+        kernel = Kernel(phys_bytes=self.phys_bytes, policy=config.policy,
+                        seed=self.seed)
+        process = kernel.spawn(name=f"cpu-{name}-{config.name}")
+        process.setup_segments(identity_segments=config.identity_segments)
+        bases = {
+            stream: process.malloc.malloc(size)
+            for stream, size in sorted(wl.stream_sizes.items())
+        }
+        addrs, _writes = wl.trace.concretize(bases)
+        tlb = TwoLevelTLB(l1_entries=config.l1_entries,
+                          l2_entries=config.l2_entries,
+                          page_size=config.tlb_page_size)
+        report = instrument(addrs, tlb)
+        if config.use_avc:
+            cache = AccessValidationCache()
+        else:
+            cache = PageWalkCache()
+        walker = PageTableWalker(process.page_table, cache)
+        walk_sram = 0
+        walk_mem = 0
+        exposed = 0.0
+        for va in report.miss_vas.tolist():
+            info, sram, mem = walker.walk(va)
+            walk_sram += sram
+            walk_mem += mem
+            if config.overlap and info[3]:
+                # Section 7.1: identity-mapped accesses overlap DAV with
+                # the data/cacheline fetch — only the excess is exposed.
+                from repro.core.cdvm import CPU_FETCH_LATENCY
+                exposed += max(0, mem * self.walk_latency
+                               - CPU_FETCH_LATENCY)
+            else:
+                exposed += sram + mem * self.walk_latency
+        return estimate_overhead(
+            workload=name, config=config.name, accesses=report.accesses,
+            tlb_misses=report.l2_misses, walk_sram_accesses=walk_sram,
+            walk_mem_accesses=walk_mem, base_cpi=self.base_cpi,
+            walk_latency=self.walk_latency,
+            walk_cycles_override=exposed if config.overlap else None,
+        )
+
+    def evaluate_all(self, workloads=None
+                     ) -> dict[tuple[str, str], CPUOverheadResult]:
+        """The full Figure 10 matrix: workloads x {4K, THP, cDVM}."""
+        names = workloads or ("mcf", "bt", "cg", "canneal", "xsbench")
+        configs = cpu_configs()
+        out: dict[tuple[str, str], CPUOverheadResult] = {}
+        for name in names:
+            for config in configs.values():
+                out[(name, config.name)] = self.evaluate(name, config)
+        return out

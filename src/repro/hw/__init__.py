@@ -1,0 +1,31 @@
+"""Hardware substrate: caches, TLBs, walkers, IOMMU, DRAM and energy."""
+
+from repro.hw.bitmap import BitmapLookup, PermissionBitmap
+from repro.hw.cache import CacheStats, SetAssocCache
+from repro.hw.dram import DRAMModel, DRAMStats
+from repro.hw.energy import DEFAULT_ENERGY_PJ, EnergyAccount, EnergyModel
+from repro.hw.iommu import IOMMU, TimingStats
+from repro.hw.tlb import TLB, TLBEntry, TwoLevelTLB
+from repro.hw.walkcache import AccessValidationCache, PageWalkCache
+from repro.hw.walker import PageTableWalker, WalkInfo
+
+__all__ = [
+    "BitmapLookup",
+    "PermissionBitmap",
+    "CacheStats",
+    "SetAssocCache",
+    "DRAMModel",
+    "DRAMStats",
+    "DEFAULT_ENERGY_PJ",
+    "EnergyAccount",
+    "EnergyModel",
+    "IOMMU",
+    "TimingStats",
+    "TLB",
+    "TLBEntry",
+    "TwoLevelTLB",
+    "AccessValidationCache",
+    "PageWalkCache",
+    "PageTableWalker",
+    "WalkInfo",
+]

@@ -1,0 +1,106 @@
+"""Generic set-associative LRU cache model.
+
+All SRAM lookup structures in the reproduction — page-walk caches, the
+Access Validation Cache, the DVM-BM bitmap cache — are instances of this
+model over physical block addresses.  TLBs have their own model (tagged by
+virtual page number) in :mod:`repro.hw.tlb`.
+
+The implementation leans on Python dict insertion order for LRU: a hit
+re-inserts the key at the MRU end; eviction pops the LRU (first) key.  This
+is the hot path of the trace-driven simulator, so it avoids per-access
+object allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.util import is_power_of_two
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0.0 when never accessed)."""
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of lookups that missed (0.0 when never accessed)."""
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+
+class SetAssocCache:
+    """A set-associative LRU cache of fixed-size blocks.
+
+    Parameters
+    ----------
+    num_blocks:
+        Total block capacity (e.g. 16 blocks of 64 B = a 1 KB cache).
+    ways:
+        Associativity; ``num_blocks`` must be a multiple of it.  Pass
+        ``ways == num_blocks`` for a fully-associative structure.
+    block_size:
+        Bytes per block; addresses are truncated to block granularity.
+    """
+
+    def __init__(self, num_blocks: int, ways: int, block_size: int = 64):
+        if num_blocks <= 0 or ways <= 0 or num_blocks % ways:
+            raise ValueError(
+                f"invalid geometry: {num_blocks} blocks / {ways} ways"
+            )
+        if not is_power_of_two(block_size):
+            raise ValueError(f"block size must be a power of two, got {block_size}")
+        self.num_blocks = num_blocks
+        self.ways = ways
+        self.block_size = block_size
+        self.num_sets = num_blocks // ways
+        self.stats = CacheStats()
+        self._sets: list[dict[int, bool]] = [dict() for _ in range(self.num_sets)]
+        self._block_shift = block_size.bit_length() - 1
+
+    def access(self, addr: int) -> bool:
+        """Look up the block containing ``addr``; fill on miss.
+
+        Returns True on hit.
+        """
+        block = addr >> self._block_shift
+        cache_set = self._sets[block % self.num_sets]
+        if block in cache_set:
+            # LRU touch: move to the MRU (most recently inserted) position.
+            del cache_set[block]
+            cache_set[block] = True
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(cache_set) >= self.ways:
+            cache_set.pop(next(iter(cache_set)))
+        cache_set[block] = True
+        return False
+
+    def probe(self, addr: int) -> bool:
+        """Non-allocating lookup (no fill, no LRU update, no stats)."""
+        block = addr >> self._block_shift
+        return block in self._sets[block % self.num_sets]
+
+    def invalidate_all(self) -> None:
+        """Flush the cache contents (stats are preserved)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    def occupancy(self) -> int:
+        """Number of valid blocks currently resident."""
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,148 @@
+"""TLB models: the IOMMU TLB and the two-level CPU TLB hierarchy.
+
+The IOMMU TLB (paper Table 2: 128-entry fully associative, 1-cycle) caches
+translations at a configurable coverage granularity — the *reach page size*.
+For the conventional baselines this is the analog page size of the
+configuration (4 KB / "2M" / "1G"); an entry covers one naturally aligned
+region of that size, which the VMM guarantees is physically contiguous.
+
+Entries are stored as plain ``(pa_base, perm)`` tuples keyed by virtual
+page number — the representation the IOMMU's inlined trace loops operate
+on directly (this is the simulator's hottest data structure).
+
+For CPUs (cDVM, Section 7) a two-level hierarchy models the Intel Xeon's
+64-entry L1 DTLB backed by a 512-entry L2 TLB.
+"""
+
+from __future__ import annotations
+
+from repro.common.consts import PAGE_SIZE
+from repro.common.perms import Perm
+from repro.common.util import is_power_of_two
+from repro.hw.cache import CacheStats
+
+#: A cached translation: (region-aligned physical base, permission).
+TLBEntry = tuple[int, int]
+
+
+class TLB:
+    """A fully-associative (or set-associative) LRU TLB.
+
+    Parameters
+    ----------
+    entries:
+        Total entry count.
+    page_size:
+        Coverage granularity of one entry (the reach page size).
+    ways:
+        Associativity; defaults to fully associative.  The paper notes FA
+        TLBs are power-hungry — the energy model charges them accordingly.
+    """
+
+    def __init__(self, entries: int, page_size: int = PAGE_SIZE,
+                 ways: int | None = None):
+        if entries <= 0:
+            raise ValueError(f"TLB needs at least one entry, got {entries}")
+        if not is_power_of_two(page_size):
+            raise ValueError(f"page size must be a power of two: {page_size}")
+        self.entries = entries
+        self.page_size = page_size
+        self.ways = entries if ways is None else ways
+        if entries % self.ways:
+            raise ValueError(f"{entries} entries not divisible into {self.ways} ways")
+        self.num_sets = entries // self.ways
+        self.stats = CacheStats()
+        self.page_shift = page_size.bit_length() - 1
+        self._sets: list[dict[int, TLBEntry]] = [
+            dict() for _ in range(self.num_sets)
+        ]
+
+    @property
+    def reach(self) -> int:
+        """Total bytes of address space the TLB can map."""
+        return self.entries * self.page_size
+
+    def lookup(self, va: int) -> TLBEntry | None:
+        """Probe for ``va``; returns ``(pa_base, perm)`` on hit, else None."""
+        vpn = va >> self.page_shift
+        tlb_set = self._sets[vpn % self.num_sets]
+        entry = tlb_set.get(vpn)
+        if entry is not None:
+            del tlb_set[vpn]
+            tlb_set[vpn] = entry
+            self.stats.hits += 1
+            return entry
+        self.stats.misses += 1
+        return None
+
+    def fill(self, va: int, pa: int, perm: Perm | int) -> None:
+        """Install the translation for the region containing ``va``.
+
+        ``pa`` is the PA corresponding to ``va``; the entry stores the
+        region-aligned physical base.
+        """
+        vpn = va >> self.page_shift
+        tlb_set = self._sets[vpn % self.num_sets]
+        if vpn in tlb_set:
+            del tlb_set[vpn]
+        elif len(tlb_set) >= self.ways:
+            tlb_set.pop(next(iter(tlb_set)))
+        tlb_set[vpn] = (pa - (va - (vpn << self.page_shift)), int(perm))
+
+    def translate(self, va: int) -> int | None:
+        """PA for ``va`` if resident (updates LRU/stats), else None."""
+        entry = self.lookup(va)
+        if entry is None:
+            return None
+        return entry[0] + (va - ((va >> self.page_shift) << self.page_shift))
+
+    def invalidate_all(self) -> None:
+        """Flush all entries (e.g. on context switch)."""
+        for tlb_set in self._sets:
+            tlb_set.clear()
+
+    def occupancy(self) -> int:
+        """Number of valid entries resident."""
+        return sum(len(s) for s in self._sets)
+
+
+class TwoLevelTLB:
+    """L1 + L2 data-TLB hierarchy for the cDVM CPU study (Section 7.3).
+
+    Mirrors the paper's measurement platform: a small L1 backed by a larger
+    L2; a translation is filled into both on a walk, and L2 hits refill L1.
+    """
+
+    def __init__(self, l1_entries: int = 64, l2_entries: int = 512,
+                 page_size: int = PAGE_SIZE, l2_ways: int = 4):
+        self.l1 = TLB(l1_entries, page_size=page_size)
+        self.l2 = TLB(l2_entries, page_size=page_size, ways=l2_ways)
+        self.page_size = page_size
+
+    def lookup(self, va: int) -> tuple[str, TLBEntry | None]:
+        """Probe L1 then L2.
+
+        Returns ``("l1", entry)``, ``("l2", entry)`` — refilling L1 on an
+        L2 hit — or ``("miss", None)`` when both miss.
+        """
+        entry = self.l1.lookup(va)
+        if entry is not None:
+            return "l1", entry
+        entry = self.l2.lookup(va)
+        if entry is not None:
+            pa_base, perm = entry
+            region_base = (va >> self.l1.page_shift) << self.l1.page_shift
+            self.l1.fill(region_base, pa_base, perm)
+            return "l2", entry
+        return "miss", None
+
+    def fill(self, va: int, pa: int, perm: Perm | int) -> None:
+        """Install a walked translation into both levels."""
+        self.l1.fill(va, pa, perm)
+        self.l2.fill(va, pa, perm)
+
+    @property
+    def miss_rate(self) -> float:
+        """Overall miss rate: walks per lookup."""
+        total = self.l1.stats.accesses
+        return self.l2.stats.misses / total if total else 0.0

@@ -1,0 +1,59 @@
+"""The OS substrate: buddy allocator, page tables, address spaces, processes.
+
+This package is the reproduction's stand-in for the paper's modified Linux
+4.10: eager contiguous allocation (Section 4.3.1), the flexible address
+space (4.3.2), identity mapping (Figure 7), Permission Entries in the page
+table (4.1.1), always-mmap malloc, and fork/COW semantics (Section 5).
+"""
+
+from repro.kernel.address_space import VMA, AddressSpace
+from repro.kernel.buddy import BuddyAllocator, BuddyStats
+from repro.kernel.identity import IdentityMapper, IdentityStats
+from repro.kernel.kernel import DEFAULT_PHYS_BYTES, Kernel
+from repro.kernel.malloc import Malloc, MallocError, size_class
+from repro.kernel.page_table import (
+    PE_FORMATS,
+    LeafPTE,
+    PageTable,
+    PageTableNode,
+    PermissionEntry,
+    SwappedPTE,
+    TablePointer,
+    WalkResult,
+)
+from repro.kernel.phys import PhysicalMemory
+from repro.kernel.process import DEFAULT_STACK_SIZE, Process, Segment
+from repro.kernel.reclaim import Reclaimer, ReclaimError, ReclaimStats
+from repro.kernel.vm_syscalls import VMM, Allocation, MemPolicy
+
+__all__ = [
+    "VMA",
+    "AddressSpace",
+    "BuddyAllocator",
+    "BuddyStats",
+    "IdentityMapper",
+    "IdentityStats",
+    "DEFAULT_PHYS_BYTES",
+    "Kernel",
+    "Malloc",
+    "MallocError",
+    "size_class",
+    "PE_FORMATS",
+    "LeafPTE",
+    "PageTable",
+    "PageTableNode",
+    "PermissionEntry",
+    "SwappedPTE",
+    "TablePointer",
+    "WalkResult",
+    "PhysicalMemory",
+    "Reclaimer",
+    "ReclaimError",
+    "ReclaimStats",
+    "DEFAULT_STACK_SIZE",
+    "Process",
+    "Segment",
+    "VMM",
+    "Allocation",
+    "MemPolicy",
+]

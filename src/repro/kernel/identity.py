@@ -1,0 +1,96 @@
+"""Identity mapping: the OS half of DVM (paper Section 4.3, Figure 7).
+
+The allocation algorithm is the paper's Figure 7 pseudocode::
+
+    Memory-Allocation(Size S):
+        PA <- contiguous-PM-allocation(S)          # eager paging
+        if PA != NULL:
+            move region to VA2 == PA               # flexible address space
+            if move succeeds: return VA2           # identity mapped
+            else: free PM; fall back to demand paging
+        else: fall back to demand paging
+
+Identity mapping can fail for two distinct reasons, both tracked separately
+because the Table 4 study distinguishes them:
+
+* *physical contiguity failure* — the buddy allocator has no contiguous
+  block large enough (fragmentation / low memory);
+* *VA conflict* — the VA range equal to the allocated PA range is already
+  occupied in this address space (e.g. by the code segment or an earlier
+  demand-paged mapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.consts import PAGE_SIZE
+from repro.common.errors import AddressSpaceError, OutOfMemoryError
+from repro.common.perms import Perm
+from repro.common.util import align_up
+from repro.kernel.address_space import AddressSpace, VMA
+from repro.kernel.page_table import PageTable
+from repro.kernel.phys import PhysicalMemory
+
+
+@dataclass
+class IdentityStats:
+    """Outcome counters for identity-mapping attempts."""
+
+    attempts: int = 0
+    successes: int = 0
+    contiguity_failures: int = 0
+    va_conflicts: int = 0
+    identity_bytes: int = 0
+
+    @property
+    def failures(self) -> int:
+        """Total failed attempts (either failure mode)."""
+        return self.contiguity_failures + self.va_conflicts
+
+
+@dataclass
+class IdentityMapper:
+    """Applies Figure 7's identity-mapping algorithm to one address space."""
+
+    phys: PhysicalMemory
+    aspace: AddressSpace
+    page_table: PageTable
+    stats: IdentityStats = field(default_factory=IdentityStats)
+
+    def try_map(self, size: int, perm: Perm, *, kind: str = "mmap",
+                name: str = "") -> VMA | None:
+        """Attempt an identity-mapped allocation of ``size`` bytes.
+
+        Returns the VMA (whose start VA equals the backing PA) on success,
+        or None when the caller must fall back to demand paging.
+        """
+        self.stats.attempts += 1
+        usable = align_up(size, PAGE_SIZE)
+        try:
+            pa = self.phys.alloc_contiguous(usable)
+        except OutOfMemoryError:
+            self.stats.contiguity_failures += 1
+            return None
+        try:
+            vma = self.aspace.reserve_exact(
+                pa, usable, perm, kind=kind, identity=True, name=name
+            )
+        except AddressSpaceError:
+            # The move to VA2 == PA failed: the VA range is taken.
+            self.phys.free_contiguous(pa, usable)
+            self.stats.va_conflicts += 1
+            return None
+        self.page_table.map_identity_range(pa, usable, perm)
+        self.stats.successes += 1
+        self.stats.identity_bytes += usable
+        return vma
+
+    def unmap(self, vma: VMA) -> None:
+        """Release an identity mapping created by :func:`try_map`."""
+        if not vma.identity:
+            raise ValueError("unmap() only handles identity VMAs")
+        self.page_table.unmap_range(vma.start, vma.size)
+        self.aspace.remove(vma)
+        self.phys.free_contiguous(vma.start, vma.size)
+        self.stats.identity_bytes -= vma.size

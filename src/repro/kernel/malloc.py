@@ -1,0 +1,160 @@
+"""User-level allocator: glibc-style malloc over mmap'd pools.
+
+The paper modifies glibc malloc to *always* use ``mmap`` instead of ``brk``
+(Section 4.3.2), because identity-mapped regions cannot be grown in place.
+Small allocations are served from pre-allocated pools; when a pool fills,
+another is mapped.  Large allocations go straight to ``mmap``.
+
+This allocator is what the shbench fragmentation study (Table 4) exercises:
+its pool- and threshold-driven mmap pattern determines the contiguous
+physical allocations the buddy allocator must satisfy, and therefore where
+identity mapping first fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ReproError
+from repro.common.perms import Perm
+from repro.common.util import align_up, round_up_pow2
+from repro.kernel.vm_syscalls import VMM, Allocation
+
+#: Allocations at or above this size bypass pools and mmap directly
+#: (glibc's M_MMAP_THRESHOLD default).
+DEFAULT_MMAP_THRESHOLD = 128 * 1024
+
+#: Default pool size for small allocations.
+DEFAULT_POOL_SIZE = 1 << 20  # 1 MB
+
+#: Chunk sizes are multiples of this granule (glibc's 2*SIZE_SZ alignment).
+CHUNK_ALIGN = 16
+
+
+class MallocError(ReproError):
+    """Raised on invalid malloc/free usage (double free, unknown pointer)."""
+
+
+def size_class(size: int) -> int:
+    """Rounded chunk size for a request of ``size`` bytes.
+
+    Small requests round to the 16-byte granule (glibc fastbin/smallbin
+    spacing); larger ones to powers of two, which bounds the number of
+    distinct free lists.
+    """
+    if size <= 0:
+        raise ValueError(f"allocation size must be positive, got {size}")
+    if size <= 1024:
+        return align_up(size, CHUNK_ALIGN)
+    return round_up_pow2(size)
+
+
+@dataclass
+class _Pool:
+    """One mmap'd arena serving small chunks bump-style."""
+
+    alloc: Allocation
+    bump: int = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.alloc.size - self.bump
+
+
+@dataclass
+class MallocStats:
+    """Allocator counters (drives the eager-paging waste metric)."""
+
+    requested_bytes: int = 0     # sum of live request sizes
+    chunk_bytes: int = 0         # sum of live rounded chunk sizes
+    pool_count: int = 0
+    direct_mmaps: int = 0
+    live_chunks: int = 0
+
+
+class Malloc:
+    """A per-process user-level allocator backed by a :class:`VMM`."""
+
+    def __init__(self, vmm: VMM, *, pool_size: int = DEFAULT_POOL_SIZE,
+                 mmap_threshold: int = DEFAULT_MMAP_THRESHOLD):
+        if mmap_threshold > pool_size:
+            raise ValueError("mmap threshold cannot exceed the pool size")
+        self.vmm = vmm
+        self.pool_size = pool_size
+        self.mmap_threshold = mmap_threshold
+        self.stats = MallocStats()
+        self._pools: list[_Pool] = []
+        self._free_lists: dict[int, list[int]] = {}
+        # va -> (request size, chunk size, direct Allocation or None)
+        self._live: dict[int, tuple[int, int, Allocation | None]] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the chunk's virtual address."""
+        if size <= 0:
+            raise ValueError(f"malloc size must be positive, got {size}")
+        if size >= self.mmap_threshold:
+            alloc = self.vmm.mmap(size, Perm.READ_WRITE, kind="heap",
+                                  name="malloc-direct")
+            self.stats.direct_mmaps += 1
+            self._record(alloc.va, size, alloc.size, alloc)
+            return alloc.va
+        chunk = size_class(size)
+        free_list = self._free_lists.get(chunk)
+        if free_list:
+            va = free_list.pop()
+        else:
+            va = self._carve(chunk)
+        self._record(va, size, chunk, None)
+        return va
+
+    def free(self, va: int) -> None:
+        """Free a chunk previously returned by :func:`malloc`."""
+        record = self._live.pop(va, None)
+        if record is None:
+            raise MallocError(f"free of unknown or already-freed pointer {va:#x}")
+        size, chunk, direct = record
+        self.stats.requested_bytes -= size
+        self.stats.chunk_bytes -= chunk
+        self.stats.live_chunks -= 1
+        if direct is not None:
+            self.vmm.munmap(direct)
+            self.stats.direct_mmaps -= 1
+            return
+        self._free_lists.setdefault(chunk, []).append(va)
+
+    def usable_size(self, va: int) -> int:
+        """Rounded chunk size backing the pointer (malloc_usable_size)."""
+        record = self._live.get(va)
+        if record is None:
+            raise MallocError(f"unknown pointer {va:#x}")
+        return record[1]
+
+    # -- internals ------------------------------------------------------------
+
+    def _record(self, va: int, size: int, chunk: int,
+                direct: Allocation | None) -> None:
+        self._live[va] = (size, chunk, direct)
+        self.stats.requested_bytes += size
+        self.stats.chunk_bytes += chunk
+        self.stats.live_chunks += 1
+
+    def _carve(self, chunk: int) -> int:
+        for pool in reversed(self._pools):
+            if pool.remaining >= chunk:
+                va = pool.alloc.va + pool.bump
+                pool.bump += chunk
+                return va
+        pool = self._new_pool()
+        va = pool.alloc.va + pool.bump
+        pool.bump += chunk
+        return va
+
+    def _new_pool(self) -> _Pool:
+        alloc = self.vmm.mmap(self.pool_size, Perm.READ_WRITE, kind="heap",
+                              name=f"malloc-pool-{len(self._pools)}")
+        pool = _Pool(alloc=alloc)
+        self._pools.append(pool)
+        self.stats.pool_count += 1
+        return pool

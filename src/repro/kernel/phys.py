@@ -1,0 +1,135 @@
+"""Physical memory map: buddy-backed frame allocation with usage tagging.
+
+The kernel reserves a small low-memory region for itself (mirroring Linux's
+kernel image + static data), and serves all other frame allocations from the
+buddy allocator.  Frames are tagged by purpose so experiments can report
+page-table footprint (Table 1) separately from data footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.consts import PAGE_SIZE
+from repro.common.util import align_up, is_aligned
+from repro.kernel.buddy import BuddyAllocator
+
+#: Default size reserved at the bottom of physical memory for the kernel.
+DEFAULT_KERNEL_RESERVED = 16 << 20  # 16 MB
+
+
+@dataclass
+class PhysUsage:
+    """Byte counters by allocation purpose."""
+
+    data: int = 0
+    page_table: int = 0
+    other: int = 0
+
+    def total(self) -> int:
+        """Total tagged bytes currently allocated."""
+        return self.data + self.page_table + self.other
+
+
+@dataclass
+class PhysicalMemory:
+    """The machine's physical memory.
+
+    Parameters
+    ----------
+    size:
+        Total physical memory in bytes (e.g. ``32 << 30`` for the paper's
+        32 GB accelerator system, Table 2).
+    kernel_reserved:
+        Bytes reserved at the bottom of memory for the kernel; user
+        allocations never land there, which also keeps identity-mapped user
+        VAs clear of the zero page and of kernel text.
+    """
+
+    size: int
+    kernel_reserved: int = DEFAULT_KERNEL_RESERVED
+    base: int = 0
+    allocator: BuddyAllocator = field(init=False)
+    usage: PhysUsage = field(init=False)
+
+    def __post_init__(self):
+        if self.size <= self.kernel_reserved:
+            raise ValueError(
+                f"physical memory ({self.size}) must exceed the kernel "
+                f"reservation ({self.kernel_reserved})"
+            )
+        if not is_aligned(self.size, PAGE_SIZE):
+            raise ValueError("physical memory size must be page aligned")
+        if not is_aligned(self.base, PAGE_SIZE):
+            raise ValueError("physical memory base must be page aligned")
+        reserved = align_up(self.kernel_reserved, PAGE_SIZE)
+        self.kernel_reserved = reserved
+        # A nonzero base models guest RAM presented at gPA == sPA (the
+        # virtualization extension, Section 5 "Virtual Machines").
+        self.allocator = BuddyAllocator(self.size - reserved,
+                                        base=self.base + reserved)
+        self.usage = PhysUsage()
+
+    # -- frame allocation ----------------------------------------------------
+
+    def alloc_frame(self, purpose: str = "data") -> int:
+        """Allocate one 4 KB frame; returns its physical address."""
+        addr = self.allocator.alloc_block(0)
+        self._account(purpose, PAGE_SIZE)
+        return addr
+
+    def free_frame(self, addr: int, purpose: str = "data") -> None:
+        """Free one 4 KB frame."""
+        self.allocator.free_block(addr, 0)
+        self._account(purpose, -PAGE_SIZE)
+
+    def alloc_contiguous(self, size: int, purpose: str = "data") -> int:
+        """Eagerly allocate ``size`` bytes of contiguous physical memory."""
+        addr = self.allocator.alloc_range(size)
+        self._account(purpose, align_up(size, PAGE_SIZE))
+        return addr
+
+    def alloc_exact(self, addr: int, size: int,
+                    purpose: str = "data") -> bool:
+        """Claim the specific range ``[addr, addr+size)`` if it is free.
+
+        Used by identity re-establishment, which needs the frames matching
+        a VA range exactly.  Returns False when any part is in use.
+        """
+        usable = align_up(size, PAGE_SIZE)
+        if not self.allocator.reserve_range(addr, usable):
+            return False
+        self._account(purpose, usable)
+        return True
+
+    def free_contiguous(self, addr: int, size: int, purpose: str = "data") -> None:
+        """Free a contiguous range allocated by :func:`alloc_contiguous`."""
+        usable = align_up(size, PAGE_SIZE)
+        self.allocator.free_range(addr, usable)
+        self._account(purpose, -usable)
+
+    # -- capacity queries ----------------------------------------------------
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes available for allocation."""
+        return self.allocator.free_bytes
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated (excluding the kernel reservation)."""
+        return self.allocator.used_bytes
+
+    def contains(self, addr: int) -> bool:
+        """Whether ``addr`` lies within physical memory."""
+        return self.base <= addr < self.base + self.size
+
+    # -- internals ------------------------------------------------------------
+
+    def _account(self, purpose: str, delta: int) -> None:
+        if purpose == "data":
+            self.usage.data += delta
+        elif purpose == "page_table":
+            self.usage.page_table += delta
+        else:
+            self.usage.other += delta

@@ -1,0 +1,227 @@
+"""mmap/munmap emulation: the per-process virtual memory manager.
+
+This is where the memory-management *policy* lives.  A process's VMM is
+configured with one of three policies:
+
+* ``conventional`` — demand paging with a chosen page size (4 KB, 2 MB or
+  1 GB), THP-style: huge pages where alignment allows, 4 KB elsewhere.
+  This backs the paper's ``4K/2M/1G TLB+PWC`` baselines.
+* ``dvm`` — identity mapping first (Figure 7), Permission Entries in the
+  page table, demand-paged 4 KB fallback.  Backs ``DVM-PE``/``DVM-PE+``.
+* ``dvm_bitmap`` — identity mapping first, permissions additionally
+  recorded in a flat physical-memory bitmap (Border-Control style); the
+  page table keeps plain identity PTEs for the translation fallback.
+  Backs ``DVM-BM``.
+
+For demand-paged mappings the simulator pre-faults eagerly (physical frames
+are allocated and mapped at mmap time) because the trace-driven timing model
+measures steady-state MMU behaviour, as the paper's gem5 runs do.  Frames
+for a demand mapping are allocated per page-size chunk, so PA != VA and
+physical contiguity matches the page size — exactly what a first-touch
+allocator converges to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.consts import PAGE_SIZE, SIZE_1G, SIZE_2M
+from repro.common.errors import AddressSpaceError, OutOfMemoryError
+from repro.common.perms import Perm
+from repro.common.util import align_up, is_aligned
+from repro.kernel.address_space import AddressSpace, VMA
+from repro.kernel.identity import IdentityMapper
+from repro.kernel.page_table import PageTable
+from repro.kernel.phys import PhysicalMemory
+
+def _valid_page_size(size: int) -> bool:
+    """Demand-paging granularities: power-of-two multiples of 4 KB up to 1 GB.
+
+    Besides the native x86-64 sizes, scaled analog sizes (e.g. 64 KB
+    standing in for 2 MB; see DESIGN.md "Scaling") are allowed: a chunk of
+    such a size is physically contiguous and mapped with the largest native
+    pages that fit, and the TLB models reach at the analog granularity.
+    """
+    return (PAGE_SIZE <= size <= SIZE_1G and size % PAGE_SIZE == 0
+            and size & (size - 1) == 0)
+
+
+@dataclass(frozen=True)
+class MemPolicy:
+    """Memory-management policy for one process."""
+
+    mode: str = "conventional"      # "conventional" | "dvm" | "dvm_bitmap"
+    page_size: int = PAGE_SIZE      # demand-paging page size (THP-style)
+    use_pes: bool = True            # install Permission Entries (dvm mode)
+    pe_format: str = "pe16"         # "pe16" | "spare_bits" (Section 4.1.1)
+
+    def __post_init__(self):
+        if self.mode not in ("conventional", "dvm", "dvm_bitmap"):
+            raise ValueError(f"unknown policy mode {self.mode!r}")
+        if not _valid_page_size(self.page_size):
+            raise ValueError(f"unsupported page size {self.page_size}")
+        if self.pe_format not in ("pe16", "spare_bits"):
+            raise ValueError(f"unknown PE format {self.pe_format!r}")
+
+    @property
+    def wants_identity(self) -> bool:
+        """Whether this policy attempts identity mapping."""
+        return self.mode in ("dvm", "dvm_bitmap")
+
+
+@dataclass
+class Allocation:
+    """One mmap'd region and its physical backing."""
+
+    vma: VMA
+    phys_chunks: list[tuple[int, int]]   # (pa, size); empty for identity
+    identity: bool
+
+    @property
+    def va(self) -> int:
+        """Base virtual address."""
+        return self.vma.start
+
+    @property
+    def size(self) -> int:
+        """Mapped size in bytes (page aligned)."""
+        return self.vma.size
+
+
+@dataclass
+class VMMStats:
+    """Aggregate allocation statistics for one process."""
+
+    identity_allocs: int = 0
+    demand_allocs: int = 0
+    identity_bytes: int = 0
+    demand_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """All mapped bytes."""
+        return self.identity_bytes + self.demand_bytes
+
+
+class VMM:
+    """Virtual memory manager for a single process."""
+
+    def __init__(self, phys: PhysicalMemory, aspace: AddressSpace,
+                 page_table: PageTable, policy: MemPolicy,
+                 perm_bitmap=None):
+        if policy.mode == "dvm_bitmap" and perm_bitmap is None:
+            raise ValueError("dvm_bitmap policy requires a permission bitmap")
+        self.phys = phys
+        self.aspace = aspace
+        self.page_table = page_table
+        self.policy = policy
+        self.perm_bitmap = perm_bitmap
+        self.identity_mapper = IdentityMapper(phys, aspace, page_table)
+        self.stats = VMMStats()
+        self._allocations: dict[int, Allocation] = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def mmap(self, size: int, perm: Perm = Perm.READ_WRITE, *,
+             kind: str = "mmap", name: str = "",
+             alignment: int | None = None) -> Allocation:
+        """Allocate and map ``size`` bytes; returns the allocation record.
+
+        ``alignment`` constrains the VA (and, for demand mappings, the
+        placement) beyond the paging granularity — e.g. a hypervisor
+        aligning guest RAM so guest-relative alignments hold absolutely.
+        """
+        if size <= 0:
+            raise ValueError(f"mmap size must be positive, got {size}")
+        if self.policy.wants_identity:
+            vma = self.identity_mapper.try_map(size, perm, kind=kind, name=name)
+            if vma is not None:
+                if self.perm_bitmap is not None:
+                    self.perm_bitmap.set_range(vma.start, vma.size, perm)
+                alloc = Allocation(vma=vma, phys_chunks=[], identity=True)
+                self._register(alloc)
+                return alloc
+        alloc = self._demand_map(size, perm, kind=kind, name=name,
+                                 alignment=alignment)
+        self._register(alloc)
+        return alloc
+
+    def munmap(self, alloc: Allocation) -> None:
+        """Unmap and free an allocation returned by :func:`mmap`."""
+        if alloc.va not in self._allocations:
+            raise AddressSpaceError(f"no allocation at {alloc.va:#x}")
+        del self._allocations[alloc.va]
+        if alloc.identity:
+            if self.perm_bitmap is not None:
+                self.perm_bitmap.clear_range(alloc.va, alloc.size)
+            self.identity_mapper.unmap(alloc.vma)
+            self.stats.identity_bytes -= alloc.size
+            self.stats.identity_allocs -= 1
+            return
+        self.page_table.unmap_range(alloc.va, alloc.size)
+        self.aspace.remove(alloc.vma)
+        for pa, chunk_size in alloc.phys_chunks:
+            self.phys.free_contiguous(pa, chunk_size)
+        self.stats.demand_bytes -= alloc.size
+        self.stats.demand_allocs -= 1
+
+    def allocations(self) -> list[Allocation]:
+        """Live allocations, ordered by VA."""
+        return [self._allocations[va] for va in sorted(self._allocations)]
+
+    # -- internals ---------------------------------------------------------------
+
+    def _register(self, alloc: Allocation) -> None:
+        self._allocations[alloc.va] = alloc
+        if alloc.identity:
+            self.stats.identity_allocs += 1
+            self.stats.identity_bytes += alloc.size
+        else:
+            self.stats.demand_allocs += 1
+            self.stats.demand_bytes += alloc.size
+
+    def _demand_map(self, size: int, perm: Perm, *, kind: str,
+                    name: str, alignment: int | None = None) -> Allocation:
+        # Round up to the paging granularity so every chunk is a whole,
+        # naturally aligned (analog) huge page — the property that makes a
+        # huge-page TLB entry's reach valid.
+        usable = align_up(size, self.policy.page_size)
+        vma = self.aspace.reserve_anywhere(
+            usable, perm, kind=kind, name=name,
+            alignment=max(self.policy.page_size, alignment or 0))
+        try:
+            chunks = self._populate(vma, perm)
+        except OutOfMemoryError:
+            self.aspace.remove(vma)
+            raise
+        return Allocation(vma=vma, phys_chunks=chunks, identity=False)
+
+    def _populate(self, vma: VMA, perm: Perm) -> list[tuple[int, int]]:
+        """Back a demand VMA with frames, chunked at the policy page size."""
+        page_size = self.policy.page_size
+        chunks: list[tuple[int, int]] = []
+        cursor = vma.start
+        end = vma.end
+        try:
+            while cursor < end:
+                # Head/tail not aligned to the huge page size get 4 KB pages.
+                chunk = page_size
+                if not is_aligned(cursor, page_size) or cursor + page_size > end:
+                    chunk = PAGE_SIZE
+                pa = self.phys.alloc_contiguous(chunk)
+                chunks.append((pa, chunk))
+                if chunk >= SIZE_2M:
+                    self.page_table.map_range_best_effort(
+                        cursor, pa, chunk, perm, preferred_page_size=SIZE_2M
+                    )
+                else:
+                    self.page_table.map_range(cursor, pa, chunk, perm,
+                                              page_size=PAGE_SIZE)
+                cursor += chunk
+        except OutOfMemoryError:
+            for pa, chunk in chunks:
+                self.phys.free_contiguous(pa, chunk)
+            if cursor > vma.start:
+                self.page_table.unmap_range(vma.start, cursor - vma.start)
+            raise
+        return chunks

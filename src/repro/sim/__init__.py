@@ -1,0 +1,28 @@
+"""Simulation driver: systems, metrics, experiment runner."""
+
+from repro.sim.metrics import (
+    DEFAULT_MLP,
+    ISSUE_CYCLES,
+    Metrics,
+    execution_cycles,
+    metrics_from,
+)
+from repro.sim.runner import ExperimentRunner, PreparedWorkload
+from repro.sim.system import (
+    DEFAULT_PHYS_BYTES,
+    HeterogeneousSystem,
+    SystemParams,
+)
+
+__all__ = [
+    "DEFAULT_MLP",
+    "ISSUE_CYCLES",
+    "Metrics",
+    "execution_cycles",
+    "metrics_from",
+    "ExperimentRunner",
+    "PreparedWorkload",
+    "DEFAULT_PHYS_BYTES",
+    "HeterogeneousSystem",
+    "SystemParams",
+]

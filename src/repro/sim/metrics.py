@@ -1,0 +1,90 @@
+"""Execution-time and energy metrics for one simulated run.
+
+The timing model (DESIGN.md "Key design decisions") composes the IOMMU's
+stall aggregates into execution cycles::
+
+    ideal  = N * issue + N * data_latency / MLP
+    cycles = ideal + mem_stall + sram_stall / MLP
+
+where ``MLP`` is the accelerator's memory-level parallelism (eight
+processing engines, Table 2): demand data accesses and SRAM validation
+cycles overlap across engines, while the walker's memory accesses serialize
+behind its single state machine.  Because every configuration consumes the
+identical trace, ``cycles / ideal`` isolates the MMU exactly as the paper's
+Figure 8 normalization does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.dram import DRAMModel
+from repro.hw.iommu import TimingStats
+
+#: Memory-level parallelism: the eight processing engines.
+DEFAULT_MLP = 8
+
+#: Issue cost of one pipeline access, in cycles.
+ISSUE_CYCLES = 1
+
+
+@dataclass
+class Metrics:
+    """Everything the experiment tables/figures need from one run."""
+
+    config: str
+    workload: str
+    graph: str
+    accesses: int
+    cycles: float
+    ideal_cycles: float
+    energy_pj: float
+    tlb_miss_rate: float
+    identity_fraction: float
+    walk_mem_accesses: int
+    squashed_preloads: int
+    heap_bytes: int = 0
+    page_table_bytes: int = 0
+
+    @property
+    def normalized_time(self) -> float:
+        """Execution time normalized to the ideal implementation."""
+        return self.cycles / self.ideal_cycles if self.ideal_cycles else 0.0
+
+    @property
+    def vm_overhead(self) -> float:
+        """VM overhead: fractional slowdown over ideal."""
+        return self.normalized_time - 1.0
+
+
+def execution_cycles(timing: TimingStats, dram: DRAMModel,
+                     mlp: int = DEFAULT_MLP) -> tuple[float, float]:
+    """(cycles, ideal_cycles) for a run under the composition above."""
+    n = timing.accesses
+    ideal = n * ISSUE_CYCLES + n * dram.data_latency / mlp
+    cycles = (ideal + timing.mem_stall_cycles
+              + timing.sram_stall_cycles / mlp)
+    return cycles, ideal
+
+
+def metrics_from(timing: TimingStats, dram: DRAMModel, *, config: str,
+                 workload: str, graph: str, mlp: int = DEFAULT_MLP,
+                 identity_fraction: float = 0.0, heap_bytes: int = 0,
+                 page_table_bytes: int = 0) -> Metrics:
+    """Assemble a :class:`Metrics` record from a run's raw statistics."""
+    cycles, ideal = execution_cycles(timing, dram, mlp)
+    return Metrics(
+        config=config,
+        workload=workload,
+        graph=graph,
+        accesses=timing.accesses,
+        cycles=cycles,
+        ideal_cycles=ideal,
+        energy_pj=timing.energy.total_pj(),
+        tlb_miss_rate=timing.tlb_miss_rate,
+        identity_fraction=identity_fraction,
+        walk_mem_accesses=timing.walk_mem_accesses,
+        squashed_preloads=timing.squashed_preloads,
+        heap_bytes=heap_bytes,
+        page_table_bytes=page_table_bytes,
+    )

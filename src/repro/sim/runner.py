@@ -1,0 +1,110 @@
+"""Experiment runner: (workload, graph, configuration) -> metrics.
+
+Caches the expensive artifacts so the figures share work exactly the way
+the paper's evaluation does:
+
+* one functional accelerator execution per (workload, dataset, profile) —
+  every MMU configuration consumes the identical symbolic trace;
+* one timing simulation per (workload, dataset, configuration) — Figures 2,
+  8 and 9 all read from the same runs (Figure 2's miss rates come from the
+  conventional configurations' TLBs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accel.algorithms import prop_bytes_for, run_workload
+from repro.accel.graphicionado import ExecutionResult
+from repro.core.config import HardwareScale, MMUConfig, standard_configs
+from repro.graphs import datasets
+from repro.sim.metrics import Metrics
+from repro.sim.system import HeterogeneousSystem, SystemParams
+
+
+@dataclass
+class PreparedWorkload:
+    """A built graph plus its accelerator execution (trace + results)."""
+
+    workload: str
+    dataset: str
+    graph: object
+    shape: object
+    result: ExecutionResult
+
+    @property
+    def trace_length(self) -> int:
+        """Accesses in the symbolic trace."""
+        return len(self.result.trace)
+
+
+@dataclass
+class ExperimentRunner:
+    """Shared driver for all accelerator experiments."""
+
+    profile: str = "full"
+    scale: HardwareScale = field(default_factory=HardwareScale)
+    params: SystemParams = field(default_factory=SystemParams)
+    pagerank_iters: int = 1
+    sssp_max_iters: int = 5
+    cf_passes: int = 1
+    _prepared: dict = field(default_factory=dict, init=False)
+    _metrics: dict = field(default_factory=dict, init=False)
+
+    def configs(self) -> dict[str, MMUConfig]:
+        """The seven standard configurations under this runner's scale."""
+        return standard_configs(self.scale)
+
+    # -- functional phase -----------------------------------------------------
+
+    def prepare(self, workload: str, dataset: str) -> PreparedWorkload:
+        """Build the dataset surrogate and run the accelerator functionally."""
+        key = (workload, dataset)
+        prepared = self._prepared.get(key)
+        if prepared is not None:
+            return prepared
+        graph, shape = datasets.load(dataset, self.profile)
+        result = run_workload(
+            workload, graph, shape=shape,
+            pagerank_iters=self.pagerank_iters,
+            sssp_max_iters=self.sssp_max_iters,
+            cf_passes=self.cf_passes,
+        )
+        prepared = PreparedWorkload(workload=workload, dataset=dataset,
+                                    graph=graph, shape=shape, result=result)
+        self._prepared[key] = prepared
+        return prepared
+
+    # -- timing phase -------------------------------------------------------------
+
+    def run(self, workload: str, dataset: str, config: MMUConfig) -> Metrics:
+        """Timing-simulate one (workload, dataset) pair under one config."""
+        key = (workload, dataset, config.name)
+        metrics = self._metrics.get(key)
+        if metrics is not None:
+            return metrics
+        prepared = self.prepare(workload, dataset)
+        system = HeterogeneousSystem(config, self.params)
+        system.load_graph(prepared.graph,
+                          prop_bytes=prop_bytes_for(workload))
+        metrics = system.run(prepared.result.trace, workload=workload,
+                             graph=dataset)
+        self._metrics[key] = metrics
+        return metrics
+
+    def run_pairs(self, pairs=None, config_names=None
+                  ) -> dict[tuple[str, str, str], Metrics]:
+        """Run a set of (workload, dataset) pairs across configurations.
+
+        Defaults to the paper's 15 pairs and all 7 configurations.
+        """
+        pairs = pairs if pairs is not None else datasets.WORKLOAD_PAIRS
+        configs = self.configs()
+        if config_names is not None:
+            configs = {k: configs[k] for k in config_names}
+        out: dict[tuple[str, str, str], Metrics] = {}
+        for workload, dataset in pairs:
+            for name, config in configs.items():
+                out[(workload, dataset, name)] = self.run(workload, dataset,
+                                                          config)
+        return out

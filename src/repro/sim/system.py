@@ -1,0 +1,95 @@
+"""The heterogeneous system: kernel + process + accelerator + IOMMU.
+
+One :class:`HeterogeneousSystem` instance embodies one MMU configuration:
+it boots a kernel with the configuration's OS policy, spawns the host
+process (with conventional code/data/stack segments — the accelerator only
+touches the heap, Section 4.3), places a graph in the process's heap, and
+runs symbolic traces through the configuration's IOMMU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.layout import GraphLayout, identity_fraction, place_graph
+from repro.accel.trace import SymbolicTrace
+from repro.core.config import MMUConfig
+from repro.graphs.csr import CSRGraph
+from repro.hw.bitmap import PermissionBitmap
+from repro.hw.dram import DRAMModel
+from repro.hw.iommu import IOMMU, TimingStats
+from repro.kernel.kernel import Kernel
+from repro.sim.metrics import DEFAULT_MLP, Metrics, metrics_from
+
+#: Default physical memory for accelerator experiments.  The paper's box
+#: has 32 GB (Table 2); scaled workloads fit comfortably in 2 GB.
+DEFAULT_PHYS_BYTES = 2 << 30
+
+
+@dataclass
+class SystemParams:
+    """Machine-level knobs shared across configurations."""
+
+    phys_bytes: int = DEFAULT_PHYS_BYTES
+    mlp: int = DEFAULT_MLP
+    data_latency: int = 100
+    walk_latency: int = 70
+    seed: int = 0
+
+
+class HeterogeneousSystem:
+    """One booted machine under one MMU configuration."""
+
+    def __init__(self, config: MMUConfig, params: SystemParams | None = None):
+        self.config = config
+        self.params = params or SystemParams()
+        self.perm_bitmap = (
+            PermissionBitmap(cache_blocks=config.bitmap_cache_blocks)
+            if config.mech == "dvm_bm" else None
+        )
+        factory = None
+        if self.perm_bitmap is not None:
+            bitmap = self.perm_bitmap
+            factory = lambda kernel, process: bitmap  # noqa: E731
+        self.kernel = Kernel(phys_bytes=self.params.phys_bytes,
+                             policy=config.policy, seed=self.params.seed,
+                             perm_bitmap_factory=factory)
+        self.process = self.kernel.spawn(name=f"host-{config.name}")
+        self.process.setup_segments()
+        self.dram = DRAMModel(data_latency=self.params.data_latency,
+                              walk_latency=self.params.walk_latency)
+        self.iommu = IOMMU(config, self.process.page_table, self.dram,
+                           perm_bitmap=self.perm_bitmap)
+        self.layout: GraphLayout | None = None
+
+    # -- workload placement ------------------------------------------------------
+
+    def load_graph(self, graph: CSRGraph, prop_bytes: int = 8) -> GraphLayout:
+        """Allocate the graph's arrays on the process heap."""
+        self.layout = place_graph(self.process, graph, prop_bytes=prop_bytes)
+        # The page tables just changed shape; drop any memoized walks.
+        if self.iommu.walker is not None:
+            self.iommu.walker.invalidate()
+        return self.layout
+
+    # -- simulation -------------------------------------------------------------
+
+    def run_trace(self, trace: SymbolicTrace) -> TimingStats:
+        """Bind a symbolic trace to this layout and run it through the IOMMU."""
+        if self.layout is None:
+            raise RuntimeError("load_graph() must be called before run_trace()")
+        addrs, writes = trace.concretize(self.layout.stream_bases)
+        return self.iommu.run_trace(addrs, writes)
+
+    def run(self, trace: SymbolicTrace, *, workload: str = "",
+            graph: str = "") -> Metrics:
+        """Run a trace and assemble the experiment metrics."""
+        timing = self.run_trace(trace)
+        ident = identity_fraction(self.process, self.layout)
+        return metrics_from(
+            timing, self.dram,
+            config=self.config.name, workload=workload, graph=graph,
+            mlp=self.params.mlp, identity_fraction=ident,
+            heap_bytes=self.layout.heap_bytes,
+            page_table_bytes=self.process.page_table.table_bytes(),
+        )

@@ -1,0 +1,15 @@
+"""Virtualization extension: DVM across the 2D translation (Section 5)."""
+
+from repro.virt.nested import (
+    SCHEMES,
+    NestedTranslation,
+    VirtualizedSystem,
+    compare_schemes,
+)
+
+__all__ = [
+    "SCHEMES",
+    "NestedTranslation",
+    "VirtualizedSystem",
+    "compare_schemes",
+]

@@ -1,0 +1,140 @@
+"""Trace analytics (repro.accel.analysis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import trace as T
+from repro.accel.analysis import (
+    TraceProfile,
+    lru_hit_rate,
+    profile_trace,
+    reuse_distances,
+)
+from repro.accel.trace import SymbolicTrace
+from repro.hw.tlb import TLB
+
+
+def make_trace(streams, offsets, writes=None):
+    n = len(streams)
+    return SymbolicTrace(
+        streams=np.asarray(streams, dtype=np.int8),
+        offsets=np.asarray(offsets, dtype=np.int64),
+        writes=np.asarray(writes if writes is not None else [0] * n,
+                          dtype=np.int8),
+    )
+
+
+class TestProfile:
+    def test_empty_trace(self):
+        profile = profile_trace(make_trace([], []))
+        assert profile.accesses == 0
+        assert profile.footprint_bytes == 0
+
+    def test_footprint_counts_distinct_pages(self):
+        trace = make_trace([T.EDGES] * 4, [0, 8, 4096, 4096 + 8])
+        profile = profile_trace(trace)
+        assert profile.footprint_bytes == 2 * 4096
+
+    def test_streams_separate_footprints(self):
+        # Same offsets in two streams are different pages.
+        trace = make_trace([T.EDGES, T.VPROP], [0, 0])
+        profile = profile_trace(trace)
+        assert profile.footprint_bytes == 2 * 4096
+        assert profile.stream("edges").footprint_bytes == 4096
+
+    def test_sequential_fraction(self):
+        trace = make_trace([T.EDGES] * 4, [0, 12, 24, 100_000])
+        stats = profile_trace(trace).stream("edges")
+        assert stats.sequential_fraction == pytest.approx(2 / 3)
+
+    def test_write_fraction(self):
+        trace = make_trace([T.VPROP] * 4, [0, 8, 16, 24], [1, 1, 0, 0])
+        assert profile_trace(trace).stream("vprop").write_fraction == 0.5
+
+    def test_hot_page_coverage_total(self):
+        trace = make_trace([T.EDGES] * 10, [0] * 9 + [1 << 20])
+        profile = profile_trace(trace, hot_page_counts=(1, 2))
+        assert profile.hot_page_coverage[1] == pytest.approx(0.9)
+        assert profile.hot_page_coverage[2] == pytest.approx(1.0)
+
+    def test_unknown_stream_lookup(self):
+        profile = profile_trace(make_trace([T.EDGES], [0]))
+        with pytest.raises(KeyError):
+            profile.stream("vprop")
+
+    def test_real_workload_profile_shape(self):
+        """Graphicionado traces: edges sequential, tmp irregular — the
+        stream mix Figure 2's miss rates come from."""
+        from repro.accel.algorithms import run_workload
+        from repro.graphs.rmat import rmat_graph
+        graph = rmat_graph(scale=11, edge_factor=8, seed=40)
+        result = run_workload("pagerank", graph)
+        profile = profile_trace(result.trace)
+        edges = profile.stream("edges")
+        tmp = profile.stream("vprop_tmp")
+        assert edges.sequential_fraction > 0.8
+        # The reduce stream is rd+wr pairs (delta 0) followed by irregular
+        # jumps: far less sequential than the edge stream.
+        assert tmp.sequential_fraction < edges.sequential_fraction - 0.2
+        assert 0.3 < tmp.write_fraction < 0.6
+
+
+class TestReuseDistances:
+    def test_cold_accesses(self):
+        d = reuse_distances(np.array([0, 4096, 8192]))
+        assert d.tolist() == [-1, -1, -1]
+
+    def test_immediate_reuse(self):
+        d = reuse_distances(np.array([0, 0]))
+        assert d.tolist() == [-1, 0]
+
+    def test_distance_counts_distinct_pages(self):
+        # A B B A: A's reuse sees one distinct page (B).
+        d = reuse_distances(np.array([0, 4096, 4096, 0]))
+        assert d.tolist() == [-1, -1, 0, 1]
+
+    def test_same_page_offsets_share_page(self):
+        d = reuse_distances(np.array([0, 8, 16]))
+        assert d.tolist() == [-1, 0, 0]
+
+    def test_lru_hit_rate_matches_real_tlb(self):
+        """Ground truth: an FA LRU TLB of k entries hits exactly the
+        accesses with reuse distance < k."""
+        rng = np.random.default_rng(7)
+        addrs = (rng.integers(0, 64, 4000) * 4096).astype(np.int64)
+        distances = reuse_distances(addrs)
+        for entries in (4, 16, 64):
+            expected = lru_hit_rate(distances, entries)
+            tlb = TLB(entries=entries)
+            hits = 0
+            for va in addrs.tolist():
+                if tlb.lookup(int(va)) is not None:
+                    hits += 1
+                else:
+                    tlb.fill(int(va), int(va), 2)
+            assert hits / len(addrs) == pytest.approx(expected)
+
+    def test_empty(self):
+        assert lru_hit_rate(np.array([], dtype=np.int64), 4) == 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=15), min_size=1,
+                max_size=300),
+       st.sampled_from([1, 2, 4, 8]))
+def test_property_reuse_distance_predicts_lru(pages, entries):
+    """The stack-distance/LRU equivalence holds for arbitrary streams."""
+    addrs = np.array(pages, dtype=np.int64) * 4096
+    distances = reuse_distances(addrs)
+    expected_hits = int(np.count_nonzero(
+        (distances >= 0) & (distances < entries)))
+    tlb = TLB(entries=entries)
+    hits = 0
+    for va in addrs.tolist():
+        if tlb.lookup(int(va)) is not None:
+            hits += 1
+        else:
+            tlb.fill(int(va), int(va), 2)
+    assert hits == expected_hits

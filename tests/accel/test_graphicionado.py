@@ -1,0 +1,234 @@
+"""Graphicionado functional model + trace generation (repro.accel)."""
+
+import numpy as np
+import pytest
+
+from repro.accel import trace as T
+from repro.accel.graphicionado import Graphicionado
+from repro.accel.vertex_program import (
+    INF,
+    BFSProgram,
+    PageRankProgram,
+    SSSPProgram,
+)
+from repro.graphs.csr import CSRGraph
+from repro.graphs.rmat import rmat_graph
+
+
+def path_graph(n=5) -> CSRGraph:
+    """0 -> 1 -> 2 -> ... with weight 2 per hop."""
+    src = list(range(n - 1))
+    dst = list(range(1, n))
+    return CSRGraph.from_edges(src, dst, n, weight=[2.0] * (n - 1))
+
+
+def reference_bfs(graph: CSRGraph, source: int) -> np.ndarray:
+    dist = np.full(graph.num_vertices, np.inf)
+    dist[source] = 0
+    frontier = [source]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v in graph.neighbors(u):
+                if dist[v] == np.inf:
+                    dist[v] = dist[u] + 1
+                    nxt.append(int(v))
+        frontier = nxt
+    return dist
+
+
+def reference_sssp(graph: CSRGraph, source: int) -> np.ndarray:
+    import heapq
+    dist = np.full(graph.num_vertices, np.inf)
+    dist[source] = 0
+    heap = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for v, w in zip(graph.neighbors(u),
+                        graph.weight[graph.edge_slice(u)]):
+            if d + w < dist[v]:
+                dist[v] = d + w
+                heapq.heappush(heap, (d + w, int(v)))
+    return dist
+
+
+def reference_pagerank(graph: CSRGraph, iters: int,
+                       damping=0.85) -> np.ndarray:
+    n = graph.num_vertices
+    rank = np.full(n, 1.0 / n)
+    deg = np.maximum(graph.out_degree(), 1).astype(float)
+    src = np.repeat(np.arange(n), np.diff(graph.offsets))
+    for _ in range(iters):
+        contrib = np.zeros(n)
+        np.add.at(contrib, graph.dst, rank[src] / deg[src])
+        rank = (1 - damping) / n + damping * contrib
+    return rank
+
+
+class TestBFS:
+    def test_path_graph_distances(self):
+        graph = path_graph()
+        result = Graphicionado().run_program(BFSProgram(), graph, source=0)
+        assert result.converged
+        assert result.prop.tolist() == [0, 1, 2, 3, 4]
+
+    def test_unreachable_vertices_stay_inf(self):
+        graph = CSRGraph.from_edges([0], [1], 4)
+        result = Graphicionado().run_program(BFSProgram(), graph, source=0)
+        assert result.prop[2] == INF
+        assert result.prop[3] == INF
+
+    def test_matches_reference_on_rmat(self):
+        graph = rmat_graph(scale=9, edge_factor=8, seed=10)
+        source = int(np.argmax(graph.out_degree()))
+        result = Graphicionado().run_program(BFSProgram(), graph,
+                                             source=source)
+        expected = reference_bfs(graph, source)
+        assert np.array_equal(result.prop, expected)
+
+    def test_iterations_equal_levels(self):
+        graph = path_graph(6)
+        result = Graphicionado().run_program(BFSProgram(), graph, source=0)
+        # 5 productive levels plus the final empty-frontier check.
+        assert result.iterations == 6
+
+
+class TestSSSP:
+    def test_path_graph_weighted_distances(self):
+        graph = path_graph()
+        result = Graphicionado().run_program(SSSPProgram(), graph, source=0)
+        assert result.prop.tolist() == [0, 2, 4, 6, 8]
+
+    def test_matches_dijkstra_on_rmat(self):
+        graph = rmat_graph(scale=8, edge_factor=8, seed=11)
+        source = int(np.argmax(graph.out_degree()))
+        result = Graphicionado().run_program(SSSPProgram(), graph,
+                                             source=source)
+        expected = reference_sssp(graph, source)
+        assert result.converged
+        assert np.allclose(result.prop, expected)
+
+    def test_iteration_cap_is_honoured(self):
+        graph = path_graph(10)
+        result = Graphicionado().run_program(SSSPProgram(max_iters=3),
+                                             graph, source=0)
+        assert result.iterations == 3
+        assert not result.converged
+
+
+class TestPageRank:
+    def test_matches_reference(self):
+        graph = rmat_graph(scale=8, edge_factor=8, seed=12)
+        result = Graphicionado().run_program(PageRankProgram(iterations=2),
+                                             graph)
+        expected = reference_pagerank(graph, iters=2)
+        assert np.allclose(result.prop, expected)
+
+    def test_all_active_runs_fixed_iterations(self):
+        graph = rmat_graph(scale=7, edge_factor=4, seed=13)
+        result = Graphicionado().run_program(PageRankProgram(iterations=3),
+                                             graph)
+        assert result.iterations == 3
+        assert result.converged
+
+    def test_ranks_sum_to_one_ish(self):
+        graph = rmat_graph(scale=8, edge_factor=8, seed=14)
+        result = Graphicionado().run_program(PageRankProgram(iterations=1),
+                                             graph)
+        # Mass leaks only through dangling vertices; stays near 1.
+        assert 0.5 < result.prop.sum() <= 1.0 + 1e-9
+
+
+class TestCF:
+    def test_rmse_decreases_over_passes(self):
+        from repro.graphs.bipartite import bipartite_from_rmat
+        graph, shape = bipartite_from_rmat(200, 40, 2000, seed=15)
+        result = Graphicionado().run_cf(graph, shape.num_users, passes=4,
+                                        learning_rate=0.01)
+        rmse = result.aux["rmse"]
+        assert rmse[-1] < rmse[0]
+
+    def test_trace_is_five_accesses_per_edge(self):
+        from repro.graphs.bipartite import bipartite_from_rmat
+        graph, shape = bipartite_from_rmat(100, 20, 500, seed=16)
+        result = Graphicionado().run_cf(graph, shape.num_users, passes=1)
+        assert len(result.trace) == 5 * graph.num_edges
+
+    def test_invalid_user_count_rejected(self):
+        from repro.graphs.bipartite import bipartite_from_rmat
+        graph, shape = bipartite_from_rmat(100, 20, 500, seed=16)
+        with pytest.raises(ValueError):
+            Graphicionado().run_cf(graph, graph.num_vertices + 1)
+
+
+class TestTraceStructure:
+    def test_pagerank_trace_composition(self):
+        graph = path_graph(4)  # 3 edges, 4 vertices
+        result = Graphicionado(num_pes=1).run_program(
+            PageRankProgram(iterations=1), graph)
+        hist = result.trace.stream_histogram()
+        # Stream phase: V offsets + V vprop reads + E edges + 2E tmp RMW;
+        # apply phase: V tmp reads + V vprop writes.
+        assert hist["offsets"] == 4
+        assert hist["edges"] == 3
+        assert hist["vprop_tmp"] == 2 * 3 + 4
+        assert hist["vprop"] == 8
+
+    def test_stream_phase_interleaving(self):
+        """Per-vertex pattern: offset, vprop, then [edge, tmp, tmp] each."""
+        graph = path_graph(3)  # vertices 0,1 have 1 edge; vertex 2 none
+        result = Graphicionado(num_pes=1).run_program(
+            PageRankProgram(iterations=1), graph)
+        s = result.trace.streams[:10].tolist()
+        assert s[:5] == [T.OFFSETS, T.VPROP, T.EDGES, T.VPROP_TMP,
+                         T.VPROP_TMP]
+
+    def test_edge_reads_sequential_within_vertex(self):
+        graph = CSRGraph.from_edges([0, 0, 0], [1, 2, 0], 3)
+        result = Graphicionado(num_pes=1).run_program(
+            PageRankProgram(iterations=1), graph)
+        trace = result.trace
+        edge_offsets = trace.offsets[trace.streams == T.EDGES]
+        assert edge_offsets.tolist() == [0, 12, 24]
+
+    def test_writes_only_on_stores(self):
+        graph = path_graph(4)
+        result = Graphicionado().run_program(PageRankProgram(iterations=1),
+                                             graph)
+        trace = result.trace
+        # Edge and offset reads never write.
+        for sid in (T.EDGES, T.OFFSETS):
+            assert not trace.writes[trace.streams == sid].any()
+
+    def test_bfs_trace_grows_with_frontier(self):
+        graph = rmat_graph(scale=8, edge_factor=8, seed=17)
+        source = int(np.argmax(graph.out_degree()))
+        result = Graphicionado().run_program(BFSProgram(), graph,
+                                             source=source)
+        # BFS touches each edge of every reached vertex exactly once.
+        reached = int(np.isfinite(
+            reference_bfs(graph, source)).sum())
+        hist = result.trace.stream_histogram()
+        assert hist["offsets"] >= reached - 1
+
+    def test_pe_count_affects_order_not_content(self):
+        graph = rmat_graph(scale=8, edge_factor=8, seed=18)
+        one = Graphicionado(num_pes=1).run_program(
+            PageRankProgram(iterations=1), graph)
+        eight = Graphicionado(num_pes=8).run_program(
+            PageRankProgram(iterations=1), graph)
+        assert len(one.trace) == len(eight.trace)
+        assert np.allclose(one.prop, eight.prop)
+        assert (sorted(one.trace.offsets.tolist())
+                == sorted(eight.trace.offsets.tolist()))
+
+    def test_invalid_source_rejected(self):
+        graph = path_graph(4)
+        with pytest.raises(ValueError):
+            Graphicionado().run_program(BFSProgram(), graph, source=7)
+
+    def test_invalid_pe_count_rejected(self):
+        with pytest.raises(ValueError):
+            Graphicionado(num_pes=0)

@@ -1,0 +1,106 @@
+"""Graph layout in simulated memory + workload dispatch (repro.accel)."""
+
+import pytest
+
+from repro.accel import trace as T
+from repro.accel.algorithms import (
+    default_source,
+    prop_bytes_for,
+    run_workload,
+)
+from repro.accel.layout import identity_fraction, place_graph
+from repro.graphs.bipartite import bipartite_from_rmat
+from repro.graphs.rmat import rmat_graph
+from repro.kernel.kernel import Kernel
+from repro.kernel.vm_syscalls import MemPolicy
+
+MB = 1 << 20
+
+
+@pytest.fixture
+def graph():
+    return rmat_graph(scale=10, edge_factor=8, seed=20)
+
+
+def make_process(mode="dvm"):
+    kernel = Kernel(phys_bytes=256 * MB, policy=MemPolicy(mode=mode))
+    proc = kernel.spawn()
+    proc.setup_segments()
+    return proc
+
+
+class TestPlacement:
+    def test_all_streams_allocated(self, graph):
+        proc = make_process()
+        layout = place_graph(proc, graph)
+        assert set(layout.stream_bases) == {T.VPROP, T.VPROP_TMP, T.OFFSETS,
+                                            T.EDGES, T.FRONTIER}
+
+    def test_sizes_match_graph(self, graph):
+        proc = make_process()
+        layout = place_graph(proc, graph)
+        assert layout.stream_sizes[T.EDGES] == graph.num_edges * 12
+        assert layout.stream_sizes[T.VPROP] == graph.num_vertices * 8
+        assert (layout.stream_sizes[T.OFFSETS]
+                == (graph.num_vertices + 1) * 8)
+
+    def test_cf_prop_bytes(self, graph):
+        proc = make_process()
+        layout = place_graph(proc, graph, prop_bytes=64)
+        assert layout.stream_sizes[T.VPROP] == graph.num_vertices * 64
+
+    def test_heap_bytes(self, graph):
+        proc = make_process()
+        layout = place_graph(proc, graph)
+        assert layout.heap_bytes == sum(layout.stream_sizes.values())
+
+    def test_identity_fraction_under_dvm(self, graph):
+        proc = make_process("dvm")
+        layout = place_graph(proc, graph)
+        assert identity_fraction(proc, layout) == 1.0
+
+    def test_identity_fraction_conventional(self, graph):
+        proc = make_process("conventional")
+        layout = place_graph(proc, graph)
+        assert identity_fraction(proc, layout) == 0.0
+
+    def test_streams_mapped_end_to_end(self, graph):
+        proc = make_process()
+        layout = place_graph(proc, graph)
+        for stream, base in layout.stream_bases.items():
+            size = layout.stream_sizes[stream]
+            assert proc.page_table.walk(base).ok
+            assert proc.page_table.walk(base + size - 1).ok
+
+
+class TestDispatch:
+    def test_default_source_is_max_degree(self, graph):
+        src = default_source(graph)
+        assert graph.out_degree()[src] == graph.out_degree().max()
+
+    def test_prop_bytes_for(self):
+        assert prop_bytes_for("cf") == 64
+        assert prop_bytes_for("bfs") == 8
+
+    @pytest.mark.parametrize("name", ["bfs", "pagerank", "sssp"])
+    def test_social_workloads_run(self, name, graph):
+        result = run_workload(name, graph)
+        assert len(result.trace) > 0
+
+    def test_cf_requires_shape(self, graph):
+        with pytest.raises(ValueError):
+            run_workload("cf", graph)
+
+    def test_cf_runs_with_shape(self):
+        graph, shape = bipartite_from_rmat(200, 40, 1000, seed=21)
+        result = run_workload("cf", graph, shape=shape)
+        assert len(result.trace) == 5 * graph.num_edges
+
+    def test_unknown_workload_rejected(self, graph):
+        with pytest.raises(ValueError):
+            run_workload("betweenness", graph)
+
+    def test_pagerank_iters_scale_trace(self, graph):
+        one = run_workload("pagerank", graph, pagerank_iters=1)
+        two = run_workload("pagerank", graph, pagerank_iters=2)
+        assert len(two.trace) == 2 * len(one.trace)

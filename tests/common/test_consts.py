@@ -1,0 +1,108 @@
+"""Address-arithmetic constants (repro.common.consts)."""
+
+import pytest
+
+from repro.common import consts
+
+
+class TestGeometry:
+    def test_page_size(self):
+        assert consts.PAGE_SIZE == 4096
+
+    def test_entries_per_node(self):
+        assert consts.ENTRIES_PER_NODE == 512
+
+    def test_node_is_one_frame(self):
+        assert consts.NODE_SIZE == consts.PAGE_SIZE
+
+    def test_level_spans(self):
+        assert consts.LEVEL_SPAN[1] == 4 << 10
+        assert consts.LEVEL_SPAN[2] == 2 << 20
+        assert consts.LEVEL_SPAN[3] == 1 << 30
+        assert consts.LEVEL_SPAN[4] == 512 << 30
+
+    def test_spans_nest(self):
+        for level in (2, 3, 4):
+            assert (consts.LEVEL_SPAN[level]
+                    == consts.LEVEL_SPAN[level - 1] * 512)
+
+    def test_pe_region_sizes_match_paper(self):
+        # Section 5: 128 KB sub-regions at L2, 64 MB at L3.
+        assert consts.PE_REGION_SIZE[2] == 128 << 10
+        assert consts.PE_REGION_SIZE[3] == 64 << 20
+        assert consts.PE_REGION_SIZE[4] == 32 << 30
+
+    def test_pe_fields(self):
+        assert consts.PE_FIELDS == 16
+
+
+class TestLevelIndex:
+    def test_zero(self):
+        for level in consts.LEVELS:
+            assert consts.level_index(0, level) == 0
+
+    def test_l1_index_increments_per_page(self):
+        assert consts.level_index(consts.PAGE_SIZE, 1) == 1
+        assert consts.level_index(5 * consts.PAGE_SIZE, 1) == 5
+
+    def test_l2_index_increments_per_2mb(self):
+        assert consts.level_index(consts.SIZE_2M, 2) == 1
+        assert consts.level_index(consts.SIZE_2M - 1, 2) == 0
+
+    def test_index_wraps_at_512(self):
+        va = 512 * consts.PAGE_SIZE
+        assert consts.level_index(va, 1) == 0
+        assert consts.level_index(va, 2) == 1
+
+    def test_known_x86_split(self):
+        # The top page of the 48-bit space has all index bits set.
+        va = (1 << 48) - consts.PAGE_SIZE
+        for level in consts.LEVELS:
+            assert consts.level_index(va, level) == 511
+        # The top of the canonical *lower half* clears only the L4 top bit.
+        assert consts.level_index(0x7FFF_FFFF_F000, 4) == 255
+
+
+class TestLevelBase:
+    def test_aligned_addresses_are_their_own_base(self):
+        assert consts.level_base(consts.SIZE_2M, 2) == consts.SIZE_2M
+
+    def test_base_truncates(self):
+        assert consts.level_base(consts.SIZE_2M + 123, 2) == consts.SIZE_2M
+
+    def test_base_at_higher_level(self):
+        va = (3 << 30) + (5 << 21)
+        assert consts.level_base(va, 3) == 3 << 30
+
+
+class TestPEFieldIndex:
+    def test_first_field(self):
+        assert consts.pe_field_index(0, 2) == 0
+
+    def test_last_field(self):
+        va = consts.SIZE_2M - 1
+        assert consts.pe_field_index(va, 2) == 15
+
+    def test_l2_field_boundary_at_128kb(self):
+        assert consts.pe_field_index((128 << 10) - 1, 2) == 0
+        assert consts.pe_field_index(128 << 10, 2) == 1
+
+    def test_l3_field_boundary_at_64mb(self):
+        assert consts.pe_field_index((64 << 20) - 1, 3) == 0
+        assert consts.pe_field_index(64 << 20, 3) == 1
+
+    def test_field_is_relative_to_chunk(self):
+        va = consts.SIZE_2M * 7 + (128 << 10) * 3 + 5
+        assert consts.pe_field_index(va, 2) == 3
+
+
+class TestVPN:
+    def test_vpn_default_page(self):
+        assert consts.vpn(consts.PAGE_SIZE * 9 + 5) == 9
+
+    def test_vpn_huge_page(self):
+        assert consts.vpn(consts.SIZE_2M * 3 + 1, consts.SIZE_2M) == 3
+
+    def test_page_offset(self):
+        assert consts.page_offset(consts.PAGE_SIZE + 17) == 17
+        assert consts.page_offset(consts.SIZE_2M + 17, consts.SIZE_2M) == 17

@@ -1,0 +1,100 @@
+"""Permission encoding (repro.common.perms)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.perms import (
+    Perm,
+    allows,
+    from_prot,
+    pack_fields,
+    unpack_fields,
+)
+
+PERMS = st.sampled_from(list(Perm))
+
+
+class TestEncoding:
+    def test_paper_encoding_values(self):
+        # Section 4.1: 00 NP, 01 RO, 10 RW, 11 RX.
+        assert Perm.NONE == 0b00
+        assert Perm.READ_ONLY == 0b01
+        assert Perm.READ_WRITE == 0b10
+        assert Perm.READ_EXECUTE == 0b11
+
+
+class TestAllows:
+    @pytest.mark.parametrize("perm,access,expected", [
+        (Perm.NONE, "r", False),
+        (Perm.NONE, "w", False),
+        (Perm.NONE, "x", False),
+        (Perm.READ_ONLY, "r", True),
+        (Perm.READ_ONLY, "w", False),
+        (Perm.READ_ONLY, "x", False),
+        (Perm.READ_WRITE, "r", True),
+        (Perm.READ_WRITE, "w", True),
+        (Perm.READ_WRITE, "x", False),
+        (Perm.READ_EXECUTE, "r", True),
+        (Perm.READ_EXECUTE, "w", False),
+        (Perm.READ_EXECUTE, "x", True),
+    ])
+    def test_matrix(self, perm, access, expected):
+        assert allows(perm, access) is expected
+
+    def test_unknown_access_kind_rejected(self):
+        with pytest.raises(ValueError):
+            allows(Perm.READ_ONLY, "rw")
+
+    def test_every_nonzero_perm_allows_read(self):
+        # The IOMMU fast path relies on this: perm != 0 <=> readable.
+        for perm in Perm:
+            assert allows(perm, "r") == (perm != Perm.NONE)
+
+    def test_only_rw_allows_write(self):
+        for perm in Perm:
+            assert allows(perm, "w") == (perm == Perm.READ_WRITE)
+
+
+class TestPackUnpack:
+    def test_roundtrip_simple(self):
+        fields = [Perm.READ_WRITE] * 16
+        assert unpack_fields(pack_fields(fields)) == fields
+
+    @given(st.lists(PERMS, min_size=16, max_size=16))
+    def test_roundtrip_property(self, fields):
+        assert unpack_fields(pack_fields(fields)) == fields
+
+    def test_field_zero_is_lsb(self):
+        fields = [Perm.NONE] * 16
+        fields[0] = Perm.READ_EXECUTE
+        assert pack_fields(fields) == 0b11
+
+    def test_packed_fits_in_32_bits(self):
+        fields = [Perm.READ_EXECUTE] * 16
+        assert pack_fields(fields) < (1 << 32)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            pack_fields([Perm.NONE] * 15)
+
+
+class TestFromProt:
+    def test_rw(self):
+        assert from_prot(True, True, False) == Perm.READ_WRITE
+
+    def test_rx(self):
+        assert from_prot(True, False, True) == Perm.READ_EXECUTE
+
+    def test_ro(self):
+        assert from_prot(True, False, False) == Perm.READ_ONLY
+
+    def test_none(self):
+        assert from_prot(False, False, False) == Perm.NONE
+
+    def test_write_only_maps_to_rw(self):
+        assert from_prot(False, True, False) == Perm.READ_WRITE
+
+    def test_wx_rejected(self):
+        with pytest.raises(ValueError):
+            from_prot(True, True, True)

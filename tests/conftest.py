@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import standard_configs
+from repro.kernel.kernel import Kernel
+from repro.kernel.phys import PhysicalMemory
+from repro.kernel.vm_syscalls import MemPolicy
+
+#: A small machine keeps unit tests fast.
+SMALL_PHYS = 256 << 20  # 256 MB
+
+
+@pytest.fixture
+def phys() -> PhysicalMemory:
+    """A small physical memory."""
+    return PhysicalMemory(size=SMALL_PHYS)
+
+
+@pytest.fixture
+def dvm_kernel() -> Kernel:
+    """A kernel under the DVM (identity mapping + PEs) policy."""
+    return Kernel(phys_bytes=SMALL_PHYS,
+                  policy=MemPolicy(mode="dvm", use_pes=True))
+
+
+@pytest.fixture
+def conventional_kernel() -> Kernel:
+    """A kernel under conventional 4 KB demand paging."""
+    return Kernel(phys_bytes=SMALL_PHYS,
+                  policy=MemPolicy(mode="conventional"))
+
+
+@pytest.fixture
+def configs():
+    """The seven standard MMU configurations (scaled)."""
+    return standard_configs()

@@ -1,0 +1,83 @@
+"""MMU configurations (repro.core.config)."""
+
+import pytest
+
+from repro.common.consts import PAGE_SIZE, SIZE_1G, SIZE_2M
+from repro.core.config import (
+    HardwareScale,
+    MMUConfig,
+    config_with,
+    standard_configs,
+)
+from repro.kernel.vm_syscalls import MemPolicy
+
+
+class TestStandardConfigs:
+    def test_all_seven_present(self):
+        configs = standard_configs()
+        assert set(configs) == {"conv_4k", "conv_2m", "conv_1g", "dvm_bm",
+                                "dvm_pe", "dvm_pe_plus", "ideal"}
+
+    def test_paper_labels(self):
+        configs = standard_configs()
+        assert configs["conv_4k"].label == "4K,TLB+PWC"
+        assert configs["dvm_pe_plus"].label == "DVM-PE+"
+
+    def test_conventional_policies_demand_page(self):
+        configs = standard_configs()
+        for name in ("conv_4k", "conv_2m", "conv_1g"):
+            assert not configs[name].uses_identity
+
+    def test_dvm_policies_identity_map(self):
+        configs = standard_configs()
+        for name in ("dvm_bm", "dvm_pe", "dvm_pe_plus", "ideal"):
+            assert configs[name].uses_identity
+
+    def test_only_pe_plus_preloads(self):
+        configs = standard_configs()
+        assert configs["dvm_pe_plus"].preloads
+        assert not configs["dvm_pe"].preloads
+
+    def test_bm_uses_bitmap_not_pes(self):
+        config = standard_configs()["dvm_bm"]
+        assert config.policy.mode == "dvm_bitmap"
+        assert not config.policy.use_pes
+
+    def test_tlb_reach_ordering(self):
+        """The three conventional configs have strictly increasing reach."""
+        configs = standard_configs()
+        reaches = [configs[n].tlb_entries * configs[n].tlb_page_size
+                   for n in ("conv_4k", "conv_2m", "conv_1g")]
+        assert reaches[0] < reaches[1] < reaches[2]
+
+    def test_invalid_mech_rejected(self):
+        with pytest.raises(ValueError):
+            MMUConfig(name="x", label="x", mech="quantum",
+                      policy=MemPolicy())
+
+
+class TestHardwareScale:
+    def test_paper_scale_uses_native_sizes(self):
+        scale = HardwareScale.paper()
+        assert scale.tlb_entries == 128
+        assert scale.page_2m == SIZE_2M
+        assert scale.page_1g == SIZE_1G
+
+    def test_scaled_defaults_preserve_ratios(self):
+        scale = HardwareScale()
+        # Analogs keep 4K < 2M-analog < 1G-analog strictly ordered.
+        assert PAGE_SIZE < scale.page_2m < scale.page_1g
+
+    def test_configs_honour_scale(self):
+        scale = HardwareScale(tlb_entries=64)
+        configs = standard_configs(scale)
+        assert configs["conv_4k"].tlb_entries == 64
+
+
+class TestOverride:
+    def test_config_with(self):
+        base = standard_configs()["dvm_pe"]
+        bigger = config_with(base, walk_cache_blocks=64)
+        assert bigger.walk_cache_blocks == 64
+        assert base.walk_cache_blocks != 64
+        assert bigger.name == base.name

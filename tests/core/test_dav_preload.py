@@ -1,0 +1,101 @@
+"""DAV semantics and preload decisions (repro.core.dav, .preload)."""
+
+import pytest
+
+from repro.common.consts import PAGE_SIZE, SIZE_2M
+from repro.common.perms import Perm
+from repro.core.dav import AccessValidator, DAVOutcome
+from repro.core.preload import preload_decision
+from repro.kernel.page_table import PageTable
+from repro.kernel.phys import PhysicalMemory
+
+MB = 1 << 20
+
+
+@pytest.fixture
+def validator():
+    phys = PhysicalMemory(size=256 * MB)
+    table = PageTable(phys)
+    table.map_identity_range(SIZE_2M, SIZE_2M, Perm.READ_WRITE)
+    table.map_identity_range(4 * SIZE_2M, 128 << 10, Perm.READ_ONLY)
+    table.map_page(0x40_0000, 0x800_0000, Perm.READ_WRITE)  # non-identity
+    return AccessValidator(table)
+
+
+class TestDAV:
+    def test_identity_access_validates(self, validator):
+        result = validator.validate(SIZE_2M + 100, "r")
+        assert result.outcome == DAVOutcome.VALIDATED
+        assert result.direct
+        assert result.pa == SIZE_2M + 100
+        assert result.ended_at_pe
+
+    def test_write_respects_pe_permission(self, validator):
+        ok = validator.validate(SIZE_2M, "w")
+        assert ok.outcome == DAVOutcome.VALIDATED
+        ro = validator.validate(4 * SIZE_2M, "w")
+        assert ro.outcome == DAVOutcome.FAULT
+
+    def test_read_only_region_readable(self, validator):
+        result = validator.validate(4 * SIZE_2M, "r")
+        assert result.outcome == DAVOutcome.VALIDATED
+
+    def test_non_identity_translates_from_same_walk(self, validator):
+        """Section 4.1.1: the fallback reuses the walk — no second walk."""
+        result = validator.validate(0x40_0000 + 5, "r")
+        assert result.outcome == DAVOutcome.TRANSLATED
+        assert not result.direct
+        assert result.pa == 0x800_0000 + 5
+        assert result.walk_depth == 4
+
+    def test_unmapped_faults(self, validator):
+        result = validator.validate(0x7000_0000, "r")
+        assert result.outcome == DAVOutcome.FAULT
+        assert result.pa is None
+
+    def test_execute_checked(self, validator):
+        result = validator.validate(SIZE_2M, "x")
+        assert result.outcome == DAVOutcome.FAULT  # RW does not allow x
+
+    def test_pe_walk_is_shorter_than_pte_walk(self, validator):
+        pe = validator.validate(SIZE_2M, "r")
+        pte = validator.validate(0x40_0000, "r")
+        assert pe.walk_depth == 3 < pte.walk_depth == 4
+
+
+class TestPreloadDecision:
+    def test_validated_read_with_resident_walk_is_free(self):
+        d = preload_decision(is_write=False, identity=True,
+                             dav_sram_cycles=3, dav_mem_accesses=0,
+                             walk_latency=70, data_latency=100)
+        assert d.exposed_sram_cycles == 0
+        assert d.exposed_mem_cycles == 0
+        assert not d.squashed
+
+    def test_read_walk_memory_hides_under_data_latency(self):
+        d = preload_decision(is_write=False, identity=True,
+                             dav_sram_cycles=4, dav_mem_accesses=1,
+                             walk_latency=70, data_latency=100)
+        assert d.exposed_mem_cycles == 0  # 70 < 100: fully overlapped
+
+    def test_read_long_walk_exposes_excess(self):
+        d = preload_decision(is_write=False, identity=True,
+                             dav_sram_cycles=4, dav_mem_accesses=2,
+                             walk_latency=70, data_latency=100)
+        assert d.exposed_mem_cycles == 2 * 70 - 100
+
+    def test_mispredicted_read_squashes_and_retries(self):
+        d = preload_decision(is_write=False, identity=False,
+                             dav_sram_cycles=4, dav_mem_accesses=0,
+                             walk_latency=70, data_latency=100)
+        assert d.squashed
+        assert d.exposed_mem_cycles == 100  # serialized retry
+
+    def test_write_pays_full_dav(self):
+        """Section 4.2: stores cannot be preloaded."""
+        d = preload_decision(is_write=True, identity=True,
+                             dav_sram_cycles=3, dav_mem_accesses=1,
+                             walk_latency=70, data_latency=100)
+        assert d.exposed_sram_cycles == 3
+        assert d.exposed_mem_cycles == 70
+        assert not d.squashed

@@ -1,0 +1,80 @@
+"""The DVM public facade (repro.core.dvm)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dvm import DVM
+
+MB = 1 << 20
+
+
+@pytest.fixture
+def dvm():
+    return DVM(phys_bytes=256 * MB)
+
+
+class TestAllocation:
+    def test_malloc_identity_mapped(self, dvm):
+        va = dvm.malloc(4 * MB)
+        assert dvm.is_identity(va)
+
+    def test_free(self, dvm):
+        va = dvm.malloc(4 * MB)
+        dvm.free(va)
+        stats = dvm.stats()
+        assert stats.identity_bytes == 0
+
+    def test_mmap(self, dvm):
+        alloc = dvm.mmap(2 * MB)
+        assert alloc.identity
+
+    def test_stats_identity_fraction(self, dvm):
+        dvm.malloc(4 * MB)
+        assert dvm.stats().identity_fraction == 1.0
+
+
+class TestValidation:
+    def test_validate_direct(self, dvm):
+        va = dvm.malloc(1 * MB)
+        result = dvm.validate(va, "r")
+        assert result.direct
+
+    def test_validate_write(self, dvm):
+        va = dvm.malloc(1 * MB)
+        assert dvm.validate(va, "w").direct
+
+    def test_run_accelerator_trace(self, dvm):
+        va = dvm.malloc(1 * MB)
+        rng = np.random.default_rng(0)
+        addrs = va + rng.integers(0, MB // 8, 1000) * 8
+        writes = np.zeros(1000, dtype=np.int8)
+        stats = dvm.run_accelerator_trace(addrs, writes)
+        assert stats.accesses == 1000
+        assert stats.identity_accesses == 1000
+
+
+class TestConfigSelection:
+    def test_default_is_pe_plus(self):
+        dvm = DVM(phys_bytes=256 * MB)
+        assert dvm.config.name == "dvm_pe_plus"
+
+    def test_by_name(self):
+        dvm = DVM("conv_4k", phys_bytes=256 * MB)
+        assert dvm.config.mech == "conventional"
+        va = dvm.malloc(1 * MB)
+        assert not dvm.is_identity(va)
+
+    def test_bm_config_wires_bitmap(self):
+        dvm = DVM("dvm_bm", phys_bytes=256 * MB)
+        va = dvm.malloc(1 * MB)
+        assert dvm.perm_bitmap is not None
+        assert dvm.perm_bitmap.lookup(va).identity
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            DVM("dvm_quantum", phys_bytes=256 * MB)
+
+    def test_seed_determinism(self):
+        a = DVM(phys_bytes=256 * MB, seed=5)
+        b = DVM(phys_bytes=256 * MB, seed=5)
+        assert a.malloc(1 * MB) == b.malloc(1 * MB)

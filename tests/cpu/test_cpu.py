@@ -1,0 +1,117 @@
+"""CPU substrate: workloads, BadgerTrap, the cDVM model (repro.cpu)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cdvm import cpu_configs, estimate_overhead
+from repro.cpu.badgertrap import instrument
+from repro.cpu.model import CPUModel
+from repro.cpu.workloads import CPU_WORKLOADS, build
+from repro.hw.tlb import TwoLevelTLB
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("name", sorted(CPU_WORKLOADS))
+    def test_builds_and_is_deterministic(self, name):
+        a = build(name, length=20_000)
+        b = build(name, length=20_000)
+        assert np.array_equal(a.trace.offsets, b.trace.offsets)
+        assert a.footprint > 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            build("gromacs")
+
+    def test_offsets_within_stream_sizes(self):
+        wl = build("mcf", length=20_000)
+        for stream, size in wl.stream_sizes.items():
+            offsets = wl.trace.offsets[wl.trace.streams == stream]
+            if len(offsets):
+                assert offsets.max() < size
+
+    def test_mcf_more_irregular_than_bt(self):
+        """mcf's pointer chasing must out-miss bt's sequential sweeps."""
+        results = {}
+        for name in ("mcf", "bt"):
+            wl = build(name, length=100_000)
+            bases = {s: 0x1000_0000 * (s + 1) for s in wl.stream_sizes}
+            addrs, _ = wl.trace.concretize(bases)
+            report = instrument(addrs, TwoLevelTLB())
+            results[name] = report.walk_rate
+        assert results["mcf"] > 3 * results["bt"]
+
+
+class TestBadgerTrap:
+    def test_counts_consistent(self):
+        wl = build("cg", length=50_000)
+        bases = {s: 0x1000_0000 * (s + 1) for s in wl.stream_sizes}
+        addrs, _ = wl.trace.concretize(bases)
+        report = instrument(addrs, TwoLevelTLB())
+        assert report.accesses == len(addrs)
+        assert 0 <= report.l2_misses <= report.l1_misses <= report.accesses
+        assert len(report.miss_vas) == report.l2_misses
+
+    def test_repeated_page_misses_once(self):
+        tlb = TwoLevelTLB()
+        addrs = np.array([0x1000] * 100)
+        report = instrument(addrs, tlb)
+        assert report.l2_misses == 1
+        assert report.l1_misses == 1
+
+    def test_rates(self):
+        tlb = TwoLevelTLB()
+        report = instrument(np.array([0x1000, 0x1000]), tlb)
+        assert report.l1_miss_rate == 0.5
+        assert report.walk_rate == 0.5
+
+
+class TestAnalyticalModel:
+    def test_overhead_formula(self):
+        r = estimate_overhead(workload="w", config="c", accesses=1000,
+                              tlb_misses=10, walk_sram_accesses=30,
+                              walk_mem_accesses=10, base_cpi=5.0,
+                              walk_latency=50)
+        assert r.base_cycles == 5000
+        assert r.walk_cycles == 30 + 500
+        assert r.overhead == pytest.approx(530 / 5000)
+        assert r.miss_rate == pytest.approx(0.01)
+
+    def test_cpu_configs(self):
+        configs = cpu_configs()
+        assert set(configs) == {"cpu_4k", "cpu_thp", "cpu_cdvm"}
+        assert configs["cpu_cdvm"].use_avc
+        assert configs["cpu_cdvm"].identity_segments
+        assert configs["cpu_thp"].tlb_page_size > configs["cpu_4k"].tlb_page_size
+
+
+class TestCPUModel:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        model = CPUModel(trace_length=60_000)
+        return model.evaluate_all(workloads=("mcf", "bt"))
+
+    def test_figure10_ordering_per_workload(self, matrix):
+        """4K >= THP >= cDVM for every workload (the Figure 10 shape)."""
+        for name in ("mcf", "bt"):
+            o4k = matrix[(name, "cpu_4k")].overhead
+            othp = matrix[(name, "cpu_thp")].overhead
+            ocdvm = matrix[(name, "cpu_cdvm")].overhead
+            assert o4k >= othp >= ocdvm
+
+    def test_cdvm_overhead_small(self, matrix):
+        """cDVM lands within a few percent of ideal (paper: 5% average)."""
+        for name in ("mcf", "bt"):
+            assert matrix[(name, "cpu_cdvm")].overhead < 0.10
+
+    def test_cdvm_walks_avoid_memory(self, matrix):
+        """The AVC over PE tables services walks almost entirely in SRAM."""
+        r = matrix[("mcf", "cpu_cdvm")]
+        assert r.walk_mem_accesses < 0.05 * r.walk_sram_accesses + 50
+
+    def test_mcf_is_worst_case(self, matrix):
+        assert (matrix[("mcf", "cpu_4k")].overhead
+                > matrix[("bt", "cpu_4k")].overhead)
+
+    def test_workload_cache(self):
+        model = CPUModel(trace_length=10_000)
+        assert model.workload("mcf") is model.workload("mcf")

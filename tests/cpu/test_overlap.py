@@ -1,0 +1,43 @@
+"""Section 7.1's speculative-overlap extension for cDVM."""
+
+import pytest
+
+from repro.core.cdvm import cdvm_overlap_config, cpu_configs
+from repro.cpu.model import CPUModel
+
+
+class TestOverlapConfig:
+    def test_config_shape(self):
+        config = cdvm_overlap_config()
+        assert config.overlap
+        assert config.use_avc
+        assert config.name == "cpu_cdvm_overlap"
+
+    def test_base_configs_do_not_overlap(self):
+        for config in cpu_configs().values():
+            assert not config.overlap
+
+
+class TestOverlapModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return CPUModel(trace_length=60_000)
+
+    @pytest.mark.parametrize("workload", ["mcf", "cg"])
+    def test_overlap_never_worse(self, model, workload):
+        base = model.evaluate(workload, cpu_configs()["cpu_cdvm"])
+        plus = model.evaluate(workload, cdvm_overlap_config())
+        assert plus.overhead <= base.overhead + 1e-12
+
+    def test_overlap_hides_avc_walks_almost_entirely(self, model):
+        """With identity mapping and an AVC-resident table, the exposed
+        walk time under overlap is near zero (the Section 7.1 potential)."""
+        plus = model.evaluate("mcf", cdvm_overlap_config())
+        assert plus.overhead < 0.005
+
+    def test_walk_statistics_unchanged_by_overlap(self, model):
+        """Overlap changes exposure, not the walks themselves."""
+        base = model.evaluate("cg", cpu_configs()["cpu_cdvm"])
+        plus = model.evaluate("cg", cdvm_overlap_config())
+        assert plus.tlb_misses == base.tlb_misses
+        assert plus.walk_mem_accesses == base.walk_mem_accesses

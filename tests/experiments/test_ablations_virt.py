@@ -1,0 +1,59 @@
+"""Ablation + virtualization experiment modules (repro.experiments)."""
+
+import pytest
+
+from repro.core.config import HardwareScale
+from repro.experiments import ablations, virt_extension
+from repro.sim.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(profile="bench", scale=HardwareScale.bench())
+
+
+class TestAVCSweep:
+    def test_monotone_improvement(self, runner):
+        rows = ablations.avc_size_sweep(runner, sizes=(4, 16))
+        assert rows[0].normalized_time >= rows[1].normalized_time
+
+    def test_labels_carry_sizes(self, runner):
+        rows = ablations.avc_size_sweep(runner, sizes=(8,))
+        assert "8 blocks" in rows[0].label
+
+
+class TestPEContribution:
+    def test_pes_reduce_overhead_and_memory(self, runner):
+        with_pes, without_pes = ablations.pe_contribution(runner)
+        assert with_pes.normalized_time <= without_pes.normalized_time
+        assert with_pes.walk_mem_accesses <= without_pes.walk_mem_accesses
+
+
+class TestBitmapSweep:
+    def test_runs_and_renders(self, runner):
+        rows = ablations.bitmap_cache_sweep(runner, sizes=(4, 16))
+        text = ablations.render("bm sweep", rows)
+        assert "bm sweep" in text
+        assert len(rows) == 2
+
+
+class TestVirtExtension:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return virt_extension.virt_table(buffer_size=2 << 20, probes=32)
+
+    def test_both_modes_present(self, results):
+        assert set(results) == {"steady", "cold"}
+        for mode in results.values():
+            assert set(mode) == {"nested", "host_dvm", "guest_dvm",
+                                 "full_dvm"}
+
+    def test_render(self, results):
+        text = virt_extension.render(results)
+        assert "Virtualization extension" in text
+        assert "gVA == sPA" in text
+
+    def test_steady_ordering(self, results):
+        steady = results["steady"]
+        assert (steady["full_dvm"]["mem_per_miss"]
+                <= steady["nested"]["mem_per_miss"])

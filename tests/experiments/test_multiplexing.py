@@ -1,0 +1,79 @@
+"""Accelerator multiplexing study (repro.experiments.multiplexing)."""
+
+import pytest
+
+from repro.core.config import HardwareScale
+from repro.experiments import multiplexing
+from repro.sim.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(profile="bench", scale=HardwareScale.bench())
+
+
+class TestSwitchContext:
+    def test_flushes_structures(self, runner):
+        from repro.hw.dram import DRAMModel
+        from repro.hw.iommu import IOMMU
+        config = runner.configs()["conv_4k"]
+        prepared = runner.prepare("bfs", "FR")
+        from repro.sim.system import HeterogeneousSystem
+        system = HeterogeneousSystem(config, runner.params)
+        system.load_graph(prepared.graph)
+        iommu = system.iommu
+        addrs, writes = prepared.result.trace.concretize(
+            system.layout.stream_bases)
+        iommu.run_trace(addrs[:2000], writes[:2000])
+        assert iommu.tlb.occupancy() > 0
+        iommu.switch_context(system.process.page_table)
+        assert iommu.tlb.occupancy() == 0
+        assert iommu.walker.cache.occupancy() == 0
+
+    def test_bm_switch_requires_bitmap(self, runner):
+        from repro.hw.dram import DRAMModel
+        from repro.hw.iommu import IOMMU
+        from repro.sim.system import HeterogeneousSystem
+        config = runner.configs()["dvm_bm"]
+        system = HeterogeneousSystem(config, runner.params)
+        with pytest.raises(ValueError):
+            system.iommu.switch_context(system.process.page_table)
+
+    def test_dav_still_correct_after_switch(self, runner):
+        """After a context switch the IOMMU validates against the *new*
+        process's table — the protection property multiplexing needs."""
+        from repro.common.errors import PageFault
+        from repro.sim.system import HeterogeneousSystem
+        from repro.accel.layout import place_graph
+        config = runner.configs()["dvm_pe"]
+        prepared = runner.prepare("bfs", "FR")
+        system = HeterogeneousSystem(config, runner.params)
+        layout_a = system.load_graph(prepared.graph)
+        tenant_b = system.kernel.spawn(name="b")
+        layout_b = place_graph(tenant_b, prepared.graph)
+        system.iommu.switch_context(tenant_b.page_table)
+        # Tenant B's base validates; tenant A's base is unmapped in B.
+        system.iommu.access(layout_b.stream_bases[0])
+        with pytest.raises(PageFault):
+            system.iommu.access(layout_a.stream_bases[0])
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def rows(self, runner):
+        return multiplexing.multiplexing(
+            runner, slices=8,
+            config_names=("conv_4k", "dvm_pe", "dvm_pe_plus"))
+
+    def test_costs_are_modest(self, rows):
+        for row in rows:
+            assert row.slowdown < 1.25
+
+    def test_render(self, rows):
+        text = multiplexing.render(rows)
+        assert "multiplexing" in text
+        assert "Cycles / switch" in text
+
+    def test_cycles_per_switch_non_negative(self, rows):
+        for row in rows:
+            assert row.cycles_per_switch >= 0.0

@@ -1,0 +1,35 @@
+"""Scratchpad-sensitivity ablation (repro.experiments.ablations)."""
+
+import pytest
+
+from repro.core.config import HardwareScale
+from repro.experiments import ablations
+from repro.sim.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def rows():
+    runner = ExperimentRunner(profile="bench", scale=HardwareScale.bench())
+    return ablations.scratchpad_sensitivity(runner)
+
+
+class TestScratchpadSensitivity:
+    def test_four_rows(self, rows):
+        assert len(rows) == 4
+
+    def test_scratchpad_helps_conventional(self, rows):
+        """Dropping the irregular reduce stream removes much of the
+        conventional configuration's TLB pain."""
+        conv_full, conv_scratch = rows[0], rows[1]
+        assert "4K" in conv_full.label
+        assert conv_scratch.normalized_time < conv_full.normalized_time
+
+    def test_dvm_wins_with_or_without_scratchpad(self, rows):
+        conv_full, conv_scratch, dvm_full, dvm_scratch = rows
+        assert dvm_full.normalized_time < conv_full.normalized_time
+        assert dvm_scratch.normalized_time < conv_scratch.normalized_time
+
+    def test_dvm_already_near_ideal(self, rows):
+        _cf, _cs, dvm_full, dvm_scratch = rows
+        assert dvm_full.normalized_time < 1.1
+        assert dvm_scratch.normalized_time <= dvm_full.normalized_time

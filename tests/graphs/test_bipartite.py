@@ -1,0 +1,59 @@
+"""Bipartite conversion (repro.graphs.bipartite)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.bipartite import (
+    BipartiteShape,
+    bipartite_from_rmat,
+    is_bipartite_user_item,
+)
+
+
+class TestShape:
+    def test_total_vertices(self):
+        shape = BipartiteShape(num_users=100, num_items=20)
+        assert shape.num_vertices == 120
+
+
+class TestConversion:
+    def test_structure_is_bipartite(self):
+        graph, shape = bipartite_from_rmat(100, 20, 500, seed=1)
+        assert is_bipartite_user_item(graph, shape)
+
+    def test_vertex_numbering(self):
+        graph, shape = bipartite_from_rmat(100, 20, 500, seed=1)
+        assert graph.num_vertices == 120
+        # All destinations are items (>= num_users).
+        assert graph.dst.min() >= 100
+
+    def test_ratings_in_range(self):
+        graph, _ = bipartite_from_rmat(100, 20, 500, seed=2)
+        assert graph.weight.min() >= 1
+        assert graph.weight.max() <= 5
+
+    def test_deterministic(self):
+        a, _ = bipartite_from_rmat(100, 20, 500, seed=3)
+        b, _ = bipartite_from_rmat(100, 20, 500, seed=3)
+        assert np.array_equal(a.dst, b.dst)
+
+    def test_item_popularity_skewed(self):
+        """The RMAT fold preserves skew: few items receive most ratings."""
+        graph, shape = bipartite_from_rmat(1000, 200, 20_000, seed=4)
+        item_counts = np.bincount(graph.dst - shape.num_users,
+                                  minlength=shape.num_items)
+        top_decile = np.sort(item_counts)[-shape.num_items // 10:].sum()
+        assert top_decile > 0.3 * graph.num_edges
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            bipartite_from_rmat(0, 20, 100)
+        with pytest.raises(ValueError):
+            bipartite_from_rmat(10, 0, 100)
+
+
+class TestChecker:
+    def test_detects_wrong_vertex_count(self):
+        graph, shape = bipartite_from_rmat(100, 20, 500, seed=1)
+        wrong = BipartiteShape(num_users=100, num_items=21)
+        assert not is_bipartite_user_item(graph, wrong)

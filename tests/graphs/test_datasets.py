@@ -1,0 +1,65 @@
+"""Dataset registry (repro.graphs.datasets)."""
+
+import pytest
+
+from repro.graphs import datasets
+
+
+class TestRegistry:
+    def test_all_paper_datasets_present(self):
+        assert set(datasets.DATASETS) == {"FR", "Wiki", "LJ", "S24", "NF",
+                                          "Bip1", "Bip2"}
+
+    def test_workload_pairs_match_paper(self):
+        """The paper evaluates 15 pairs: BFS/PR/SSSP x 4 social graphs and
+        CF x 3 bipartite graphs (Figure 8)."""
+        assert len(datasets.WORKLOAD_PAIRS) == 15
+        cf_pairs = [p for p in datasets.WORKLOAD_PAIRS if p[0] == "cf"]
+        assert len(cf_pairs) == 3
+        for workload, graph in datasets.WORKLOAD_PAIRS:
+            kind = datasets.DATASETS[graph].kind
+            assert kind == ("bipartite" if workload == "cf" else "social")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(KeyError):
+            datasets.load("Orkut")
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            datasets.DATASETS["FR"].build("huge")
+
+
+class TestSurrogates:
+    @pytest.mark.parametrize("key", sorted(datasets.DATASETS))
+    def test_bench_profile_builds(self, key):
+        graph, shape = datasets.load(key, "bench")
+        graph.validate()
+        if datasets.DATASETS[key].kind == "bipartite":
+            assert shape is not None
+        else:
+            assert shape is None
+
+    def test_bench_smaller_than_full(self):
+        bench, _ = datasets.load("FR", "bench")
+        full, _ = datasets.load("FR", "full")
+        assert bench.num_edges < full.num_edges
+
+    def test_relative_ordering_matches_paper(self):
+        """S24 is the biggest social input; FR the smallest (Table 3)."""
+        sizes = {
+            key: datasets.load(key, "bench")[0].num_edges
+            for key in ("FR", "Wiki", "LJ", "S24")
+        }
+        assert sizes["S24"] == max(sizes.values())
+        assert sizes["FR"] == min(sizes.values())
+
+    def test_deterministic(self):
+        a, _ = datasets.load("FR", "bench")
+        b, _ = datasets.load("FR", "bench")
+        assert a.num_edges == b.num_edges
+        assert (a.dst == b.dst).all()
+
+    def test_nf_item_set_small(self):
+        """Netflix's defining trait: a tiny destination (item) class."""
+        _, shape = datasets.load("NF", "bench")
+        assert shape.num_items * 16 <= shape.num_users

@@ -1,0 +1,74 @@
+"""DVM-BM permission bitmap (repro.hw.bitmap)."""
+
+import pytest
+
+from repro.common.consts import PAGE_SIZE
+from repro.common.perms import Perm
+from repro.hw.bitmap import WORD_COVERAGE, PermissionBitmap
+
+MB = 1 << 20
+
+
+class TestMaintenance:
+    def test_set_and_lookup(self):
+        bm = PermissionBitmap()
+        bm.set_range(0x10_0000, 2 * PAGE_SIZE, Perm.READ_WRITE)
+        assert bm.lookup(0x10_0000).perm == Perm.READ_WRITE
+        assert bm.lookup(0x10_1FFF).perm == Perm.READ_WRITE
+        assert bm.lookup(0x10_2000).perm == Perm.NONE
+
+    def test_identity_flag(self):
+        bm = PermissionBitmap()
+        bm.set_range(0x10_0000, PAGE_SIZE, Perm.READ_ONLY)
+        assert bm.lookup(0x10_0000).identity
+        assert not bm.lookup(0x20_0000).identity
+
+    def test_clear_range(self):
+        bm = PermissionBitmap()
+        bm.set_range(0x10_0000, 4 * PAGE_SIZE, Perm.READ_WRITE)
+        bm.clear_range(0x10_0000, 2 * PAGE_SIZE)
+        assert bm.lookup(0x10_0000).perm == Perm.NONE
+        assert bm.lookup(0x10_2000).perm == Perm.READ_WRITE
+
+    def test_unaligned_rejected(self):
+        bm = PermissionBitmap()
+        with pytest.raises(ValueError):
+            bm.set_range(123, PAGE_SIZE, Perm.READ_WRITE)
+        with pytest.raises(ValueError):
+            bm.clear_range(0, 100)
+
+
+class TestCacheBehaviour:
+    def test_first_lookup_misses_then_hits(self):
+        bm = PermissionBitmap()
+        bm.set_range(0x10_0000, PAGE_SIZE, Perm.READ_WRITE)
+        assert not bm.lookup(0x10_0000).cache_hit
+        assert bm.lookup(0x10_0000).cache_hit
+
+    def test_word_coverage_is_128kb(self):
+        """One cached word covers 32 pages: lookups within 128 KB share it."""
+        assert WORD_COVERAGE == 128 << 10
+        bm = PermissionBitmap()
+        bm.set_range(0, WORD_COVERAGE, Perm.READ_WRITE)
+        bm.lookup(0)
+        assert bm.lookup(WORD_COVERAGE - PAGE_SIZE).cache_hit
+        assert not bm.lookup(WORD_COVERAGE).cache_hit
+
+    def test_memory_access_counter(self):
+        bm = PermissionBitmap()
+        bm.lookup(0)
+        bm.lookup(0)
+        bm.lookup(WORD_COVERAGE)
+        assert bm.memory_accesses == 2
+
+    def test_capacity_misses(self):
+        bm = PermissionBitmap(cache_blocks=4, cache_ways=4)
+        # Touch 8 words, then re-touch the first: it must have been evicted.
+        for i in range(8):
+            bm.lookup(i * WORD_COVERAGE)
+        assert not bm.lookup(0).cache_hit
+
+    def test_bitmap_bytes(self):
+        bm = PermissionBitmap()
+        # 2 bits per 4 KB page -> 64 KB of bitmap per GB of heap.
+        assert bm.bitmap_bytes(1 << 30) == 64 << 10

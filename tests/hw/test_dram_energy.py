@@ -1,0 +1,68 @@
+"""DRAM accounting and the energy model (repro.hw.dram, .energy)."""
+
+import pytest
+
+from repro.hw.dram import DRAMModel
+from repro.hw.energy import DEFAULT_ENERGY_PJ, EnergyAccount, EnergyModel
+
+
+class TestDRAM:
+    def test_latencies_returned(self):
+        dram = DRAMModel(data_latency=100, walk_latency=70)
+        assert dram.data_access() == 100
+        assert dram.walk_access() == 70
+
+    def test_counters(self):
+        dram = DRAMModel()
+        dram.data_access()
+        dram.data_access()
+        dram.walk_access()
+        dram.squashed_preload()
+        assert dram.stats.data_accesses == 2
+        assert dram.stats.walk_accesses == 1
+        assert dram.stats.squashed_preloads == 1
+        assert dram.stats.total_accesses == 4
+
+    def test_walk_latency_below_data_latency(self):
+        """Walk fetches enjoy row-buffer locality: the default model keeps
+        them cheaper than demand data fetches."""
+        dram = DRAMModel()
+        assert dram.walk_latency < dram.data_latency
+
+
+class TestEnergyModel:
+    def test_default_table_relative_costs(self):
+        model = EnergyModel()
+        # CACTI-like hierarchy: FA TLB >> SA SRAM, DRAM >> everything.
+        assert model.cost("tlb_fa_lookup") > model.cost("sram_lookup")
+        assert model.cost("dram_access") > model.cost("tlb_fa_lookup")
+
+    def test_unknown_event_rejected(self):
+        account = EnergyAccount()
+        with pytest.raises(KeyError):
+            account.add("flux_capacitor")
+
+    def test_accumulation(self):
+        account = EnergyAccount()
+        account.add("sram_lookup", 10)
+        account.add("sram_lookup", 5)
+        account.add("dram_access", 2)
+        expected = (15 * DEFAULT_ENERGY_PJ["sram_lookup"]
+                    + 2 * DEFAULT_ENERGY_PJ["dram_access"])
+        assert account.total_pj() == pytest.approx(expected)
+
+    def test_breakdown(self):
+        account = EnergyAccount()
+        account.add("tlb_fa_lookup", 3)
+        breakdown = account.breakdown_pj()
+        assert breakdown == {
+            "tlb_fa_lookup": 3 * DEFAULT_ENERGY_PJ["tlb_fa_lookup"]
+        }
+
+    def test_empty_account_is_zero(self):
+        assert EnergyAccount().total_pj() == 0.0
+
+    def test_custom_table(self):
+        account = EnergyAccount(model=EnergyModel(table={"sram_lookup": 1.0}))
+        account.add("sram_lookup", 7)
+        assert account.total_pj() == 7.0

@@ -1,0 +1,75 @@
+"""Per-range IOTLB shootdown (repro.hw.iommu.invalidate_range)."""
+
+import pytest
+
+from repro.common.errors import PageFault
+from repro.common.perms import Perm
+from repro.core.config import standard_configs, two_level_tlb_config
+from repro.hw.dram import DRAMModel
+from repro.hw.iommu import IOMMU
+from repro.kernel.kernel import Kernel
+
+MB = 1 << 20
+
+
+def machine(config):
+    kernel = Kernel(phys_bytes=128 * MB, policy=config.policy)
+    proc = kernel.spawn()
+    iommu = IOMMU(config, proc.page_table, DRAMModel())
+    return proc, iommu
+
+
+class TestInvalidateRange:
+    @pytest.mark.parametrize("name", ["conv_4k", "conv_2m", "dvm_pe"])
+    def test_unmap_then_invalidate_faults(self, name):
+        config = standard_configs()[name]
+        proc, iommu = machine(config)
+        alloc = proc.vmm.mmap(1 * MB, Perm.READ_WRITE)
+        iommu.access(alloc.va)  # cache the translation/validation
+        va, size = alloc.va, alloc.size
+        proc.vmm.munmap(alloc)
+        iommu.invalidate_range(va, size)
+        with pytest.raises(PageFault):
+            iommu.access(va)
+
+    def test_stale_entry_without_invalidate(self):
+        """Motivation for shootdowns: without one, the TLB serves a stale
+        translation after unmap (a correctness hazard the OS must close)."""
+        config = standard_configs()["conv_4k"]
+        proc, iommu = machine(config)
+        alloc = proc.vmm.mmap(1 * MB, Perm.READ_WRITE)
+        iommu.access(alloc.va)
+        proc.vmm.munmap(alloc)
+        # The stale TLB entry still answers: no fault is raised.
+        stats = iommu.access(alloc.va)
+        assert stats.tlb_misses == 0
+
+    def test_other_ranges_unaffected(self):
+        config = standard_configs()["conv_4k"]
+        proc, iommu = machine(config)
+        keep = proc.vmm.mmap(1 * MB, Perm.READ_WRITE)
+        drop = proc.vmm.mmap(1 * MB, Perm.READ_WRITE)
+        iommu.access(keep.va)
+        iommu.access(drop.va)
+        iommu.invalidate_range(drop.va, drop.size)
+        # keep's TLB entry survives the ranged shootdown.
+        stats = iommu.access(keep.va)
+        assert stats.tlb_misses == 0
+
+    def test_two_level_tlb_invalidated(self):
+        config = two_level_tlb_config()
+        proc, iommu = machine(config)
+        alloc = proc.vmm.mmap(1 * MB, Perm.READ_WRITE)
+        iommu.access(alloc.va)
+        assert iommu.tlb_l2.occupancy() > 0
+        iommu.invalidate_range(alloc.va, alloc.size)
+        assert iommu.tlb_l2.occupancy() == 0
+
+    def test_dvm_memo_invalidated(self):
+        config = standard_configs()["dvm_pe"]
+        proc, iommu = machine(config)
+        alloc = proc.vmm.mmap(1 * MB, Perm.READ_WRITE)
+        iommu.access(alloc.va)
+        assert iommu.walker._memo
+        iommu.invalidate_range(alloc.va, alloc.size)
+        assert not iommu.walker._memo

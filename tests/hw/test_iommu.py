@@ -1,0 +1,210 @@
+"""IOMMU per-configuration behaviour (repro.hw.iommu)."""
+
+import numpy as np
+import pytest
+
+from repro.common.consts import PAGE_SIZE
+from repro.common.errors import PageFault, ProtectionFault
+from repro.common.perms import Perm
+from repro.core.config import standard_configs
+from repro.hw.bitmap import PermissionBitmap
+from repro.hw.dram import DRAMModel
+from repro.hw.iommu import IOMMU
+from repro.kernel.kernel import Kernel
+
+MB = 1 << 20
+
+
+def make_system(config_name: str, heap=8 * MB, perm=Perm.READ_WRITE):
+    """(iommu, heap allocation, dram) under one standard configuration."""
+    config = standard_configs()[config_name]
+    bitmap = (PermissionBitmap(cache_blocks=config.bitmap_cache_blocks)
+              if config.mech == "dvm_bm" else None)
+    factory = (lambda k, p: bitmap) if bitmap is not None else None
+    kernel = Kernel(phys_bytes=256 * MB, policy=config.policy,
+                    perm_bitmap_factory=factory)
+    proc = kernel.spawn()
+    alloc = proc.vmm.mmap(heap, perm, name="heap")
+    dram = DRAMModel()
+    iommu = IOMMU(config, proc.page_table, dram, perm_bitmap=bitmap)
+    return iommu, alloc, dram
+
+
+CONFIG_NAMES = ("conv_4k", "conv_2m", "conv_1g", "dvm_bm", "dvm_pe",
+                "dvm_pe_plus", "ideal")
+
+
+class TestAllConfigs:
+    @pytest.mark.parametrize("name", CONFIG_NAMES)
+    def test_valid_trace_completes(self, name):
+        iommu, alloc, _ = make_system(name)
+        rng = np.random.default_rng(0)
+        addrs = alloc.va + rng.integers(0, alloc.size // 8, 2000) * 8
+        writes = (rng.random(2000) < 0.3).astype(np.int8)
+        stats = iommu.run_trace(addrs, writes)
+        assert stats.accesses == 2000
+        assert stats.reads + stats.writes == 2000
+
+    @pytest.mark.parametrize("name", CONFIG_NAMES)
+    def test_write_to_readonly_faults(self, name):
+        iommu, alloc, _ = make_system(name, perm=Perm.READ_ONLY)
+        if name == "ideal":
+            # Ideal performs no checks: direct physical access.
+            iommu.access(alloc.va, is_write=True)
+            return
+        with pytest.raises(ProtectionFault):
+            iommu.access(alloc.va, is_write=True)
+
+    @pytest.mark.parametrize("name", [n for n in CONFIG_NAMES
+                                      if n != "ideal"])
+    def test_unmapped_access_page_faults(self, name):
+        iommu, alloc, _ = make_system(name)
+        with pytest.raises(PageFault):
+            iommu.access(alloc.va + 64 * MB)
+
+    @pytest.mark.parametrize("name", CONFIG_NAMES)
+    def test_length_mismatch_rejected(self, name):
+        iommu, alloc, _ = make_system(name)
+        with pytest.raises(ValueError):
+            iommu.run_trace([alloc.va], [0, 1])
+
+
+class TestIdeal:
+    def test_zero_overhead(self):
+        iommu, alloc, dram = make_system("ideal")
+        stats = iommu.run_trace([alloc.va] * 100, [0] * 100)
+        assert stats.sram_stall_cycles == 0
+        assert stats.mem_stall_cycles == 0
+        assert stats.energy.total_pj() == 0
+        assert dram.stats.data_accesses == 100
+
+
+class TestConventional:
+    def test_tlb_hit_costs_nothing(self):
+        iommu, alloc, _ = make_system("conv_4k")
+        iommu.access(alloc.va)  # warm
+        stats = iommu.run_trace([alloc.va] * 50, [0] * 50)
+        assert stats.tlb_misses == 0
+        assert stats.sram_stall_cycles == 0
+        assert stats.mem_stall_cycles == 0
+
+    def test_miss_walks_and_fills(self):
+        iommu, alloc, dram = make_system("conv_4k")
+        stats = iommu.access(alloc.va)
+        assert stats.tlb_misses == 1
+        assert stats.walks == 1
+        assert stats.walk_mem_accesses >= 1  # at least the L1 PTE
+        assert stats.mem_stall_cycles >= dram.walk_latency
+
+    def test_2m_analog_reach(self):
+        iommu, alloc, _ = make_system("conv_2m")
+        analog = iommu.config.tlb_page_size
+        # Touch one address, then another in the same analog page.
+        iommu.access(alloc.va)
+        stats = iommu.access(alloc.va + analog - 8)
+        assert stats.tlb_misses == 0
+
+    def test_energy_counts_fa_tlb(self):
+        iommu, alloc, _ = make_system("conv_4k")
+        stats = iommu.run_trace([alloc.va] * 10, [0] * 10)
+        assert stats.energy.events.get("tlb_fa_lookup") == 10
+
+
+class TestDVMPE:
+    def test_every_access_validates(self):
+        iommu, alloc, _ = make_system("dvm_pe")
+        stats = iommu.run_trace([alloc.va] * 10, [0] * 10)
+        assert stats.walks == 10
+        assert stats.identity_accesses == 10
+        assert stats.fallback_accesses == 0
+
+    def test_dav_on_critical_path(self):
+        iommu, alloc, _ = make_system("dvm_pe")
+        iommu.access(alloc.va)  # warm the AVC
+        stats = iommu.access(alloc.va)
+        assert stats.sram_stall_cycles >= 2  # the paper's 2-4 AVC accesses
+        assert stats.mem_stall_cycles == 0
+
+    def test_no_tlb(self):
+        iommu, _, _ = make_system("dvm_pe")
+        assert iommu.tlb is None
+
+
+class TestDVMPEPlus:
+    def test_reads_hide_dav_entirely(self):
+        iommu, alloc, _ = make_system("dvm_pe_plus")
+        iommu.access(alloc.va)  # warm
+        stats = iommu.access(alloc.va, is_write=False)
+        assert stats.sram_stall_cycles == 0
+        assert stats.mem_stall_cycles == 0
+        assert stats.squashed_preloads == 0
+
+    def test_writes_pay_dav(self):
+        iommu, alloc, _ = make_system("dvm_pe_plus")
+        iommu.access(alloc.va)  # warm
+        stats = iommu.access(alloc.va, is_write=True)
+        assert stats.sram_stall_cycles >= 2
+
+    def test_non_identity_read_squashes(self):
+        # Exhaust contiguity so the heap falls back to demand paging.
+        config = standard_configs()["dvm_pe_plus"]
+        kernel = Kernel(phys_bytes=64 * MB, policy=config.policy)
+        proc = kernel.spawn()
+        big = proc.vmm.mmap(16 * MB, Perm.READ_WRITE)
+        assert big.identity
+        free = kernel.phys.free_bytes
+        fallback = proc.vmm.mmap((free // 2) + (free // 4), Perm.READ_WRITE)
+        assert not fallback.identity
+        dram = DRAMModel()
+        iommu = IOMMU(config, proc.page_table, dram)
+        stats = iommu.access(fallback.va, is_write=False)
+        assert stats.squashed_preloads == 1
+        assert stats.mem_stall_cycles >= dram.data_latency
+        assert dram.stats.squashed_preloads == 1
+
+
+class TestDVMBM:
+    def test_identity_access_uses_bitmap_only(self):
+        iommu, alloc, _ = make_system("dvm_bm")
+        iommu.access(alloc.va)  # warm the bitmap cache
+        stats = iommu.access(alloc.va)
+        assert stats.bitmap_lookups == 1
+        assert stats.tlb_lookups == 0
+        assert stats.walks == 0
+        assert stats.sram_stall_cycles == 1
+
+    def test_bitmap_miss_costs_memory(self):
+        iommu, alloc, dram = make_system("dvm_bm")
+        stats = iommu.access(alloc.va)
+        assert stats.bitmap_mem_accesses == 1
+        assert stats.mem_stall_cycles == dram.walk_latency
+
+    def test_non_identity_falls_back_to_tlb(self):
+        config = standard_configs()["dvm_bm"]
+        bitmap = PermissionBitmap(cache_blocks=config.bitmap_cache_blocks)
+        kernel = Kernel(phys_bytes=64 * MB, policy=config.policy,
+                        perm_bitmap_factory=lambda k, p: bitmap)
+        proc = kernel.spawn()
+        big = proc.vmm.mmap(16 * MB, Perm.READ_WRITE)
+        assert big.identity
+        free = kernel.phys.free_bytes
+        fallback = proc.vmm.mmap((free // 2) + (free // 4), Perm.READ_WRITE)
+        assert not fallback.identity
+        iommu = IOMMU(config, proc.page_table, DRAMModel(),
+                      perm_bitmap=bitmap)
+        stats = iommu.access(fallback.va)
+        assert stats.fallback_accesses == 1
+        assert stats.tlb_lookups == 1
+        assert stats.walks == 1
+
+    def test_requires_bitmap(self):
+        config = standard_configs()["dvm_bm"]
+        kernel = Kernel(phys_bytes=64 * MB, policy=MemPolicy_conv())
+        proc = kernel.spawn()
+        with pytest.raises(ValueError):
+            IOMMU(config, proc.page_table, DRAMModel())
+
+
+def MemPolicy_conv():
+    from repro.kernel.vm_syscalls import MemPolicy
+    return MemPolicy(mode="conventional")

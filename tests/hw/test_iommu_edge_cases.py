@@ -1,0 +1,99 @@
+"""IOMMU edge cases across mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.common.perms import Perm
+from repro.core.config import config_with, standard_configs
+from repro.hw.dram import DRAMModel
+from repro.hw.iommu import IOMMU
+from repro.kernel.kernel import Kernel
+
+MB = 1 << 20
+
+
+class TestEdgeCases:
+    def test_empty_trace(self):
+        config = standard_configs()["dvm_pe"]
+        kernel = Kernel(phys_bytes=64 * MB, policy=config.policy)
+        proc = kernel.spawn()
+        iommu = IOMMU(config, proc.page_table, DRAMModel())
+        stats = iommu.run_trace([], [])
+        assert stats.accesses == 0
+        assert stats.energy.total_pj() == 0.0
+
+    def test_l2_tlb_ignored_for_bitmap_mech(self):
+        """A second-level TLB is a conventional-path feature; DVM-BM keeps
+        its single fallback TLB."""
+        from repro.hw.bitmap import PermissionBitmap
+        base = standard_configs()["dvm_bm"]
+        config = config_with(base, tlb_l2_entries=64)
+        bitmap = PermissionBitmap()
+        kernel = Kernel(phys_bytes=64 * MB, policy=config.policy,
+                        perm_bitmap_factory=lambda k, p: bitmap)
+        proc = kernel.spawn()
+        iommu = IOMMU(config, proc.page_table, DRAMModel(),
+                      perm_bitmap=bitmap)
+        assert iommu.tlb_l2 is None
+
+    def test_read_only_region_readable_everywhere(self):
+        for name in ("conv_4k", "dvm_bm", "dvm_pe", "dvm_pe_plus"):
+            config = standard_configs()[name]
+            from repro.hw.bitmap import PermissionBitmap
+            bitmap = (PermissionBitmap() if config.mech == "dvm_bm"
+                      else None)
+            factory = (lambda k, p: bitmap) if bitmap else None
+            kernel = Kernel(phys_bytes=64 * MB, policy=config.policy,
+                            perm_bitmap_factory=factory)
+            proc = kernel.spawn()
+            alloc = proc.vmm.mmap(1 * MB, Perm.READ_ONLY)
+            iommu = IOMMU(config, proc.page_table, DRAMModel(),
+                          perm_bitmap=bitmap)
+            stats = iommu.access(alloc.va)
+            assert stats.accesses == 1
+
+    def test_dram_counters_accumulate_across_runs(self):
+        config = standard_configs()["ideal"]
+        kernel = Kernel(phys_bytes=64 * MB, policy=config.policy)
+        proc = kernel.spawn()
+        alloc = proc.vmm.mmap(1 * MB)
+        dram = DRAMModel()
+        iommu = IOMMU(config, proc.page_table, dram)
+        iommu.run_trace([alloc.va] * 10, [0] * 10)
+        iommu.run_trace([alloc.va] * 5, [0] * 5)
+        assert dram.stats.data_accesses == 15
+
+    def test_interleaved_identity_and_fallback_accounting(self):
+        """Counts stay exact when identity and fallback pages interleave
+        at fine grain (the DVM-BM fallback path's bookkeeping)."""
+        from repro.hw.bitmap import PermissionBitmap
+        from repro.common.errors import OutOfMemoryError
+        config = standard_configs()["dvm_bm"]
+        bitmap = PermissionBitmap(cache_blocks=config.bitmap_cache_blocks)
+        kernel = Kernel(phys_bytes=64 * MB, policy=config.policy,
+                        perm_bitmap_factory=lambda k, p: bitmap)
+        proc = kernel.spawn()
+        ident = proc.vmm.mmap(4 * MB, Perm.READ_WRITE)
+        chunks = []
+        while True:
+            try:
+                chunks.append(proc.vmm.mmap(1 * MB, Perm.READ_WRITE))
+            except OutOfMemoryError:
+                break
+        for chunk in chunks[::2]:
+            proc.vmm.munmap(chunk)
+        fallback = proc.vmm.mmap(4 * MB, Perm.READ_WRITE)
+        assert not fallback.identity
+        iommu = IOMMU(config, proc.page_table, DRAMModel(),
+                      perm_bitmap=bitmap)
+        n = 1000
+        rng = np.random.default_rng(1)
+        addrs = np.where(
+            np.arange(n) % 2 == 0,
+            ident.va + rng.integers(0, ident.size // 8, n) * 8,
+            fallback.va + rng.integers(0, fallback.size // 8, n) * 8,
+        ).astype(np.int64)
+        stats = iommu.run_trace(addrs, np.zeros(n, dtype=np.int8))
+        assert stats.identity_accesses == n // 2
+        assert stats.fallback_accesses == n // 2
+        assert stats.tlb_lookups == n // 2

@@ -1,0 +1,146 @@
+"""Equivalence of the IOMMU's inlined hot loops with the model objects.
+
+The trace loops in :mod:`repro.hw.iommu` inline the TLB / walk-cache /
+bitmap-cache dictionary operations for speed.  These tests re-simulate the
+same traces through the *public methods* of :class:`TLB`,
+:class:`PageTableWalker` and :class:`PermissionBitmap` and check that the
+aggregate statistics agree exactly — so the optimisation can never drift
+from the specified behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.perms import Perm
+from repro.core.config import standard_configs
+from repro.core.preload import preload_decision
+from repro.hw.bitmap import PermissionBitmap
+from repro.hw.dram import DRAMModel
+from repro.hw.iommu import IOMMU
+from repro.hw.tlb import TLB
+from repro.hw.walkcache import AccessValidationCache, PageWalkCache
+from repro.hw.walker import PageTableWalker
+from repro.kernel.kernel import Kernel
+
+MB = 1 << 20
+
+
+def build(config_name, heap=4 * MB, phys=128 * MB):
+    config = standard_configs()[config_name]
+    bitmap = (PermissionBitmap(cache_blocks=config.bitmap_cache_blocks)
+              if config.mech == "dvm_bm" else None)
+    factory = (lambda k, p: bitmap) if bitmap is not None else None
+    kernel = Kernel(phys_bytes=phys, policy=config.policy,
+                    perm_bitmap_factory=factory)
+    proc = kernel.spawn()
+    alloc = proc.vmm.mmap(heap, Perm.READ_WRITE)
+    return config, proc, alloc, bitmap
+
+
+def trace_for(alloc, n=4000, seed=7, write_frac=0.3):
+    rng = np.random.default_rng(seed)
+    mixed = np.where(
+        rng.random(n) < 0.5,
+        rng.integers(0, alloc.size // 8, n) * 8,        # random
+        (np.arange(n) * 8) % alloc.size,                 # sequential
+    )
+    addrs = alloc.va + mixed
+    writes = (rng.random(n) < write_frac).astype(np.int8)
+    return addrs, writes
+
+
+class ReferenceConventional:
+    """Slow reference: TLB + walker via public methods only."""
+
+    def __init__(self, config, page_table, walk_latency):
+        self.tlb = TLB(config.tlb_entries, page_size=config.tlb_page_size,
+                       ways=config.tlb_ways)
+        self.walker = PageTableWalker(page_table, PageWalkCache(
+            config.walk_cache_blocks, config.walk_cache_ways))
+        self.walk_latency = walk_latency
+
+    def run(self, addrs, writes):
+        sram = mem = misses = walk_mem = 0
+        for va, _w in zip(addrs.tolist(), writes.tolist()):
+            entry = self.tlb.lookup(int(va))
+            if entry is not None:
+                continue
+            misses += 1
+            info, s, m = self.walker.walk(int(va))
+            sram += s
+            mem += m * self.walk_latency
+            walk_mem += m
+            self.tlb.fill(int(va), info[2] + (int(va) & 0xFFF), info[1])
+        return sram, mem, misses, walk_mem
+
+
+class TestConventionalEquivalence:
+    @pytest.mark.parametrize("name", ["conv_4k", "conv_2m", "conv_1g"])
+    def test_matches_reference(self, name):
+        config, proc, alloc, _ = build(name)
+        addrs, writes = trace_for(alloc)
+        dram = DRAMModel()
+        iommu = IOMMU(config, proc.page_table, dram)
+        stats = iommu.run_trace(addrs, writes)
+        ref = ReferenceConventional(config, proc.page_table,
+                                    dram.walk_latency)
+        ref_sram, ref_mem, ref_misses, ref_walk_mem = ref.run(addrs, writes)
+        assert stats.sram_stall_cycles == ref_sram
+        assert stats.mem_stall_cycles == ref_mem
+        assert stats.tlb_misses == ref_misses
+        assert stats.walk_mem_accesses == ref_walk_mem
+
+
+class TestDAVEquivalence:
+    @pytest.mark.parametrize("preload", [False, True])
+    def test_matches_reference(self, preload):
+        name = "dvm_pe_plus" if preload else "dvm_pe"
+        config, proc, alloc, _ = build(name)
+        addrs, writes = trace_for(alloc)
+        dram = DRAMModel()
+        iommu = IOMMU(config, proc.page_table, dram)
+        stats = iommu.run_trace(addrs, writes)
+        walker = PageTableWalker(proc.page_table, AccessValidationCache(
+            config.walk_cache_blocks, config.walk_cache_ways))
+        sram = mem = squash = 0
+        for va, w in zip(addrs.tolist(), writes.tolist()):
+            info, s, m = walker.walk(int(va))
+            if preload:
+                decision = preload_decision(
+                    is_write=bool(w), identity=info[3], dav_sram_cycles=s,
+                    dav_mem_accesses=m, walk_latency=dram.walk_latency,
+                    data_latency=dram.data_latency)
+                sram += decision.exposed_sram_cycles
+                mem += decision.exposed_mem_cycles
+                squash += decision.squashed
+            else:
+                sram += s
+                mem += m * dram.walk_latency
+        assert stats.sram_stall_cycles == sram
+        assert stats.mem_stall_cycles == mem
+        assert stats.squashed_preloads == squash
+
+
+class TestBitmapEquivalence:
+    def test_matches_reference(self):
+        config, proc, alloc, bitmap = build("dvm_bm")
+        addrs, writes = trace_for(alloc)
+        dram = DRAMModel()
+        iommu = IOMMU(config, proc.page_table, dram, perm_bitmap=bitmap)
+        stats = iommu.run_trace(addrs, writes)
+        # Reference uses a fresh bitmap cache over the same permissions.
+        ref_bitmap = PermissionBitmap(
+            cache_blocks=config.bitmap_cache_blocks)
+        ref_bitmap._perms = dict(bitmap._perms)
+        sram = mem = identity = 0
+        for va in addrs.tolist():
+            lookup = ref_bitmap.lookup(int(va))
+            sram += 1
+            if not lookup.cache_hit:
+                mem += dram.walk_latency
+            if lookup.identity:
+                identity += 1
+        assert stats.sram_stall_cycles == sram
+        assert stats.mem_stall_cycles == mem
+        assert stats.identity_accesses == identity
+        assert stats.bitmap_mem_accesses == ref_bitmap.memory_accesses

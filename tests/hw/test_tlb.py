@@ -1,0 +1,115 @@
+"""TLB models (repro.hw.tlb)."""
+
+import pytest
+
+from repro.common.consts import PAGE_SIZE
+from repro.common.perms import Perm
+from repro.hw.tlb import TLB, TwoLevelTLB
+
+
+class TestTLBBasics:
+    def test_miss_then_hit(self):
+        tlb = TLB(entries=4)
+        assert tlb.lookup(0x1000) is None
+        tlb.fill(0x1000, 0x8000, Perm.READ_WRITE)
+        assert tlb.lookup(0x1234) == (0x8000, int(Perm.READ_WRITE))
+
+    def test_translate(self):
+        tlb = TLB(entries=4)
+        tlb.fill(0x1000, 0x8000, Perm.READ_WRITE)
+        assert tlb.translate(0x1234) == 0x8234
+
+    def test_fill_stores_region_base(self):
+        tlb = TLB(entries=4)
+        # Fill with a VA in the middle of the page.
+        tlb.fill(0x1800, 0x8800, Perm.READ_ONLY)
+        assert tlb.translate(0x1000) == 0x8000
+
+    def test_reach(self):
+        tlb = TLB(entries=128, page_size=PAGE_SIZE)
+        assert tlb.reach == 128 * PAGE_SIZE
+
+    def test_lru_eviction(self):
+        tlb = TLB(entries=2)
+        tlb.fill(0x1000, 0x1000, Perm.READ_WRITE)
+        tlb.fill(0x2000, 0x2000, Perm.READ_WRITE)
+        tlb.lookup(0x1000)                     # touch: 0x2000 becomes LRU
+        tlb.fill(0x3000, 0x3000, Perm.READ_WRITE)
+        assert tlb.lookup(0x1000) is not None
+        assert tlb.lookup(0x2000) is None
+
+    def test_huge_page_granularity(self):
+        page = 64 << 10
+        tlb = TLB(entries=4, page_size=page)
+        tlb.fill(0, 0x40_0000, Perm.READ_WRITE)
+        # The whole 64 KB region hits from one entry.
+        assert tlb.lookup(page - 1) is not None
+        assert tlb.lookup(page) is None
+        assert tlb.translate(page - 8) == 0x40_0000 + page - 8
+
+    def test_set_associative_conflicts(self):
+        tlb = TLB(entries=4, ways=1)  # 4 sets, direct mapped
+        tlb.fill(0 * PAGE_SIZE, 0, Perm.READ_WRITE)
+        tlb.fill(4 * PAGE_SIZE, 0, Perm.READ_WRITE)  # same set
+        assert tlb.lookup(0) is None
+
+    def test_refill_same_page_updates(self):
+        tlb = TLB(entries=2)
+        tlb.fill(0x1000, 0x8000, Perm.READ_ONLY)
+        tlb.fill(0x1000, 0x9000, Perm.READ_WRITE)
+        assert tlb.lookup(0x1000) == (0x9000, int(Perm.READ_WRITE))
+        assert tlb.occupancy() == 1
+
+    def test_invalidate_all(self):
+        tlb = TLB(entries=4)
+        tlb.fill(0x1000, 0x1000, Perm.READ_WRITE)
+        tlb.invalidate_all()
+        assert tlb.lookup(0x1000) is None
+
+    def test_stats(self):
+        tlb = TLB(entries=4)
+        tlb.lookup(0x1000)
+        tlb.fill(0x1000, 0x1000, Perm.READ_WRITE)
+        tlb.lookup(0x1000)
+        assert tlb.stats.hits == 1
+        assert tlb.stats.misses == 1
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            TLB(entries=0)
+        with pytest.raises(ValueError):
+            TLB(entries=6, ways=4)
+        with pytest.raises(ValueError):
+            TLB(entries=4, page_size=3000)
+
+
+class TestTwoLevelTLB:
+    def test_l1_hit(self):
+        tlb = TwoLevelTLB(l1_entries=4, l2_entries=16)
+        tlb.fill(0x1000, 0x8000, Perm.READ_WRITE)
+        where, entry = tlb.lookup(0x1000)
+        assert where == "l1"
+        assert entry == (0x8000, int(Perm.READ_WRITE))
+
+    def test_l2_hit_refills_l1(self):
+        tlb = TwoLevelTLB(l1_entries=2, l2_entries=16, l2_ways=16)
+        # Fill 3 pages: the first falls out of the 2-entry L1 but stays in L2.
+        for i in range(3):
+            tlb.fill(i * PAGE_SIZE, i * PAGE_SIZE, Perm.READ_WRITE)
+        where, _ = tlb.lookup(0)
+        assert where == "l2"
+        where, _ = tlb.lookup(0)
+        assert where == "l1"
+
+    def test_full_miss(self):
+        tlb = TwoLevelTLB(l1_entries=4, l2_entries=16)
+        where, entry = tlb.lookup(0x5000)
+        assert where == "miss"
+        assert entry is None
+
+    def test_miss_rate(self):
+        tlb = TwoLevelTLB(l1_entries=4, l2_entries=16)
+        tlb.lookup(0x1000)
+        tlb.fill(0x1000, 0x1000, Perm.READ_WRITE)
+        tlb.lookup(0x1000)
+        assert tlb.miss_rate == pytest.approx(0.5)

@@ -1,0 +1,86 @@
+"""Walk caches and their interaction with page-table shape (repro.hw)."""
+
+import numpy as np
+import pytest
+
+from repro.common.consts import PAGE_SIZE, SIZE_2M
+from repro.common.perms import Perm
+from repro.hw.walkcache import (
+    BLOCK_SIZE,
+    AccessValidationCache,
+    PageWalkCache,
+)
+from repro.hw.walker import PageTableWalker
+from repro.kernel.page_table import PageTable
+from repro.kernel.phys import PhysicalMemory
+
+MB = 1 << 20
+
+
+@pytest.fixture
+def phys():
+    return PhysicalMemory(size=512 * MB)
+
+
+class TestGeometry:
+    def test_block_size_is_eight_entries(self):
+        assert BLOCK_SIZE == 64  # eight 8-byte PTEs per block
+
+    def test_defaults(self):
+        pwc = PageWalkCache()
+        assert pwc.num_blocks == 16
+        assert pwc.ways == 4
+
+
+class TestAVCEffectiveness:
+    """The paper's core hardware claim (Section 4.1.2): with PEs, a tiny
+    AVC services whole page walks without memory accesses — the role of
+    both the TLB and the PWC."""
+
+    def test_avc_covers_large_pe_mapped_heap(self, phys):
+        table = PageTable(phys, use_pes=True)
+        heap = 64 * MB
+        table.map_identity_range(SIZE_2M, heap, Perm.READ_WRITE)
+        walker = PageTableWalker(table, AccessValidationCache())
+        rng = np.random.default_rng(0)
+        vas = SIZE_2M + rng.integers(0, heap // 8, 3000) * 8
+        mem = 0
+        for va in vas.tolist():
+            _info, _sram, m = walker.walk(int(va))
+            mem += m
+        # After warmup virtually no walk touches memory.
+        assert mem < 40
+
+    def test_avc_fails_without_pes(self, phys):
+        """Same AVC, conventional tables: the L1 working set overwhelms it
+        (quantifying why PEs and the AVC only work together)."""
+        table = PageTable(phys, use_pes=False)
+        heap = 64 * MB
+        table.map_identity_range(SIZE_2M, heap, Perm.READ_WRITE)
+        walker = PageTableWalker(table, AccessValidationCache())
+        rng = np.random.default_rng(0)
+        vas = SIZE_2M + rng.integers(0, heap // 8, 3000) * 8
+        mem = 0
+        for va in vas.tolist():
+            _info, _sram, m = walker.walk(int(va))
+            mem += m
+        assert mem > 1500  # most walks fetch an L1 PTE from memory
+
+    def test_pwc_never_escapes_l1_fetches(self, phys):
+        """A conventional PWC cannot cache L1 PTEs at all (Section 4.1.2):
+        every 4 KB walk costs >= 1 memory access, forever."""
+        table = PageTable(phys, use_pes=False)
+        table.map_range(0x40_0000, 0x80_0000, 16 * PAGE_SIZE,
+                        Perm.READ_WRITE)
+        walker = PageTableWalker(table, PageWalkCache())
+        for _ in range(20):
+            _info, _sram, mem = walker.walk(0x40_0000)
+            assert mem >= 1
+
+    def test_walker_counts_walks(self, phys):
+        table = PageTable(phys)
+        table.map_page(0, PAGE_SIZE, Perm.READ_WRITE)
+        walker = PageTableWalker(table, AccessValidationCache())
+        walker.walk(0)
+        walker.walk(0)
+        assert walker.walks == 2

@@ -1,0 +1,117 @@
+"""Timed page-table walker with PWC/AVC (repro.hw.walker, .walkcache)."""
+
+import pytest
+
+from repro.common.consts import PAGE_SIZE, SIZE_2M
+from repro.common.perms import Perm
+from repro.hw.walkcache import AccessValidationCache, PageWalkCache
+from repro.hw.walker import PageTableWalker
+from repro.kernel.page_table import PageTable
+from repro.kernel.phys import PhysicalMemory
+
+MB = 1 << 20
+
+
+@pytest.fixture
+def table():
+    phys = PhysicalMemory(size=256 * MB)
+    return PageTable(phys)
+
+
+class TestCachePolicies:
+    def test_pwc_refuses_l1(self):
+        pwc = PageWalkCache()
+        assert pwc.caches_level(4)
+        assert pwc.caches_level(2)
+        assert not pwc.caches_level(1)
+
+    def test_avc_caches_all_levels(self):
+        avc = AccessValidationCache()
+        for level in (1, 2, 3, 4):
+            assert avc.caches_level(level)
+
+
+class TestWalkTiming:
+    def test_pwc_walk_always_touches_memory_for_l1(self, table):
+        """Paper Section 4.1.2: page walks for 4 KB pages via a PWC incur at
+        least one memory access (the L1 PTE is never cached)."""
+        table.map_page(0x40_0000, 0x80_0000, Perm.READ_WRITE)
+        walker = PageTableWalker(table, PageWalkCache())
+        for _ in range(5):
+            _info, _sram, mem = walker.walk(0x40_0000)
+            assert mem >= 1
+
+    def test_avc_walk_hits_entirely_after_warmup(self, table):
+        """The AVC caches L1/PEs: repeat walks need no memory access."""
+        table.map_identity_range(SIZE_2M, SIZE_2M, Perm.READ_WRITE)
+        walker = PageTableWalker(table, AccessValidationCache())
+        walker.walk(SIZE_2M)  # warm
+        info, sram, mem = walker.walk(SIZE_2M)
+        assert mem == 0
+        assert 2 <= sram <= 4  # paper: "2-4 AVC accesses"
+
+    def test_pe_walk_is_shorter(self, table):
+        table.map_identity_range(SIZE_2M, SIZE_2M, Perm.READ_WRITE)
+        table.map_page(0x40_0000, 0x80_0000, Perm.READ_WRITE)
+        walker = PageTableWalker(table, AccessValidationCache())
+        _, pe_sram, _ = walker.walk(SIZE_2M)
+        _, pte_sram, _ = walker.walk(0x40_0000)
+        assert pe_sram == 3   # ends at the L2 PE
+        assert pte_sram == 4  # full walk to L1
+
+    def test_cold_walk_memory_accesses_match_depth(self, table):
+        table.map_page(0x40_0000, 0x80_0000, Perm.READ_WRITE)
+        walker = PageTableWalker(table, AccessValidationCache())
+        _info, sram, mem = walker.walk(0x40_0000)
+        assert sram == 4
+        assert mem == 4  # every level cold-misses
+
+    def test_info_memoized_per_page(self, table):
+        table.map_page(0, 0x100_0000, Perm.READ_WRITE)
+        walker = PageTableWalker(table, AccessValidationCache())
+        first = walker.info_for(0)
+        second = walker.info_for(0)
+        assert first is second
+
+    def test_invalidate_clears_memo(self, table):
+        table.map_page(0, 0x100_0000, Perm.READ_WRITE)
+        walker = PageTableWalker(table, AccessValidationCache())
+        info = walker.info_for(0)
+        walker.invalidate()
+        assert walker.info_for(0) is not info
+
+    def test_info_contents(self, table):
+        table.map_identity_range(SIZE_2M, SIZE_2M, Perm.READ_WRITE)
+        walker = PageTableWalker(table, AccessValidationCache())
+        ok, perm, pa_base, identity, blocks, fixed = walker.info_for(
+            SIZE_2M >> 12)
+        assert ok
+        assert perm == int(Perm.READ_WRITE)
+        assert pa_base == SIZE_2M
+        assert identity
+        assert len(blocks) == 3
+        assert fixed == 0
+
+    def test_unmapped_page_info(self, table):
+        walker = PageTableWalker(table, AccessValidationCache())
+        ok, perm, _pa, identity, blocks, _fixed = walker.info_for(0x999)
+        assert not ok
+        assert perm == 0
+        assert not identity
+        assert len(blocks) >= 1  # at least the root entry was consulted
+
+    def test_pwc_fixed_mem_counts_l1(self, table):
+        table.map_page(0x40_0000, 0x80_0000, Perm.READ_WRITE)
+        walker = PageTableWalker(table, PageWalkCache())
+        info = walker.info_for(0x40_0000 >> 12)
+        assert info[5] == 1       # the L1 entry is never cacheable
+        assert len(info[4]) == 3  # L4..L2 are
+
+    def test_neighbouring_ptes_share_blocks(self, table):
+        """Eight PTEs fit one 64 B block: a neighbour's walk hits the AVC."""
+        table.map_range(0, 0, 8 * PAGE_SIZE, Perm.READ_WRITE)
+        walker = PageTableWalker(table, AccessValidationCache())
+        walker.walk(0)
+        _info, sram, mem = walker.walk(7 * PAGE_SIZE)
+        assert mem == 0
+        assert sram == 4

@@ -1,0 +1,114 @@
+"""Cross-validation: independent components must agree with each other.
+
+These tests tie together pieces that were built separately and could
+silently drift: the IOMMU's timed DAV vs the semantic
+:class:`AccessValidator`, reuse-distance theory vs the simulated TLB, and
+the page table's translations vs the VMM's allocation records.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.perms import Perm
+from repro.core.config import standard_configs
+from repro.core.dav import AccessValidator, DAVOutcome
+from repro.hw.dram import DRAMModel
+from repro.hw.iommu import IOMMU
+from repro.kernel.kernel import Kernel
+
+MB = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def dvm_machine():
+    """A DVM machine with a mixed identity/fallback heap.
+
+    Fallback is forced the way it happens in life: physical memory is
+    filled, then every other chunk freed, leaving 1 MB islands — no 4 MB
+    contiguous run survives, so the next large allocation demand-pages.
+    """
+    from repro.common.errors import OutOfMemoryError
+    config = standard_configs()["dvm_pe"]
+    kernel = Kernel(phys_bytes=64 * MB, policy=config.policy, seed=1)
+    proc = kernel.spawn()
+    identity = proc.vmm.mmap(8 * MB, Perm.READ_WRITE)
+    assert identity.identity
+    chunks = []
+    while True:
+        try:
+            chunks.append(proc.vmm.mmap(1 * MB, Perm.READ_WRITE))
+        except OutOfMemoryError:
+            break
+    for chunk in chunks[::2]:
+        proc.vmm.munmap(chunk)
+    fallback = proc.vmm.mmap(4 * MB, Perm.READ_WRITE)
+    assert not fallback.identity
+    return config, kernel, proc, identity, fallback
+
+
+class TestDAVAgainstIOMMU:
+    def test_identity_classification_agrees(self, dvm_machine):
+        """For every access, the IOMMU's identity/fallback counters match
+        the semantic validator's classification."""
+        config, _kernel, proc, identity, fallback = dvm_machine
+        validator = AccessValidator(proc.page_table)
+        rng = np.random.default_rng(3)
+        addrs = np.where(
+            rng.random(2000) < 0.5,
+            identity.va + rng.integers(0, identity.size // 8, 2000) * 8,
+            fallback.va + rng.integers(0, fallback.size // 8, 2000) * 8,
+        ).astype(np.int64)
+        expected_identity = sum(
+            validator.validate(int(va), "r").outcome == DAVOutcome.VALIDATED
+            for va in addrs
+        )
+        iommu = IOMMU(config, proc.page_table, DRAMModel())
+        stats = iommu.run_trace(addrs, np.zeros(len(addrs), dtype=np.int8))
+        assert stats.identity_accesses == expected_identity
+        assert stats.fallback_accesses == len(addrs) - expected_identity
+
+    def test_translations_agree(self, dvm_machine):
+        """The validator's PA equals the page table's translation for both
+        identity and fallback addresses."""
+        _config, _kernel, proc, identity, fallback = dvm_machine
+        validator = AccessValidator(proc.page_table)
+        for base in (identity.va, fallback.va):
+            for offset in (0, 4096 + 12, 1 * MB):
+                result = validator.validate(base + offset, "r")
+                assert result.pa == proc.page_table.translate(base + offset)
+
+    def test_preload_squashes_equal_fallback_reads(self, dvm_machine):
+        _config, _kernel, proc, identity, fallback = dvm_machine
+        config = standard_configs()["dvm_pe_plus"]
+        iommu = IOMMU(config, proc.page_table, DRAMModel())
+        rng = np.random.default_rng(4)
+        addrs = np.concatenate([
+            identity.va + rng.integers(0, identity.size // 8, 500) * 8,
+            fallback.va + rng.integers(0, fallback.size // 8, 300) * 8,
+        ]).astype(np.int64)
+        writes = np.zeros(len(addrs), dtype=np.int8)
+        stats = iommu.run_trace(addrs, writes)
+        # Every fallback *read* squashes its preload; identity reads don't.
+        assert stats.squashed_preloads == 300
+
+
+class TestAllocationRecordsAgainstPageTable:
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=64), min_size=1,
+                    max_size=10), st.integers(min_value=0, max_value=99))
+    def test_property_every_allocated_page_translates(self, sizes, seed):
+        """Under random allocation sequences, every byte the VMM reports
+        as mapped walks successfully, and identity flags match PA == VA."""
+        kernel = Kernel(phys_bytes=128 * MB,
+                        policy=standard_configs()["dvm_pe"].policy,
+                        seed=seed)
+        proc = kernel.spawn()
+        for pages in sizes:
+            proc.vmm.mmap(pages * 4096)
+        for alloc in proc.vmm.allocations():
+            for offset in (0, alloc.size // 2, alloc.size - 1):
+                result = proc.page_table.walk(alloc.va + offset)
+                assert result.ok
+                assert result.identity == alloc.identity

@@ -1,0 +1,117 @@
+"""End-to-end shape tests for the paper's headline claims.
+
+These run the full pipeline (datasets -> accelerator -> OS -> IOMMU ->
+metrics) at bench scale with bench-scale hardware, and assert the *shape*
+of every headline result — who wins, in what order — as DESIGN.md requires.
+Absolute magnitudes are recorded against the paper in EXPERIMENTS.md from
+the full-profile runs.
+"""
+
+import pytest
+
+from repro.core.config import HardwareScale
+from repro.experiments import figure8, figure9
+from repro.sim.runner import ExperimentRunner
+
+PAIRS = [("pagerank", "LJ"), ("bfs", "Wiki"), ("sssp", "S24"), ("cf", "NF")]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(profile="bench", scale=HardwareScale.bench())
+
+
+@pytest.fixture(scope="module")
+def fig8_rows(runner):
+    return figure8.figure8(runner, pairs=PAIRS)
+
+
+@pytest.fixture(scope="module")
+def fig9_rows(runner):
+    return figure9.figure9(runner, pairs=PAIRS)
+
+
+class TestFigure8Claims:
+    def test_dvm_pe_overhead_is_small(self, fig8_rows):
+        """Paper: DVM-PE keeps overheads to ~3.5% on average.  At bench
+        scale the tiny arrays fall below the 128 KB PE granularity more
+        often, so the bound here is looser; the full profile measures ~3%
+        (EXPERIMENTS.md)."""
+        avg = figure8.averages(fig8_rows)
+        assert avg["dvm_pe"] - 1.0 < 0.25
+
+    def test_preload_cuts_overhead_further(self, fig8_rows):
+        """Paper: DVM-PE+ reduces overheads below DVM-PE (3.5% -> 1.7%)."""
+        avg = figure8.averages(fig8_rows)
+        assert avg["dvm_pe_plus"] <= avg["dvm_pe"]
+
+    def test_conventional_4k_overhead_is_large(self, fig8_rows):
+        """Paper: ~119% overhead for 4K conventional VM."""
+        avg = figure8.averages(fig8_rows)
+        assert avg["conv_4k"] > 1.5
+
+    def test_huge_pages_do_not_rescue_conventional(self, fig8_rows):
+        """Paper: 2M pages help by very little on irregular workloads."""
+        avg = figure8.averages(fig8_rows)
+        assert avg["conv_2m"] > 1.2
+
+    def test_dvm_bm_sits_between(self, fig8_rows):
+        """Paper: DVM-BM (23%) beats conventional but trails DVM-PE."""
+        avg = figure8.averages(fig8_rows)
+        assert avg["dvm_pe"] < avg["dvm_bm"] < avg["conv_4k"]
+
+    def test_headline_speedup_over_2m(self, fig8_rows):
+        """Paper: DVM is 2.1x faster than optimized conventional VM."""
+        head = figure8.headline(fig8_rows)
+        assert head["speedup_vs_2m"] > 1.2
+
+    def test_nf_loves_huge_pages(self, runner):
+        """Paper Section 6.3.1: NF's bipartite locality makes 2M pages
+        near-ideal — the one workload where conventional VM wins big."""
+        configs = runner.configs()
+        m2m = runner.run("cf", "NF", configs["conv_2m"])
+        m4k = runner.run("cf", "NF", configs["conv_4k"])
+        assert m2m.normalized_time < m4k.normalized_time
+
+
+class TestFigure9Claims:
+    def test_dvm_pe_energy_reduction(self, fig9_rows):
+        """Paper: DVM-PE uses 3.9x less dynamic MMU energy than 2M."""
+        avg = figure9.averages(fig9_rows)
+        assert avg["conv_2m"] / avg["dvm_pe"] > 1.5
+
+    def test_dvm_pe_well_below_4k_baseline(self, fig9_rows):
+        """Paper: 76% reduction vs the 4K baseline."""
+        avg = figure9.averages(fig9_rows)
+        assert avg["dvm_pe"] < 0.6
+
+    def test_squashed_preloads_cost_energy(self, fig9_rows):
+        """Paper: DVM-PE+ spends slightly more energy than DVM-PE when
+        preloads squash; never less."""
+        avg = figure9.averages(fig9_rows)
+        assert avg["dvm_pe_plus"] >= avg["dvm_pe"] - 1e-12
+
+
+class TestIdentityClaims:
+    def test_accelerator_heaps_fully_identity_mapped(self, runner):
+        """With ample memory, every graph allocation is identity mapped."""
+        configs = runner.configs()
+        metrics = runner.run("pagerank", "LJ", configs["dvm_pe"])
+        assert metrics.identity_fraction == 1.0
+
+    def test_dav_validates_every_access(self, runner):
+        configs = runner.configs()
+        metrics = runner.run("pagerank", "LJ", configs["dvm_pe"])
+        assert metrics.squashed_preloads == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        a = ExperimentRunner(profile="bench", scale=HardwareScale.bench())
+        b = ExperimentRunner(profile="bench", scale=HardwareScale.bench())
+        config = a.configs()["conv_4k"]
+        ma = a.run("bfs", "FR", config)
+        mb = b.run("bfs", "FR", config)
+        assert ma.cycles == mb.cycles
+        assert ma.energy_pj == mb.energy_pj
+        assert ma.tlb_miss_rate == mb.tlb_miss_rate

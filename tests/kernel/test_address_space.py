@@ -1,0 +1,150 @@
+"""Flexible address spaces (repro.kernel.address_space)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.consts import PAGE_SIZE
+from repro.common.errors import AddressSpaceError
+from repro.common.perms import Perm
+from repro.kernel.address_space import USER_VA_LIMIT, AddressSpace
+
+MB = 1 << 20
+
+
+@pytest.fixture
+def aspace():
+    return AddressSpace(rng=np.random.default_rng(42))
+
+
+class TestReserveExact:
+    def test_simple_reservation(self, aspace):
+        vma = aspace.reserve_exact(16 * MB, 4 * MB, Perm.READ_WRITE)
+        assert vma.start == 16 * MB
+        assert vma.size == 4 * MB
+
+    def test_overlap_rejected(self, aspace):
+        aspace.reserve_exact(16 * MB, 4 * MB, Perm.READ_WRITE)
+        with pytest.raises(AddressSpaceError):
+            aspace.reserve_exact(18 * MB, 4 * MB, Perm.READ_WRITE)
+
+    def test_partial_overlap_from_below_rejected(self, aspace):
+        aspace.reserve_exact(16 * MB, 4 * MB, Perm.READ_WRITE)
+        with pytest.raises(AddressSpaceError):
+            aspace.reserve_exact(14 * MB, 4 * MB, Perm.READ_WRITE)
+
+    def test_adjacent_reservations_allowed(self, aspace):
+        aspace.reserve_exact(16 * MB, 4 * MB, Perm.READ_WRITE)
+        vma = aspace.reserve_exact(20 * MB, 4 * MB, Perm.READ_WRITE)
+        assert vma.start == 20 * MB
+
+    def test_unaligned_start_rejected(self, aspace):
+        with pytest.raises(AddressSpaceError):
+            aspace.reserve_exact(123, PAGE_SIZE, Perm.READ_WRITE)
+
+    def test_size_rounded_to_pages(self, aspace):
+        vma = aspace.reserve_exact(16 * MB, 100, Perm.READ_WRITE)
+        assert vma.size == PAGE_SIZE
+
+    def test_empty_reservation_rejected(self, aspace):
+        with pytest.raises(AddressSpaceError):
+            aspace.reserve_exact(16 * MB, 0, Perm.READ_WRITE)
+
+    def test_beyond_user_limit_rejected(self, aspace):
+        with pytest.raises(AddressSpaceError):
+            aspace.reserve_exact(USER_VA_LIMIT, PAGE_SIZE, Perm.READ_WRITE)
+
+    def test_identity_flag_stored(self, aspace):
+        vma = aspace.reserve_exact(16 * MB, PAGE_SIZE, Perm.READ_WRITE,
+                                   identity=True)
+        assert vma.identity
+
+
+class TestReserveAnywhere:
+    def test_below_mmap_base(self, aspace):
+        vma = aspace.reserve_anywhere(4 * MB, Perm.READ_WRITE)
+        assert vma.end <= aspace.mmap_base
+
+    def test_successive_reservations_disjoint(self, aspace):
+        vmas = [aspace.reserve_anywhere(MB, Perm.READ_WRITE)
+                for _ in range(20)]
+        spans = sorted((v.start, v.end) for v in vmas)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+    def test_alignment_honoured(self, aspace):
+        vma = aspace.reserve_anywhere(MB, Perm.READ_WRITE,
+                                      alignment=4 * MB)
+        assert vma.start % (4 * MB) == 0
+
+    def test_fills_around_exact_reservations(self, aspace):
+        # Occupy the area below mmap_base so the search must skip it.
+        blocker = aspace.reserve_exact(aspace.mmap_base - 8 * MB, 8 * MB,
+                                       Perm.READ_WRITE)
+        vma = aspace.reserve_anywhere(4 * MB, Perm.READ_WRITE)
+        assert not (vma.start < blocker.end and blocker.start < vma.end)
+
+    def test_aslr_seed_changes_layout(self):
+        a = AddressSpace(rng=np.random.default_rng(1))
+        b = AddressSpace(rng=np.random.default_rng(2))
+        assert a.mmap_base != b.mmap_base
+
+    def test_same_seed_is_deterministic(self):
+        a = AddressSpace(rng=np.random.default_rng(7))
+        b = AddressSpace(rng=np.random.default_rng(7))
+        assert a.mmap_base == b.mmap_base
+
+
+class TestQueries:
+    def test_find_hit(self, aspace):
+        vma = aspace.reserve_exact(16 * MB, 2 * MB, Perm.READ_WRITE)
+        assert aspace.find(16 * MB) is vma
+        assert aspace.find(18 * MB - 1) is vma
+
+    def test_find_miss(self, aspace):
+        aspace.reserve_exact(16 * MB, 2 * MB, Perm.READ_WRITE)
+        assert aspace.find(18 * MB) is None
+        assert aspace.find(15 * MB) is None
+
+    def test_is_free(self, aspace):
+        aspace.reserve_exact(16 * MB, 2 * MB, Perm.READ_WRITE)
+        assert aspace.is_free(20 * MB, MB)
+        assert not aspace.is_free(17 * MB, MB)
+
+    def test_total_mapped(self, aspace):
+        aspace.reserve_exact(16 * MB, 2 * MB, Perm.READ_WRITE)
+        aspace.reserve_exact(32 * MB, 3 * MB, Perm.READ_ONLY)
+        assert aspace.total_mapped() == 5 * MB
+
+    def test_vma_contains(self, aspace):
+        vma = aspace.reserve_exact(16 * MB, MB, Perm.READ_WRITE)
+        assert vma.contains(16 * MB)
+        assert not vma.contains(17 * MB)
+
+
+class TestRemove:
+    def test_remove_then_reuse(self, aspace):
+        vma = aspace.reserve_exact(16 * MB, 2 * MB, Perm.READ_WRITE)
+        aspace.remove(vma)
+        assert aspace.find(16 * MB) is None
+        aspace.reserve_exact(16 * MB, 2 * MB, Perm.READ_WRITE)
+
+    def test_remove_unknown_rejected(self, aspace):
+        vma = aspace.reserve_exact(16 * MB, 2 * MB, Perm.READ_WRITE)
+        aspace.remove(vma)
+        with pytest.raises(AddressSpaceError):
+            aspace.remove(vma)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=64), min_size=1,
+                max_size=30))
+def test_property_anywhere_reservations_never_overlap(sizes):
+    aspace = AddressSpace(rng=np.random.default_rng(0))
+    vmas = [aspace.reserve_anywhere(n * PAGE_SIZE, Perm.READ_WRITE)
+            for n in sizes]
+    spans = sorted((v.start, v.end) for v in vmas)
+    for (_, end), (start, _) in zip(spans, spans[1:]):
+        assert end <= start
+    assert aspace.total_mapped() == sum(n * PAGE_SIZE for n in sizes)

@@ -1,0 +1,218 @@
+"""Buddy allocator (repro.kernel.buddy)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.consts import PAGE_SIZE
+from repro.common.errors import OutOfMemoryError
+from repro.kernel.buddy import BuddyAllocator
+
+MB = 1 << 20
+
+
+class TestConstruction:
+    def test_all_memory_initially_free(self):
+        buddy = BuddyAllocator(16 * MB)
+        assert buddy.free_bytes == 16 * MB
+        assert buddy.used_bytes == 0
+
+    def test_non_power_of_two_region(self):
+        buddy = BuddyAllocator(12 * MB)
+        assert buddy.free_bytes == 12 * MB
+        buddy.check_consistency()
+
+    def test_nonzero_base(self):
+        buddy = BuddyAllocator(8 * MB, base=16 * MB)
+        addr = buddy.alloc_block(0)
+        assert addr >= 16 * MB
+
+    def test_rejects_unaligned_size(self):
+        with pytest.raises(ValueError):
+            BuddyAllocator(PAGE_SIZE + 1)
+
+    def test_rejects_unaligned_base(self):
+        with pytest.raises(ValueError):
+            BuddyAllocator(PAGE_SIZE, base=3)
+
+
+class TestAllocBlock:
+    def test_single_frame(self):
+        buddy = BuddyAllocator(1 * MB)
+        addr = buddy.alloc_block(0)
+        assert addr % PAGE_SIZE == 0
+        assert buddy.free_bytes == 1 * MB - PAGE_SIZE
+
+    def test_block_alignment(self):
+        buddy = BuddyAllocator(16 * MB)
+        for order in range(5):
+            addr = buddy.alloc_block(order)
+            assert addr % (PAGE_SIZE << order) == 0
+
+    def test_oom_when_exhausted(self):
+        buddy = BuddyAllocator(2 * PAGE_SIZE)
+        buddy.alloc_block(0)
+        buddy.alloc_block(0)
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc_block(0)
+
+    def test_oom_records_stat(self):
+        buddy = BuddyAllocator(PAGE_SIZE)
+        buddy.alloc_block(0)
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc_block(0)
+        assert buddy.stats.failed_allocations == 1
+
+    def test_oversized_order_rejected(self):
+        buddy = BuddyAllocator(1 * MB)
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc_block(buddy.max_order + 1)
+
+    def test_distinct_blocks_do_not_overlap(self):
+        buddy = BuddyAllocator(4 * MB)
+        blocks = [(buddy.alloc_block(2), PAGE_SIZE << 2) for _ in range(10)]
+        spans = sorted((a, a + s) for a, s in blocks)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+
+class TestFreeAndCoalesce:
+    def test_free_returns_bytes(self):
+        buddy = BuddyAllocator(1 * MB)
+        addr = buddy.alloc_block(3)
+        buddy.free_block(addr, 3)
+        assert buddy.free_bytes == 1 * MB
+
+    def test_full_coalesce_restores_max_block(self):
+        buddy = BuddyAllocator(4 * MB)
+        top = buddy.largest_free_order()
+        addrs = [buddy.alloc_block(0) for _ in range(1024)]
+        for addr in addrs:
+            buddy.free_block(addr, 0)
+        assert buddy.largest_free_order() == top
+        buddy.check_consistency()
+
+    def test_double_free_detected(self):
+        buddy = BuddyAllocator(1 * MB)
+        addr = buddy.alloc_block(0)
+        buddy.alloc_block(0)  # keep the buddy busy so no coalescing occurs
+        buddy.free_block(addr, 0)
+        with pytest.raises(ValueError):
+            buddy.free_block(addr, 0)
+
+    def test_misaligned_free_rejected(self):
+        buddy = BuddyAllocator(1 * MB)
+        addr = buddy.alloc_block(1)
+        with pytest.raises(ValueError):
+            buddy.free_block(addr + PAGE_SIZE, 1)
+
+    def test_merge_stat_counts(self):
+        buddy = BuddyAllocator(1 * MB)
+        a = buddy.alloc_block(0)
+        b = buddy.alloc_block(0)
+        buddy.free_block(a, 0)
+        merges_before = buddy.stats.merges
+        buddy.free_block(b, 0)
+        assert buddy.stats.merges > merges_before
+
+
+class TestAllocRange:
+    def test_eager_rounding_returns_slack(self):
+        buddy = BuddyAllocator(16 * MB)
+        # 3 pages round to a 4-page block; the 4th page is returned.
+        buddy.alloc_range(3 * PAGE_SIZE)
+        assert buddy.used_bytes == 3 * PAGE_SIZE
+
+    def test_exact_power_of_two(self):
+        buddy = BuddyAllocator(16 * MB)
+        buddy.alloc_range(4 * PAGE_SIZE)
+        assert buddy.used_bytes == 4 * PAGE_SIZE
+
+    def test_sub_page_sizes_round_to_page(self):
+        buddy = BuddyAllocator(1 * MB)
+        buddy.alloc_range(100)
+        assert buddy.used_bytes == PAGE_SIZE
+
+    def test_range_is_contiguous_and_aligned(self):
+        buddy = BuddyAllocator(16 * MB)
+        addr = buddy.alloc_range(5 * PAGE_SIZE)
+        # Rounded to an 8-page block: base has 8-page alignment.
+        assert addr % (8 * PAGE_SIZE) == 0
+
+    def test_free_range_roundtrip(self):
+        buddy = BuddyAllocator(16 * MB)
+        addr = buddy.alloc_range(5 * PAGE_SIZE)
+        buddy.free_range(addr, 5 * PAGE_SIZE)
+        assert buddy.free_bytes == 16 * MB
+        buddy.check_consistency()
+
+    def test_free_range_rejects_unaligned(self):
+        buddy = BuddyAllocator(1 * MB)
+        with pytest.raises(ValueError):
+            buddy.free_range(0, 100)
+
+
+class TestFragmentationSignals:
+    def test_largest_free_order_drops_under_fragmentation(self):
+        buddy = BuddyAllocator(1 * MB)
+        top = buddy.largest_free_order()
+        addrs = [buddy.alloc_block(0) for _ in range(256)]
+        # Free every other page: nothing can coalesce.
+        for addr in addrs[::2]:
+            buddy.free_block(addr, 0)
+        assert buddy.largest_free_order() == 0 < top
+
+    def test_free_block_counts(self):
+        buddy = BuddyAllocator(1 * MB)
+        buddy.alloc_block(0)
+        counts = buddy.free_block_counts()
+        assert sum((PAGE_SIZE << order) * n
+                   for order, n in counts.items()) == buddy.free_bytes
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=1, max_value=64)),
+    min_size=1, max_size=60,
+))
+def test_property_random_alloc_free_preserves_invariants(ops):
+    """Random alloc/free sequences keep the free lists consistent."""
+    buddy = BuddyAllocator(8 * MB)
+    live: list[tuple[int, int]] = []
+    for is_alloc, pages in ops:
+        if is_alloc or not live:
+            size = pages * PAGE_SIZE
+            try:
+                addr = buddy.alloc_range(size)
+            except OutOfMemoryError:
+                continue
+            live.append((addr, size))
+        else:
+            addr, size = live.pop()
+            buddy.free_range(addr, ((size + PAGE_SIZE - 1) // PAGE_SIZE)
+                             * PAGE_SIZE)
+        buddy.check_consistency()
+    # Free everything: all memory must return.
+    for addr, size in live:
+        buddy.free_range(addr, ((size + PAGE_SIZE - 1) // PAGE_SIZE)
+                         * PAGE_SIZE)
+    assert buddy.free_bytes == 8 * MB
+    buddy.check_consistency()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=6), min_size=1,
+                max_size=40))
+def test_property_blocks_never_overlap(orders):
+    """All live blocks from any allocation sequence are disjoint."""
+    buddy = BuddyAllocator(8 * MB)
+    live = []
+    for order in orders:
+        try:
+            addr = buddy.alloc_block(order)
+        except OutOfMemoryError:
+            continue
+        live.append((addr, addr + (PAGE_SIZE << order)))
+    live.sort()
+    for (_, end), (start, _) in zip(live, live[1:]):
+        assert end <= start

@@ -1,0 +1,122 @@
+"""Exact-range claims and run composition (repro.kernel.buddy)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.consts import PAGE_SIZE
+from repro.common.errors import OutOfMemoryError
+from repro.kernel.buddy import BuddyAllocator
+
+MB = 1 << 20
+
+
+class TestReserveRange:
+    def test_reserve_free_range(self):
+        buddy = BuddyAllocator(16 * MB)
+        assert buddy.reserve_range(4 * MB, 2 * MB)
+        assert buddy.used_bytes == 2 * MB
+
+    def test_reserve_unaligned_inside_blocks(self):
+        buddy = BuddyAllocator(16 * MB)
+        # An odd page-aligned range in the middle of a big free block.
+        assert buddy.reserve_range(3 * PAGE_SIZE, 5 * PAGE_SIZE)
+        assert buddy.used_bytes == 5 * PAGE_SIZE
+        buddy.check_consistency()
+
+    def test_reserve_taken_range_fails_cleanly(self):
+        buddy = BuddyAllocator(16 * MB)
+        addr = buddy.alloc_range(1 * MB)
+        free_before = buddy.free_bytes
+        assert not buddy.reserve_range(addr, PAGE_SIZE)
+        assert buddy.free_bytes == free_before
+        buddy.check_consistency()
+
+    def test_reserve_partially_taken_fails(self):
+        buddy = BuddyAllocator(16 * MB)
+        addr = buddy.alloc_range(1 * MB)
+        assert not buddy.reserve_range(addr + 512 * 1024, 1 * MB)
+
+    def test_reserved_range_freed_normally(self):
+        buddy = BuddyAllocator(16 * MB)
+        assert buddy.reserve_range(4 * MB, 2 * MB)
+        buddy.free_range(4 * MB, 2 * MB)
+        assert buddy.free_bytes == 16 * MB
+        buddy.check_consistency()
+
+    def test_out_of_bounds_fails(self):
+        buddy = BuddyAllocator(16 * MB)
+        assert not buddy.reserve_range(15 * MB, 2 * MB)
+
+    def test_bad_arguments_rejected(self):
+        buddy = BuddyAllocator(16 * MB)
+        with pytest.raises(ValueError):
+            buddy.reserve_range(100, PAGE_SIZE)
+        with pytest.raises(ValueError):
+            buddy.reserve_range(0, 0)
+
+
+class TestRunComposition:
+    def test_non_power_of_two_is_exact(self):
+        buddy = BuddyAllocator(16 * MB)
+        buddy.alloc_range(3 * MB)
+        # Exact carving: no rounding slack is held.
+        assert buddy.used_bytes == 3 * MB
+
+    def test_run_spans_buddy_boundaries(self):
+        """A run larger than the largest single block still allocates when
+        adjacent free blocks compose it."""
+        buddy = BuddyAllocator(16 * MB)
+        # Fragment so the largest block is 4 MB but [4M, 12M) is free.
+        low = buddy.alloc_range(4 * MB)       # [0, 4M)
+        high = buddy.reserve_range(12 * MB, 4 * MB)
+        assert low == 0 and high
+        assert buddy.largest_free_order() <= 11  # <= 8 MB single block
+        addr = buddy.alloc_range(7 * MB)      # needs composition
+        assert addr == 4 * MB
+        buddy.check_consistency()
+
+    def test_best_fit_prefers_smallest_run(self):
+        buddy = BuddyAllocator(32 * MB)
+        # Create two free runs: a small one [1M, 4M) and the big tail.
+        buddy.reserve_range(0, 1 * MB)
+        buddy.reserve_range(4 * MB, 1 * MB)
+        addr = buddy.alloc_range(3 * MB)
+        assert addr == 1 * MB  # the snug run, not the big tail
+
+    def test_composition_failure_raises(self):
+        buddy = BuddyAllocator(4 * MB)
+        buddy.reserve_range(1 * MB, PAGE_SIZE)  # split the space
+        buddy.reserve_range(3 * MB, PAGE_SIZE)
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc_range(3 * MB)
+        buddy.check_consistency()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(min_value=0, max_value=255),
+              st.integers(min_value=1, max_value=32)),
+    min_size=1, max_size=25,
+))
+def test_property_reserve_claims_are_disjoint_and_reversible(requests):
+    """Arbitrary reserve_range sequences never double-claim and always
+    free back to a pristine allocator."""
+    buddy = BuddyAllocator(4 * MB)
+    claimed: list[tuple[int, int]] = []
+    for page, pages in requests:
+        addr = page * PAGE_SIZE
+        size = pages * PAGE_SIZE
+        if addr + size > 4 * MB:
+            continue
+        ok = buddy.reserve_range(addr, size)
+        overlaps = any(addr < c_end and c_addr < addr + size
+                       for c_addr, c_end in claimed)
+        assert ok == (not overlaps)
+        if ok:
+            claimed.append((addr, addr + size))
+        buddy.check_consistency()
+    for addr, end in claimed:
+        buddy.free_range(addr, end - addr)
+    assert buddy.free_bytes == 4 * MB
+    buddy.check_consistency()

@@ -1,0 +1,102 @@
+"""Identity mapping, Figure 7's algorithm (repro.kernel.identity)."""
+
+import numpy as np
+import pytest
+
+from repro.common.consts import PAGE_SIZE
+from repro.common.perms import Perm
+from repro.kernel.address_space import AddressSpace
+from repro.kernel.identity import IdentityMapper
+from repro.kernel.page_table import PageTable
+from repro.kernel.phys import PhysicalMemory
+
+MB = 1 << 20
+
+
+@pytest.fixture
+def mapper():
+    phys = PhysicalMemory(size=128 * MB)
+    aspace = AddressSpace(rng=np.random.default_rng(3))
+    table = PageTable(phys)
+    return IdentityMapper(phys=phys, aspace=aspace, page_table=table)
+
+
+class TestSuccessPath:
+    def test_va_equals_pa(self, mapper):
+        vma = mapper.try_map(4 * MB, Perm.READ_WRITE)
+        assert vma is not None
+        assert vma.identity
+        # Every page walks back to itself.
+        for offset in (0, PAGE_SIZE, vma.size - 1):
+            result = mapper.page_table.walk(vma.start + offset)
+            assert result.ok
+            assert result.pa == vma.start + offset
+
+    def test_stats_on_success(self, mapper):
+        mapper.try_map(MB, Perm.READ_WRITE)
+        assert mapper.stats.successes == 1
+        assert mapper.stats.failures == 0
+        assert mapper.stats.identity_bytes == MB
+
+    def test_sizes_rounded_to_pages(self, mapper):
+        vma = mapper.try_map(100, Perm.READ_WRITE)
+        assert vma.size == PAGE_SIZE
+
+    def test_distinct_mappings_disjoint(self, mapper):
+        vmas = [mapper.try_map(MB, Perm.READ_WRITE) for _ in range(5)]
+        spans = sorted((v.start, v.end) for v in vmas)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+    def test_permissions_applied(self, mapper):
+        vma = mapper.try_map(MB, Perm.READ_ONLY)
+        assert mapper.page_table.walk(vma.start).perm == Perm.READ_ONLY
+
+
+class TestContiguityFailure:
+    def test_oversized_request_falls_back(self, mapper):
+        assert mapper.try_map(256 * MB, Perm.READ_WRITE) is None
+        assert mapper.stats.contiguity_failures == 1
+
+    def test_failure_leaves_memory_untouched(self, mapper):
+        used_before = mapper.phys.used_bytes
+        mapper.try_map(256 * MB, Perm.READ_WRITE)
+        assert mapper.phys.used_bytes == used_before
+
+
+class TestVAConflict:
+    def test_occupied_va_range_fails_and_frees_pm(self, mapper):
+        # Discover where the next allocation would land, then occupy it.
+        probe = mapper.try_map(MB, Perm.READ_WRITE)
+        target = probe.start
+        mapper.unmap(probe)
+        mapper.aspace.reserve_exact(target, MB, Perm.READ_WRITE,
+                                    name="squatter")
+        used_before = mapper.phys.used_bytes
+        result = mapper.try_map(MB, Perm.READ_WRITE)
+        assert result is None
+        assert mapper.stats.va_conflicts == 1
+        # Figure 7: the PM allocation is freed on the failed move.
+        assert mapper.phys.used_bytes == used_before
+
+
+class TestUnmap:
+    def test_unmap_releases_everything(self, mapper):
+        used_before = mapper.phys.used_bytes
+        vma = mapper.try_map(4 * MB, Perm.READ_WRITE)
+        mapper.unmap(vma)
+        assert mapper.phys.used_bytes == used_before
+        assert not mapper.page_table.walk(vma.start).ok
+        assert mapper.aspace.find(vma.start) is None
+
+    def test_unmap_requires_identity_vma(self, mapper):
+        vma = mapper.aspace.reserve_exact(64 * MB, MB, Perm.READ_WRITE)
+        with pytest.raises(ValueError):
+            mapper.unmap(vma)
+
+    def test_remap_after_unmap_succeeds(self, mapper):
+        vma = mapper.try_map(4 * MB, Perm.READ_WRITE)
+        mapper.unmap(vma)
+        again = mapper.try_map(4 * MB, Perm.READ_WRITE)
+        assert again is not None
+        assert again.identity

@@ -1,0 +1,176 @@
+"""User-level malloc over mmap pools (repro.kernel.malloc)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.perms import Perm
+from repro.kernel.address_space import AddressSpace
+from repro.kernel.malloc import (
+    DEFAULT_MMAP_THRESHOLD,
+    Malloc,
+    MallocError,
+    size_class,
+)
+from repro.kernel.page_table import PageTable
+from repro.kernel.phys import PhysicalMemory
+from repro.kernel.vm_syscalls import VMM, MemPolicy
+
+MB = 1 << 20
+
+
+def make_malloc(policy_mode="dvm", **kwargs) -> Malloc:
+    phys = PhysicalMemory(size=256 * MB)
+    aspace = AddressSpace(rng=np.random.default_rng(9))
+    policy = MemPolicy(mode=policy_mode)
+    table = PageTable(phys, use_pes=policy.use_pes)
+    vmm = VMM(phys, aspace, table, policy)
+    return Malloc(vmm, **kwargs)
+
+
+class TestSizeClass:
+    def test_16_byte_granule(self):
+        assert size_class(1) == 16
+        assert size_class(16) == 16
+        assert size_class(17) == 32
+
+    def test_large_sizes_round_to_pow2(self):
+        assert size_class(1025) == 2048
+        assert size_class(3000) == 4096
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            size_class(0)
+
+
+class TestSmallAllocations:
+    def test_pointers_distinct(self):
+        m = make_malloc()
+        ptrs = [m.malloc(100) for _ in range(50)]
+        assert len(set(ptrs)) == 50
+
+    def test_chunks_do_not_overlap(self):
+        m = make_malloc()
+        allocs = []
+        for _ in range(50):
+            va = m.malloc(100)
+            allocs.append((va, m.usable_size(va)))
+        spans = sorted((va, va + size) for va, size in allocs)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end <= start
+
+    def test_small_allocations_served_from_pool(self):
+        m = make_malloc()
+        m.malloc(100)
+        m.malloc(100)
+        assert m.stats.pool_count == 1
+        assert m.stats.direct_mmaps == 0
+
+    def test_pool_overflow_creates_new_pool(self):
+        m = make_malloc(pool_size=1 * MB, mmap_threshold=128 << 10)
+        # 20 x 64 KB chunks overflow a 1 MB pool.
+        for _ in range(20):
+            m.malloc(64 << 10)
+        assert m.stats.pool_count >= 2
+
+    def test_free_reuses_chunk(self):
+        m = make_malloc()
+        va = m.malloc(100)
+        m.free(va)
+        assert m.malloc(100) == va
+
+    def test_free_list_is_per_size_class(self):
+        m = make_malloc()
+        small = m.malloc(16)
+        m.free(small)
+        big = m.malloc(512)
+        assert big != small
+
+
+class TestLargeAllocations:
+    def test_direct_mmap_at_threshold(self):
+        m = make_malloc()
+        m.malloc(DEFAULT_MMAP_THRESHOLD)
+        assert m.stats.direct_mmaps == 1
+
+    def test_direct_mmap_identity_under_dvm(self):
+        m = make_malloc()
+        va = m.malloc(4 * MB)
+        assert m.vmm.page_table.walk(va).identity
+
+    def test_free_unmaps_direct(self):
+        m = make_malloc()
+        used = m.vmm.phys.used_bytes
+        va = m.malloc(4 * MB)
+        m.free(va)
+        assert m.vmm.phys.used_bytes == used
+        assert m.stats.direct_mmaps == 0
+
+
+class TestErrors:
+    def test_double_free_detected(self):
+        m = make_malloc()
+        va = m.malloc(100)
+        m.free(va)
+        with pytest.raises(MallocError):
+            m.free(va)
+
+    def test_unknown_pointer_free(self):
+        m = make_malloc()
+        with pytest.raises(MallocError):
+            m.free(0xDEAD_0000)
+
+    def test_nonpositive_malloc(self):
+        m = make_malloc()
+        with pytest.raises(ValueError):
+            m.malloc(0)
+
+    def test_threshold_above_pool_rejected(self):
+        with pytest.raises(ValueError):
+            make_malloc(pool_size=64 << 10, mmap_threshold=128 << 10)
+
+    def test_usable_size_unknown_pointer(self):
+        m = make_malloc()
+        with pytest.raises(MallocError):
+            m.usable_size(0x1234)
+
+
+class TestStats:
+    def test_live_accounting(self):
+        m = make_malloc()
+        va = m.malloc(100)
+        assert m.stats.live_chunks == 1
+        assert m.stats.requested_bytes == 100
+        m.free(va)
+        assert m.stats.live_chunks == 0
+        assert m.stats.requested_bytes == 0
+
+    def test_chunk_bytes_at_least_requested(self):
+        m = make_malloc()
+        m.malloc(100)
+        m.malloc(5000)
+        assert m.stats.chunk_bytes >= m.stats.requested_bytes
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=1, max_value=200_000)),
+    min_size=1, max_size=60,
+))
+def test_property_malloc_free_sequences(ops):
+    """Random alloc/free interleavings never hand out overlapping chunks."""
+    m = make_malloc()
+    live: dict[int, int] = {}
+    for is_alloc, size in ops:
+        if is_alloc or not live:
+            va = m.malloc(size)
+            assert va not in live
+            live[va] = m.usable_size(va)
+        else:
+            va = next(iter(live))
+            m.free(va)
+            del live[va]
+    spans = sorted((va, va + size) for va, size in live.items())
+    for (_, end), (start, _) in zip(spans, spans[1:]):
+        assert end <= start

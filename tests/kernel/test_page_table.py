@@ -1,0 +1,387 @@
+"""Page tables with Permission Entries (repro.kernel.page_table)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.consts import (
+    NODE_SIZE,
+    PAGE_SIZE,
+    PE_REGION_SIZE,
+    SIZE_1G,
+    SIZE_2M,
+)
+from repro.common.errors import MappingError
+from repro.common.perms import Perm
+from repro.kernel.page_table import (
+    LeafPTE,
+    PageTable,
+    PermissionEntry,
+    TablePointer,
+)
+from repro.kernel.phys import PhysicalMemory
+
+MB = 1 << 20
+KB128 = 128 << 10
+
+
+@pytest.fixture
+def phys():
+    return PhysicalMemory(size=512 * MB)
+
+
+@pytest.fixture
+def table(phys):
+    return PageTable(phys)
+
+
+class TestBasicMapping:
+    def test_map_and_walk_4k(self, table):
+        table.map_page(0x40_0000, 0x80_0000, Perm.READ_WRITE)
+        result = table.walk(0x40_0123)
+        assert result.ok
+        assert result.pa == 0x80_0123
+        assert result.perm == Perm.READ_WRITE
+        assert not result.is_pe
+        assert not result.identity
+
+    def test_unmapped_walk_fails(self, table):
+        result = table.walk(0x1234_5000)
+        assert not result.ok
+        assert result.pa is None
+        assert result.perm == Perm.NONE
+
+    def test_walk_depth_is_four_for_4k(self, table):
+        table.map_page(0, 0x80_0000, Perm.READ_ONLY)
+        assert table.walk(0).depth == 4
+
+    def test_huge_page_2m(self, table):
+        table.map_page(SIZE_2M, 4 * SIZE_2M, Perm.READ_WRITE,
+                       page_size=SIZE_2M)
+        result = table.walk(SIZE_2M + 12345)
+        assert result.ok
+        assert result.pa == 4 * SIZE_2M + 12345
+        assert result.depth == 3  # walk ends at L2
+
+    def test_huge_page_1g(self, table):
+        table.map_page(SIZE_1G, 0, Perm.READ_ONLY, page_size=SIZE_1G)
+        result = table.walk(SIZE_1G + 999)
+        assert result.ok
+        assert result.depth == 2  # walk ends at L3
+
+    def test_remap_rejected(self, table):
+        table.map_page(0, PAGE_SIZE, Perm.READ_WRITE)
+        with pytest.raises(MappingError):
+            table.map_page(0, 2 * PAGE_SIZE, Perm.READ_WRITE)
+
+    def test_misaligned_mapping_rejected(self, table):
+        with pytest.raises(MappingError):
+            table.map_page(123, PAGE_SIZE, Perm.READ_WRITE)
+        with pytest.raises(MappingError):
+            table.map_page(SIZE_2M + PAGE_SIZE, 0, Perm.READ_WRITE,
+                           page_size=SIZE_2M)
+
+    def test_identity_flag_on_leaf(self, table):
+        table.map_page(0x50_0000, 0x50_0000, Perm.READ_WRITE)
+        assert table.walk(0x50_0000).identity
+
+    def test_map_range(self, table):
+        table.map_range(0x10_0000, 0x20_0000, 8 * PAGE_SIZE, Perm.READ_ONLY)
+        for offset in range(0, 8 * PAGE_SIZE, PAGE_SIZE):
+            assert table.translate(0x10_0000 + offset) == 0x20_0000 + offset
+
+    def test_translate_unmapped_is_none(self, table):
+        assert table.translate(0xDEAD_000) is None
+
+
+class TestBestEffortMapping:
+    def test_coaligned_range_gets_huge_pages(self, table):
+        counts = table.map_range_best_effort(
+            0, 0x4000_0000, 2 * SIZE_2M, Perm.READ_WRITE,
+            preferred_page_size=SIZE_2M)
+        assert counts == {SIZE_2M: 2}
+
+    def test_unaligned_head_tail_get_4k(self, table):
+        # [4K, 4M+8K) contains exactly one aligned 2 MB chunk: [2M, 4M).
+        size = 2 * SIZE_2M + PAGE_SIZE
+        counts = table.map_range_best_effort(
+            PAGE_SIZE, 0x4000_0000 + PAGE_SIZE, size, Perm.READ_WRITE,
+            preferred_page_size=SIZE_2M)
+        assert counts[SIZE_2M] >= 1
+        assert counts[PAGE_SIZE] >= 1
+        # Every page translates correctly.
+        for offset in range(0, size, PAGE_SIZE):
+            assert (table.translate(PAGE_SIZE + offset)
+                    == 0x4000_0000 + PAGE_SIZE + offset)
+
+    def test_misaligned_modulo_falls_back_to_4k(self, table):
+        counts = table.map_range_best_effort(
+            0, PAGE_SIZE, SIZE_2M, Perm.READ_WRITE,
+            preferred_page_size=SIZE_2M)
+        assert SIZE_2M not in counts
+
+
+class TestPermissionEntries:
+    def test_aligned_2m_range_uses_one_l2_pe(self, table):
+        table.map_identity_range(SIZE_2M, SIZE_2M, Perm.READ_WRITE)
+        counts = table.entry_counts()
+        assert counts["pe"] == 1
+        assert counts["leaf"] == 0
+
+    def test_pe_walk_terminates_at_l2(self, table):
+        table.map_identity_range(SIZE_2M, SIZE_2M, Perm.READ_WRITE)
+        result = table.walk(SIZE_2M + 777)
+        assert result.ok
+        assert result.is_pe
+        assert result.level == 2
+        assert result.depth == 3
+        assert result.pa == SIZE_2M + 777
+        assert result.identity
+
+    def test_128k_subregion_granularity(self, table):
+        # A 384 KB range aligned to 128 KB occupies 3 fields of one L2 PE.
+        base = SIZE_2M
+        table.map_identity_range(base, 3 * KB128, Perm.READ_ONLY)
+        assert table.entry_counts()["pe"] == 1
+        assert table.walk(base).ok
+        assert table.walk(base + 3 * KB128 - 1).ok
+        # The 4th sub-region is unmapped (00 fields).
+        assert not table.walk(base + 3 * KB128).ok
+
+    def test_unaligned_range_falls_back_to_identity_ptes(self, table):
+        base = SIZE_2M + PAGE_SIZE  # not 128 KB aligned
+        table.map_identity_range(base, 4 * PAGE_SIZE, Perm.READ_WRITE)
+        result = table.walk(base)
+        assert result.ok
+        assert not result.is_pe
+        assert result.identity
+        assert result.pa == base
+
+    def test_large_range_uses_l3_pe(self, table):
+        # A 64 MB-aligned 64 MB range is one field of an L3 PE.
+        base = PE_REGION_SIZE[3]
+        table.map_identity_range(base, 64 * MB, Perm.READ_WRITE)
+        counts = table.entry_counts()
+        assert counts["pe"] == 1
+        result = table.walk(base + 123)
+        assert result.level == 3
+        assert result.depth == 2
+
+    def test_mixed_range_combines_levels(self, table):
+        # 64 MB + 2 MB starting 64 MB-aligned: one L3 PE field + L2 coverage.
+        base = PE_REGION_SIZE[3]
+        table.map_identity_range(base, 64 * MB + SIZE_2M, Perm.READ_WRITE)
+        assert table.walk(base).ok
+        assert table.walk(base + 64 * MB + SIZE_2M - 1).ok
+        assert not table.walk(base + 64 * MB + SIZE_2M).ok
+
+    def test_pe_permissions_enforced_per_field(self, table):
+        base = 4 * SIZE_2M
+        table.map_identity_range(base, KB128, Perm.READ_ONLY)
+        table.map_identity_range(base + KB128, KB128, Perm.READ_WRITE)
+        assert table.walk(base).perm == Perm.READ_ONLY
+        assert table.walk(base + KB128).perm == Perm.READ_WRITE
+
+    def test_overlapping_identity_ranges_rejected(self, table):
+        table.map_identity_range(SIZE_2M, KB128, Perm.READ_WRITE)
+        with pytest.raises(MappingError):
+            table.map_identity_range(SIZE_2M, KB128, Perm.READ_ONLY)
+
+    def test_without_pes_uses_leaf_ptes(self, phys):
+        table = PageTable(phys, use_pes=False)
+        table.map_identity_range(SIZE_2M, SIZE_2M, Perm.READ_WRITE)
+        counts = table.entry_counts()
+        assert counts["pe"] == 0
+        assert counts["leaf"] == 512
+        result = table.walk(SIZE_2M)
+        assert result.identity and not result.is_pe
+
+    def test_pe_split_on_unaligned_neighbour(self, table):
+        # First allocation covers the chunk with a PE; a second, unaligned
+        # one in the same 2 MB chunk forces a split into L1 PTEs.
+        table.map_identity_range(SIZE_2M, 2 * KB128, Perm.READ_WRITE)
+        neighbour = SIZE_2M + 2 * KB128 + PAGE_SIZE
+        table.map_identity_range(neighbour, PAGE_SIZE, Perm.READ_ONLY)
+        first = table.walk(SIZE_2M)
+        second = table.walk(neighbour)
+        assert first.ok and first.identity
+        assert second.ok and second.identity
+        assert second.perm == Perm.READ_ONLY
+        # The gap page between them is still unmapped.
+        assert not table.walk(SIZE_2M + 2 * KB128).ok
+
+
+class TestPermissionEntryObject:
+    def test_requires_16_fields(self):
+        with pytest.raises(ValueError):
+            PermissionEntry(fields=[Perm.NONE] * 8, level=2)
+
+    def test_perm_for_selects_field(self):
+        fields = [Perm.NONE] * 16
+        fields[5] = Perm.READ_WRITE
+        pe = PermissionEntry(fields=fields, level=2)
+        assert pe.perm_for(5 * KB128) == Perm.READ_WRITE
+        assert pe.perm_for(4 * KB128) == Perm.NONE
+
+    def test_is_empty(self):
+        pe = PermissionEntry(fields=[Perm.NONE] * 16, level=2)
+        assert pe.is_empty()
+        pe.fields[0] = Perm.READ_ONLY
+        assert not pe.is_empty()
+
+
+class TestUnmap:
+    def test_unmap_leaf_ptes(self, table):
+        table.map_range(0x10_0000, 0x20_0000, 4 * PAGE_SIZE, Perm.READ_WRITE)
+        table.unmap_range(0x10_0000, 4 * PAGE_SIZE)
+        assert not table.walk(0x10_0000).ok
+
+    def test_unmap_pe_range(self, table):
+        table.map_identity_range(SIZE_2M, SIZE_2M, Perm.READ_WRITE)
+        table.unmap_range(SIZE_2M, SIZE_2M)
+        assert not table.walk(SIZE_2M).ok
+        assert table.entry_counts()["pe"] == 0
+
+    def test_unmap_partial_pe_fields(self, table):
+        table.map_identity_range(SIZE_2M, 4 * KB128, Perm.READ_WRITE)
+        table.unmap_range(SIZE_2M, 2 * KB128)
+        assert not table.walk(SIZE_2M).ok
+        assert table.walk(SIZE_2M + 2 * KB128).ok
+
+    def test_unmap_frees_empty_nodes(self, table, phys):
+        before = phys.usage.page_table
+        table.map_range(0x10_0000, 0x20_0000, 4 * PAGE_SIZE, Perm.READ_WRITE)
+        table.unmap_range(0x10_0000, 4 * PAGE_SIZE)
+        assert phys.usage.page_table == before
+
+    def test_partial_huge_page_unmap_rejected(self, table):
+        table.map_page(SIZE_2M, 0x4000_0000, Perm.READ_WRITE,
+                       page_size=SIZE_2M)
+        with pytest.raises(MappingError):
+            table.unmap_range(SIZE_2M, PAGE_SIZE)
+
+    def test_unmap_pe_subfield_misalignment_rejected(self, table):
+        table.map_identity_range(SIZE_2M, SIZE_2M, Perm.READ_WRITE)
+        with pytest.raises(MappingError):
+            table.unmap_range(SIZE_2M, PAGE_SIZE)
+
+
+class TestProtect:
+    def test_protect_leaf(self, table):
+        table.map_page(0, PAGE_SIZE, Perm.READ_WRITE)
+        table.protect_range(0, PAGE_SIZE, Perm.READ_ONLY)
+        assert table.walk(0).perm == Perm.READ_ONLY
+
+    def test_protect_pe_fields(self, table):
+        table.map_identity_range(SIZE_2M, 2 * KB128, Perm.READ_WRITE)
+        table.protect_range(SIZE_2M, 2 * KB128, Perm.READ_ONLY)
+        assert table.walk(SIZE_2M).perm == Perm.READ_ONLY
+
+    def test_protect_skips_unmapped_gaps(self, table):
+        table.map_page(0, PAGE_SIZE, Perm.READ_WRITE)
+        table.protect_range(0, 4 * PAGE_SIZE, Perm.READ_ONLY)
+        assert table.walk(0).perm == Perm.READ_ONLY
+        assert not table.walk(PAGE_SIZE).ok
+
+
+class TestDemotion:
+    def test_demote_l2_pe_to_identity_ptes(self, table):
+        table.map_identity_range(SIZE_2M, SIZE_2M, Perm.READ_WRITE)
+        table.demote_to_l1(SIZE_2M + 5 * PAGE_SIZE)
+        # All pages still identity mapped with the same permissions...
+        result = table.walk(SIZE_2M + 5 * PAGE_SIZE)
+        assert result.ok and result.identity and not result.is_pe
+        assert result.perm == Perm.READ_WRITE
+        # ...and the PE is gone.
+        assert table.entry_counts()["pe"] == 0
+
+    def test_demote_preserves_unmapped_fields(self, table):
+        table.map_identity_range(SIZE_2M, 2 * KB128, Perm.READ_WRITE)
+        table.demote_to_l1(SIZE_2M)
+        assert table.walk(SIZE_2M).ok
+        assert not table.walk(SIZE_2M + 2 * KB128).ok
+
+    def test_demote_huge_leaf(self, table):
+        table.map_page(SIZE_2M, 4 * SIZE_2M, Perm.READ_WRITE,
+                       page_size=SIZE_2M)
+        table.demote_to_l1(SIZE_2M)
+        result = table.walk(SIZE_2M + 3 * PAGE_SIZE)
+        assert result.ok
+        assert result.pa == 4 * SIZE_2M + 3 * PAGE_SIZE
+        assert result.depth == 4
+
+    def test_demote_l3_pe_two_levels(self, table):
+        base = PE_REGION_SIZE[3]
+        table.map_identity_range(base, 64 * MB, Perm.READ_WRITE)
+        table.demote_to_l1(base)
+        result = table.walk(base)
+        assert result.ok and result.identity
+        assert result.depth == 4
+        # Distant pages of the same old PE stay mapped (now via L2 PEs).
+        far = table.walk(base + 32 * MB)
+        assert far.ok and far.identity
+
+    def test_demote_unmapped_rejected(self, table):
+        with pytest.raises(MappingError):
+            table.demote_to_l1(0xDEAD_B000)
+
+    def test_set_l1_repoints_single_page(self, table):
+        table.map_identity_range(SIZE_2M, SIZE_2M, Perm.READ_WRITE)
+        target = SIZE_2M + 7 * PAGE_SIZE
+        table.set_l1(target, 0x1000_0000, Perm.READ_WRITE)
+        changed = table.walk(target)
+        assert changed.pa == 0x1000_0000
+        assert not changed.identity
+        untouched = table.walk(target + PAGE_SIZE)
+        assert untouched.identity
+
+
+class TestAccounting:
+    def test_fresh_table_is_one_node(self, table):
+        assert table.node_count() == 1
+        assert table.table_bytes() == NODE_SIZE
+
+    def test_pe_tables_much_smaller_than_pte_tables(self, phys):
+        pe_table = PageTable(phys, use_pes=True)
+        pte_table = PageTable(phys, use_pes=False)
+        base, size = SIZE_2M, 32 * SIZE_2M
+        pe_table.map_identity_range(base, size, Perm.READ_WRITE)
+        pte_table.map_identity_range(base, size, Perm.READ_WRITE)
+        assert pe_table.table_bytes() < pte_table.table_bytes() / 5
+
+    def test_l1_nodes_dominate_conventional_tables(self, phys):
+        table = PageTable(phys, use_pes=False)
+        table.map_identity_range(SIZE_2M, 32 * SIZE_2M, Perm.READ_WRITE)
+        by_level = table.bytes_by_level()
+        assert by_level[1] / table.table_bytes() > 0.85
+
+    def test_node_frames_tagged(self, phys, table):
+        table.map_page(0, PAGE_SIZE, Perm.READ_WRITE)
+        assert phys.usage.page_table == table.table_bytes()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(min_value=0, max_value=200),
+              st.integers(min_value=1, max_value=40)),
+    min_size=1, max_size=8, unique_by=lambda t: t[0],
+))
+def test_property_identity_ranges_walk_back_identically(chunks):
+    """Any set of disjoint page-aligned identity ranges validates as
+    identity for every page, with correct bounds."""
+    phys = PhysicalMemory(size=512 * MB)
+    table = PageTable(phys)
+    placed = []
+    cursor = 16 * MB
+    for gap_pages, size_pages in chunks:
+        base = cursor + gap_pages * PAGE_SIZE
+        size = size_pages * PAGE_SIZE
+        table.map_identity_range(base, size, Perm.READ_WRITE)
+        placed.append((base, size))
+        cursor = base + size + PAGE_SIZE  # at least one page gap
+    for base, size in placed:
+        for va in (base, base + size // 2, base + size - 1):
+            result = table.walk(va)
+            assert result.ok
+            assert result.identity
+            assert result.pa == va

@@ -1,0 +1,117 @@
+"""Property-based tests: page-table operation interleavings.
+
+The page table is the reproduction's most mutated structure (identity
+installs, PE splits, COW demotion, protection changes, swapping,
+unmapping).  These tests drive random interleavings and check the global
+invariants after every step:
+
+* every byte of every live range walks back to the right PA and permission;
+* no dead range resolves;
+* page-table frames are exactly accounted in physical memory;
+* identity is preserved through every PE split/demotion.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.consts import PAGE_SIZE, SIZE_2M
+from repro.common.errors import MappingError
+from repro.common.perms import Perm
+from repro.kernel.page_table import PageTable
+from repro.kernel.phys import PhysicalMemory
+
+MB = 1 << 20
+KB128 = 128 << 10
+
+#: Slots: disjoint 2 MB-aligned bases the strategy maps/unmaps/demotes.
+SLOTS = [SIZE_2M * (i + 1) for i in range(8)]
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["map", "unmap", "protect", "demote"]),
+        st.integers(min_value=0, max_value=7),       # slot
+        st.integers(min_value=1, max_value=16),      # size in 128 KB units
+        st.sampled_from([Perm.READ_ONLY, Perm.READ_WRITE]),
+    ),
+    min_size=1, max_size=30,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(operations)
+def test_property_interleaved_operations_keep_invariants(ops):
+    phys = PhysicalMemory(size=256 * MB)
+    table = PageTable(phys)
+    live: dict[int, tuple[int, Perm]] = {}  # slot -> (size, perm)
+    for op, slot, units, perm in ops:
+        base = SLOTS[slot]
+        size = units * KB128
+        if op == "map" and slot not in live:
+            table.map_identity_range(base, size, perm)
+            live[slot] = (size, perm)
+        elif op == "unmap" and slot in live:
+            existing_size, _ = live.pop(slot)
+            table.unmap_range(base, existing_size)
+        elif op == "protect" and slot in live:
+            existing_size, _ = live[slot]
+            table.protect_range(base, existing_size, perm)
+            live[slot] = (existing_size, perm)
+        elif op == "demote" and slot in live:
+            table.demote_to_l1(base)
+        # Invariants after every operation:
+        for lslot, (lsize, lperm) in live.items():
+            lbase = SLOTS[lslot]
+            for va in (lbase, lbase + lsize // 2, lbase + lsize - 1):
+                result = table.walk(va)
+                assert result.ok, f"live va {va:#x} must walk"
+                assert result.identity
+                assert result.pa == va
+                assert result.perm == lperm
+        for dslot in set(range(8)) - set(live):
+            assert not table.walk(SLOTS[dslot]).ok
+    # Tear down everything: the table must shrink back to just the root.
+    for slot, (size, _perm) in list(live.items()):
+        table.unmap_range(SLOTS[slot], size)
+    assert table.node_count() == 1
+    assert phys.usage.page_table == PAGE_SIZE
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=511), min_size=1,
+                max_size=40, unique=True))
+def test_property_demotion_preserves_every_page(pages):
+    """Demoting a PE-covered 2 MB chunk via any page leaves all 512 pages
+    identity mapped with unchanged permissions."""
+    phys = PhysicalMemory(size=64 * MB)
+    table = PageTable(phys)
+    table.map_identity_range(SIZE_2M, SIZE_2M, Perm.READ_WRITE)
+    for page in pages:
+        table.demote_to_l1(SIZE_2M + page * PAGE_SIZE)  # idempotent after 1st
+    for page in range(0, 512, 37):
+        result = table.walk(SIZE_2M + page * PAGE_SIZE)
+        assert result.ok and result.identity
+        assert result.perm == Perm.READ_WRITE
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=15), min_size=1,
+                max_size=16, unique=True),
+       st.sampled_from(["pe16", "spare_bits"]))
+def test_property_pe_fields_independent(fields, pe_format):
+    """Mapping/unmapping arbitrary 128 KB sub-regions behaves like a set of
+    independent ranges, whatever entries the format chooses."""
+    phys = PhysicalMemory(size=64 * MB)
+    table = PageTable(phys, pe_format=pe_format)
+    mapped = set()
+    for field_index in fields:
+        base = SIZE_2M + field_index * KB128
+        table.map_identity_range(base, KB128, Perm.READ_WRITE)
+        mapped.add(field_index)
+        for i in range(16):
+            result = table.walk(SIZE_2M + i * KB128)
+            assert result.ok == (i in mapped)
+    for field_index in sorted(mapped):
+        table.unmap_range(SIZE_2M + field_index * KB128, KB128)
+    for i in range(16):
+        assert not table.walk(SIZE_2M + i * KB128).ok

@@ -1,0 +1,93 @@
+"""PE format variants: 16-field PEs vs spare PTE bits (Section 4.1.1)."""
+
+import pytest
+
+from repro.common.consts import SIZE_2M
+from repro.common.perms import Perm
+from repro.kernel.page_table import PE_FORMATS, PageTable, PermissionEntry
+from repro.kernel.phys import PhysicalMemory
+
+MB = 1 << 20
+KB512 = 512 << 10
+KB128 = 128 << 10
+
+
+@pytest.fixture
+def phys():
+    return PhysicalMemory(size=512 * MB)
+
+
+class TestFormats:
+    def test_known_formats(self):
+        assert set(PE_FORMATS) == {"pe16", "spare_bits"}
+
+    def test_unknown_format_rejected(self, phys):
+        with pytest.raises(ValueError):
+            PageTable(phys, pe_format="pe32")
+
+    def test_spare_bits_granularities(self):
+        """Section 4.1.1: 4 x 512 KB regions at L2, 8 x 128 MB at L3."""
+        l2 = PermissionEntry(fields=[Perm.NONE] * 4, level=2, num_fields=4)
+        assert l2.region_size == KB512
+        l3 = PermissionEntry(fields=[Perm.NONE] * 8, level=3, num_fields=8)
+        assert l3.region_size == 128 << 20
+
+    def test_field_count_enforced(self):
+        with pytest.raises(ValueError):
+            PermissionEntry(fields=[Perm.NONE] * 16, level=2, num_fields=4)
+
+
+class TestSpareBitsTable:
+    def test_512k_aligned_range_uses_pe(self, phys):
+        table = PageTable(phys, pe_format="spare_bits")
+        table.map_identity_range(SIZE_2M, KB512, Perm.READ_WRITE)
+        assert table.entry_counts()["pe"] == 1
+        result = table.walk(SIZE_2M)
+        assert result.is_pe and result.identity
+        assert not table.walk(SIZE_2M + KB512).ok
+
+    def test_128k_range_falls_back_to_ptes(self, phys):
+        """What fits a 16-field PE needs L1 PTEs under spare bits."""
+        pe16 = PageTable(phys, pe_format="pe16")
+        spare = PageTable(phys, pe_format="spare_bits")
+        pe16.map_identity_range(SIZE_2M, KB128, Perm.READ_WRITE)
+        spare.map_identity_range(SIZE_2M, KB128, Perm.READ_WRITE)
+        assert pe16.entry_counts()["pe"] == 1
+        assert spare.entry_counts()["pe"] == 0
+        assert spare.entry_counts()["leaf"] == KB128 // 4096
+        # Both still validate identically.
+        assert pe16.walk(SIZE_2M).identity
+        assert spare.walk(SIZE_2M).identity
+
+    def test_spare_bits_tables_never_smaller(self, phys):
+        pe16 = PageTable(phys, pe_format="pe16")
+        spare = PageTable(phys, pe_format="spare_bits")
+        for offset in (0, 4 * SIZE_2M, 9 * SIZE_2M):
+            base = SIZE_2M + offset
+            pe16.map_identity_range(base, 3 * KB128, Perm.READ_WRITE)
+            spare.map_identity_range(base, 3 * KB128, Perm.READ_WRITE)
+        assert spare.table_bytes() >= pe16.table_bytes()
+
+    def test_split_preserves_format(self, phys):
+        table = PageTable(phys, pe_format="spare_bits")
+        table.map_identity_range(SIZE_2M, 2 * KB512, Perm.READ_WRITE)
+        table.demote_to_l1(SIZE_2M)
+        # Every page of the old PE region stays identity mapped.
+        assert table.walk(SIZE_2M + KB512).identity
+        assert not table.walk(SIZE_2M + 2 * KB512).ok
+
+    def test_policy_plumbs_format(self):
+        from repro.kernel.kernel import Kernel
+        from repro.kernel.vm_syscalls import MemPolicy
+        kernel = Kernel(phys_bytes=256 * MB,
+                        policy=MemPolicy(mode="dvm",
+                                         pe_format="spare_bits"))
+        proc = kernel.spawn()
+        assert proc.page_table.pe_format == "spare_bits"
+        alloc = proc.vmm.mmap(1 * MB, Perm.READ_WRITE)
+        assert alloc.identity
+
+    def test_invalid_policy_format_rejected(self):
+        from repro.kernel.vm_syscalls import MemPolicy
+        with pytest.raises(ValueError):
+            MemPolicy(mode="dvm", pe_format="pe8")

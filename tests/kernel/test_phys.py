@@ -1,0 +1,71 @@
+"""Physical memory map (repro.kernel.phys)."""
+
+import pytest
+
+from repro.common.consts import PAGE_SIZE
+from repro.kernel.phys import PhysicalMemory
+
+MB = 1 << 20
+
+
+class TestConstruction:
+    def test_kernel_reservation_excluded(self):
+        phys = PhysicalMemory(size=256 * MB)
+        assert phys.free_bytes == 256 * MB - phys.kernel_reserved
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(size=1 * MB)
+
+    def test_unaligned_size_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(size=256 * MB + 1)
+
+    def test_frames_never_in_kernel_reservation(self):
+        phys = PhysicalMemory(size=64 * MB)
+        for _ in range(32):
+            assert phys.alloc_frame() >= phys.kernel_reserved
+
+
+class TestFrames:
+    def test_alloc_free_roundtrip(self):
+        phys = PhysicalMemory(size=64 * MB)
+        frame = phys.alloc_frame()
+        assert frame % PAGE_SIZE == 0
+        phys.free_frame(frame)
+        assert phys.used_bytes == 0
+
+    def test_usage_tagging(self):
+        phys = PhysicalMemory(size=64 * MB)
+        phys.alloc_frame(purpose="page_table")
+        phys.alloc_frame(purpose="data")
+        assert phys.usage.page_table == PAGE_SIZE
+        assert phys.usage.data == PAGE_SIZE
+        assert phys.usage.total() == 2 * PAGE_SIZE
+
+    def test_other_purpose(self):
+        phys = PhysicalMemory(size=64 * MB)
+        phys.alloc_frame(purpose="dma")
+        assert phys.usage.other == PAGE_SIZE
+
+
+class TestContiguous:
+    def test_contiguous_allocation(self):
+        phys = PhysicalMemory(size=64 * MB)
+        addr = phys.alloc_contiguous(5 * MB)
+        assert phys.used_bytes == (5 * MB // PAGE_SIZE + (0 if (5 * MB) %
+                                   PAGE_SIZE == 0 else 1)) * PAGE_SIZE
+        phys.free_contiguous(addr, 5 * MB)
+        assert phys.used_bytes == 0
+
+    def test_unaligned_size_rounds_up(self):
+        phys = PhysicalMemory(size=64 * MB)
+        phys.alloc_contiguous(PAGE_SIZE + 1)
+        assert phys.used_bytes == 2 * PAGE_SIZE
+
+    def test_contains(self):
+        phys = PhysicalMemory(size=64 * MB)
+        assert phys.contains(0)
+        assert phys.contains(64 * MB - 1)
+        assert not phys.contains(64 * MB)
+        assert not phys.contains(-1)

@@ -1,0 +1,164 @@
+"""Processes, fork/COW, vfork (repro.kernel.process, Section 5)."""
+
+import pytest
+
+from repro.common.consts import PAGE_SIZE
+from repro.common.errors import PageFault, ProtectionFault
+from repro.common.perms import Perm
+from repro.kernel.kernel import Kernel
+from repro.kernel.vm_syscalls import MemPolicy
+
+MB = 1 << 20
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(phys_bytes=256 * MB, policy=MemPolicy(mode="dvm"))
+
+
+@pytest.fixture
+def proc(kernel):
+    p = kernel.spawn(name="main")
+    p.setup_segments()
+    return p
+
+
+class TestSegments:
+    def test_conventional_layout(self, proc):
+        code = proc.segment("code")
+        stack = proc.segment("stack")
+        assert code.perm == Perm.READ_EXECUTE
+        assert stack.perm == Perm.READ_WRITE
+        assert stack.va > code.va
+
+    def test_stack_is_eagerly_backed(self, proc):
+        stack = proc.segment("stack")
+        # Section 7.2: 8 MB eager stacks; every page mapped up front.
+        assert stack.size == 8 * MB
+        assert proc.page_table.walk(stack.va).ok
+        assert proc.page_table.walk(stack.va + stack.size - 1).ok
+
+    def test_identity_segments(self, kernel):
+        p = kernel.spawn(name="cdvm")
+        p.setup_segments(identity_segments=True)
+        for name in ("code", "data", "stack"):
+            seg = p.segment(name)
+            assert seg.identity
+            assert p.is_identity(seg.va)
+
+    def test_double_setup_rejected(self, proc):
+        with pytest.raises(RuntimeError):
+            proc.setup_segments()
+
+    def test_unknown_segment(self, proc):
+        with pytest.raises(KeyError):
+            proc.segment("bss2")
+
+
+class TestAccess:
+    def test_read_write_heap(self, proc):
+        va = proc.malloc.malloc(1 * MB)
+        assert proc.read(va) == va          # identity: PA == VA
+        assert proc.write(va) == va
+
+    def test_execute_code(self, proc):
+        code = proc.segment("code")
+        assert proc.access(code.va, "x")
+
+    def test_write_to_code_faults(self, proc):
+        code = proc.segment("code")
+        with pytest.raises(ProtectionFault):
+            proc.write(code.va)
+
+    def test_unmapped_access_page_faults(self, proc):
+        with pytest.raises(PageFault):
+            proc.read(0x7F00_0000_0000)
+
+
+class TestForkCOW:
+    def test_child_sees_parent_mappings(self, proc):
+        heap = proc.vmm.mmap(2 * MB, Perm.READ_WRITE, name="heap")
+        child = proc.fork()
+        assert child.read(heap.va) == heap.va
+
+    def test_both_sides_read_only_after_fork(self, proc):
+        heap = proc.vmm.mmap(2 * MB, Perm.READ_WRITE)
+        child = proc.fork()
+        assert proc.page_table.walk(heap.va).perm == Perm.READ_ONLY
+        assert child.page_table.walk(heap.va).perm == Perm.READ_ONLY
+
+    def test_cow_write_privatises_one_page(self, proc):
+        heap = proc.vmm.mmap(2 * MB, Perm.READ_WRITE)
+        child = proc.fork()
+        pa = child.write(heap.va)
+        # Section 5: the private copy cannot be identity mapped.
+        assert pa != heap.va
+        assert not child.is_identity(heap.va)
+        # The parent's page is untouched and still identity mapped.
+        assert proc.is_identity(heap.va)
+        # The child's neighbouring page is still identity mapped.
+        assert child.is_identity(heap.va + PAGE_SIZE)
+
+    def test_cow_write_gets_write_permission(self, proc):
+        heap = proc.vmm.mmap(2 * MB, Perm.READ_WRITE)
+        child = proc.fork()
+        child.write(heap.va)
+        assert child.page_table.walk(heap.va).perm == Perm.READ_WRITE
+
+    def test_parent_write_also_cows(self, proc):
+        heap = proc.vmm.mmap(2 * MB, Perm.READ_WRITE)
+        proc.fork()
+        pa = proc.write(heap.va)
+        assert pa != heap.va
+
+    def test_read_only_regions_not_cowed(self, proc):
+        ro = proc.vmm.mmap(1 * MB, Perm.READ_ONLY)
+        child = proc.fork()
+        # Still readable in both; no write permission anywhere.
+        assert proc.read(ro.va) == ro.va
+        assert child.read(ro.va) == ro.va
+        with pytest.raises(ProtectionFault):
+            child.write(ro.va)
+
+    def test_child_exit_releases_private_pages(self, proc, kernel):
+        heap = proc.vmm.mmap(2 * MB, Perm.READ_WRITE)
+        child = proc.fork()
+        child.write(heap.va)
+        used = kernel.phys.used_bytes
+        child.exit()
+        assert kernel.phys.used_bytes == used - PAGE_SIZE
+
+    def test_exit_idempotent(self, proc):
+        child = proc.fork()
+        child.exit()
+        child.exit()
+
+    def test_cow_sharing_refcounted(self, proc, kernel):
+        heap = proc.vmm.mmap(1 * MB, Perm.READ_WRITE)
+        chunk = (heap.va, heap.size)
+        proc.fork()
+        assert kernel.shared_owner_count(chunk) == 1
+        proc.fork()
+        assert kernel.shared_owner_count(chunk) == 2
+
+
+class TestVfork:
+    def test_shares_address_space(self, proc):
+        heap = proc.vmm.mmap(1 * MB, Perm.READ_WRITE)
+        child = proc.vfork()
+        assert child.aspace is proc.aspace
+        assert child.page_table is proc.page_table
+        # Identity mappings survive (the paper's recommendation).
+        assert child.is_identity(heap.va)
+        assert proc.page_table.walk(heap.va).perm == Perm.READ_WRITE
+
+
+class TestSpawn:
+    def test_fresh_process_inherits_nothing(self, kernel, proc):
+        proc.vmm.mmap(1 * MB, Perm.READ_WRITE)
+        fresh = kernel.spawn(name="spawned")
+        assert fresh.aspace.total_mapped() == 0
+
+    def test_pids_unique(self, kernel):
+        pids = {kernel.spawn().pid for _ in range(10)}
+        assert len(pids) == 10

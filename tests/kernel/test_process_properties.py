@@ -1,0 +1,86 @@
+"""Property-based tests for process semantics (fork/COW, reclamation)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.consts import PAGE_SIZE
+from repro.common.perms import Perm
+from repro.kernel.kernel import Kernel
+from repro.kernel.reclaim import Reclaimer
+from repro.kernel.vm_syscalls import MemPolicy
+
+MB = 1 << 20
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=127), min_size=1,
+                max_size=12, unique=True))
+def test_property_cow_privatises_exactly_the_written_pages(written_pages):
+    """After a fork, writing any set of child pages privatises exactly
+    those pages; all others stay identity mapped in both processes."""
+    kernel = Kernel(phys_bytes=128 * MB, policy=MemPolicy(mode="dvm"))
+    parent = kernel.spawn()
+    heap = parent.vmm.mmap(128 * PAGE_SIZE, Perm.READ_WRITE)
+    child = parent.fork()
+    for page in written_pages:
+        child.write(heap.va + page * PAGE_SIZE)
+    written = set(written_pages)
+    for page in range(128):
+        va = heap.va + page * PAGE_SIZE
+        assert parent.is_identity(va)
+        assert child.is_identity(va) == (page not in written)
+        # Both processes can always read everything.
+        assert parent.read(va) is not None
+        assert child.read(va) is not None
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=1, max_value=16),
+       st.integers(min_value=0, max_value=99))
+def test_property_reclaim_roundtrip_restores_identity(pages_mb, seed):
+    """reclaim -> swap-in -> reestablish returns to the exact initial
+    state: identity everywhere, memory balance intact."""
+    kernel = Kernel(phys_bytes=256 * MB, policy=MemPolicy(mode="dvm"),
+                    seed=seed)
+    kernel.reclaimer = Reclaimer(kernel)
+    proc = kernel.spawn()
+    alloc = proc.vmm.mmap(pages_mb * MB, Perm.READ_WRITE)
+    assert alloc.identity
+    used_before = kernel.phys.used_bytes
+    kernel.reclaimer.reclaim_allocation(proc, alloc)
+    kernel.reclaimer.swap_in_allocation(proc, alloc)
+    assert kernel.reclaimer.reestablish_identity(proc, alloc)
+    assert kernel.phys.used_bytes == used_before
+    for offset in range(0, alloc.size, max(PAGE_SIZE,
+                                           alloc.size // 7 // PAGE_SIZE
+                                           * PAGE_SIZE)):
+        assert proc.is_identity(alloc.va + offset)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(st.sampled_from(["fork", "write", "exit"]), min_size=1,
+                max_size=12))
+def test_property_fork_trees_never_corrupt_parent(ops):
+    """Arbitrary fork/write/exit sequences on children never change what
+    the parent reads or its identity mappings."""
+    kernel = Kernel(phys_bytes=128 * MB, policy=MemPolicy(mode="dvm"))
+    parent = kernel.spawn()
+    heap = parent.vmm.mmap(1 * MB, Perm.READ_WRITE)
+    children = []
+    wrote_parent = False
+    for op in ops:
+        if op == "fork" and len(children) < 3:
+            children.append(parent.fork())
+        elif op == "write" and children:
+            children[-1].write(heap.va)
+        elif op == "exit" and children:
+            children.pop().exit()
+    if not wrote_parent:
+        # The parent never wrote: its mapping stays identity (read-only
+        # after forks, but PA == VA).
+        result = parent.page_table.walk(heap.va)
+        assert result.ok
+        assert result.identity
+    for child in children:
+        child.exit()

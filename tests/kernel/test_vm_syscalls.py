@@ -1,0 +1,189 @@
+"""The per-process VMM: mmap/munmap under the three policies."""
+
+import numpy as np
+import pytest
+
+from repro.common.consts import PAGE_SIZE, SIZE_2M
+from repro.common.errors import OutOfMemoryError
+from repro.common.perms import Perm
+from repro.hw.bitmap import PermissionBitmap
+from repro.kernel.address_space import AddressSpace
+from repro.kernel.page_table import PageTable
+from repro.kernel.phys import PhysicalMemory
+from repro.kernel.vm_syscalls import VMM, MemPolicy
+
+MB = 1 << 20
+
+
+def make_vmm(policy: MemPolicy, phys_size=256 * MB, bitmap=None) -> VMM:
+    phys = PhysicalMemory(size=phys_size)
+    aspace = AddressSpace(rng=np.random.default_rng(5))
+    table = PageTable(phys, use_pes=policy.use_pes)
+    return VMM(phys, aspace, table, policy, perm_bitmap=bitmap)
+
+
+class TestPolicy:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            MemPolicy(mode="magic")
+
+    def test_invalid_page_size_rejected(self):
+        with pytest.raises(ValueError):
+            MemPolicy(page_size=3 * PAGE_SIZE)
+
+    def test_analog_page_sizes_accepted(self):
+        MemPolicy(page_size=16 << 10)
+        MemPolicy(page_size=4 << 20)
+
+    def test_wants_identity(self):
+        assert MemPolicy(mode="dvm").wants_identity
+        assert MemPolicy(mode="dvm_bitmap").wants_identity
+        assert not MemPolicy(mode="conventional").wants_identity
+
+    def test_bitmap_policy_requires_bitmap(self):
+        with pytest.raises(ValueError):
+            make_vmm(MemPolicy(mode="dvm_bitmap"))
+
+
+class TestConventional:
+    def test_mapping_is_not_identity(self):
+        vmm = make_vmm(MemPolicy(mode="conventional"))
+        alloc = vmm.mmap(MB)
+        assert not alloc.identity
+        result = vmm.page_table.walk(alloc.va)
+        assert result.ok
+        assert result.pa != alloc.va or True  # PA may coincide; flag governs
+        assert not alloc.vma.identity
+
+    def test_every_page_mapped(self):
+        vmm = make_vmm(MemPolicy(mode="conventional"))
+        alloc = vmm.mmap(MB)
+        for offset in range(0, alloc.size, PAGE_SIZE):
+            assert vmm.page_table.walk(alloc.va + offset).ok
+
+    def test_huge_page_policy_chunks_are_contiguous(self):
+        page = 64 << 10
+        vmm = make_vmm(MemPolicy(mode="conventional", page_size=page))
+        alloc = vmm.mmap(MB)
+        assert alloc.va % page == 0
+        # Translation within each analog page is affine.
+        for base in range(0, alloc.size, page):
+            pa0 = vmm.page_table.walk(alloc.va + base).pa
+            pa_last = vmm.page_table.walk(alloc.va + base + page
+                                          - PAGE_SIZE).pa
+            assert pa_last - pa0 == page - PAGE_SIZE
+
+    def test_size_rounds_to_policy_page(self):
+        page = 64 << 10
+        vmm = make_vmm(MemPolicy(mode="conventional", page_size=page))
+        alloc = vmm.mmap(PAGE_SIZE)
+        assert alloc.size == page
+
+    def test_2m_native_pages_used_when_possible(self):
+        vmm = make_vmm(MemPolicy(mode="conventional", page_size=SIZE_2M))
+        alloc = vmm.mmap(SIZE_2M)
+        result = vmm.page_table.walk(alloc.va)
+        assert result.depth == 3  # L2 leaf
+
+    def test_oom_propagates_and_rolls_back(self):
+        vmm = make_vmm(MemPolicy(mode="conventional"), phys_size=64 * MB)
+        with pytest.raises(OutOfMemoryError):
+            vmm.mmap(128 * MB)
+        assert vmm.aspace.total_mapped() == 0
+
+    def test_stats(self):
+        vmm = make_vmm(MemPolicy(mode="conventional"))
+        vmm.mmap(MB)
+        assert vmm.stats.demand_allocs == 1
+        assert vmm.stats.identity_allocs == 0
+        assert vmm.stats.demand_bytes == MB
+
+
+class TestDVM:
+    def test_identity_first(self):
+        vmm = make_vmm(MemPolicy(mode="dvm"))
+        alloc = vmm.mmap(MB)
+        assert alloc.identity
+        assert vmm.page_table.walk(alloc.va).pa == alloc.va
+
+    def test_fallback_when_contiguity_exhausted(self):
+        vmm = make_vmm(MemPolicy(mode="dvm"), phys_size=64 * MB)
+        # The largest contiguous block shrinks below the request; identity
+        # fails but demand paging (page-by-page) can still satisfy it if
+        # memory remains; here it cannot, so OOM propagates.
+        big = vmm.mmap(16 * MB)
+        assert big.identity
+        # Request more than the largest remaining power-of-two block but
+        # less than total free memory: falls back to demand paging.
+        free = vmm.phys.free_bytes
+        request = (free // 2) + (free // 4)
+        alloc = vmm.mmap(request)
+        assert not alloc.identity
+        assert vmm.identity_mapper.stats.contiguity_failures >= 1
+
+    def test_munmap_identity_roundtrip(self):
+        vmm = make_vmm(MemPolicy(mode="dvm"))
+        used = vmm.phys.used_bytes
+        alloc = vmm.mmap(4 * MB)
+        vmm.munmap(alloc)
+        assert vmm.phys.used_bytes == used
+        assert vmm.stats.identity_bytes == 0
+
+    def test_munmap_demand_roundtrip(self):
+        vmm = make_vmm(MemPolicy(mode="conventional"))
+        used = vmm.phys.used_bytes
+        alloc = vmm.mmap(4 * MB)
+        vmm.munmap(alloc)
+        assert vmm.phys.used_bytes == used
+
+    def test_munmap_unknown_rejected(self):
+        vmm = make_vmm(MemPolicy(mode="dvm"))
+        alloc = vmm.mmap(MB)
+        vmm.munmap(alloc)
+        with pytest.raises(Exception):
+            vmm.munmap(alloc)
+
+    def test_allocations_listing_sorted(self):
+        vmm = make_vmm(MemPolicy(mode="dvm"))
+        for _ in range(5):
+            vmm.mmap(MB)
+        allocs = vmm.allocations()
+        assert [a.va for a in allocs] == sorted(a.va for a in allocs)
+
+
+class TestDVMBitmap:
+    def test_identity_permissions_recorded_in_bitmap(self):
+        bitmap = PermissionBitmap()
+        vmm = make_vmm(MemPolicy(mode="dvm_bitmap", use_pes=False),
+                       bitmap=bitmap)
+        alloc = vmm.mmap(MB, Perm.READ_WRITE)
+        assert alloc.identity
+        lookup = bitmap.lookup(alloc.va)
+        assert lookup.perm == Perm.READ_WRITE
+
+    def test_munmap_clears_bitmap(self):
+        bitmap = PermissionBitmap()
+        vmm = make_vmm(MemPolicy(mode="dvm_bitmap", use_pes=False),
+                       bitmap=bitmap)
+        alloc = vmm.mmap(MB)
+        vmm.munmap(alloc)
+        assert bitmap.lookup(alloc.va).perm == Perm.NONE
+
+    def test_bitmap_covers_whole_range(self):
+        bitmap = PermissionBitmap()
+        vmm = make_vmm(MemPolicy(mode="dvm_bitmap", use_pes=False),
+                       bitmap=bitmap)
+        alloc = vmm.mmap(MB)
+        assert bitmap.lookup(alloc.va + alloc.size - 1).identity
+
+
+class TestInputValidation:
+    def test_zero_size_rejected(self):
+        vmm = make_vmm(MemPolicy(mode="dvm"))
+        with pytest.raises(ValueError):
+            vmm.mmap(0)
+
+    def test_negative_size_rejected(self):
+        vmm = make_vmm(MemPolicy(mode="dvm"))
+        with pytest.raises(ValueError):
+            vmm.mmap(-5)

@@ -1,0 +1,101 @@
+"""Simulation driver layer (repro.sim)."""
+
+import pytest
+
+from repro.core.config import standard_configs
+from repro.hw.iommu import TimingStats
+from repro.hw.dram import DRAMModel
+from repro.sim.metrics import execution_cycles, metrics_from
+from repro.sim.runner import ExperimentRunner
+from repro.sim.system import HeterogeneousSystem, SystemParams
+
+MB = 1 << 20
+
+
+class TestMetrics:
+    def test_ideal_cycles(self):
+        timing = TimingStats(accesses=1000)
+        dram = DRAMModel(data_latency=100)
+        cycles, ideal = execution_cycles(timing, dram, mlp=8)
+        assert ideal == 1000 * (1 + 100 / 8)
+        assert cycles == ideal
+
+    def test_stalls_compose(self):
+        timing = TimingStats(accesses=1000, sram_stall_cycles=800,
+                             mem_stall_cycles=5000)
+        dram = DRAMModel(data_latency=100)
+        cycles, ideal = execution_cycles(timing, dram, mlp=8)
+        assert cycles == ideal + 5000 + 100  # sram / MLP
+
+    def test_metrics_properties(self):
+        timing = TimingStats(accesses=1000, mem_stall_cycles=1250)
+        dram = DRAMModel(data_latency=100)
+        m = metrics_from(timing, dram, config="x", workload="w", graph="g")
+        assert m.normalized_time == pytest.approx(
+            (1000 * 13.5 + 1250) / (1000 * 13.5))
+        assert m.vm_overhead == pytest.approx(1250 / 13500)
+
+
+class TestSystem:
+    def test_run_requires_graph(self, configs):
+        system = HeterogeneousSystem(
+            configs["ideal"], SystemParams(phys_bytes=256 * MB))
+        from repro.accel.trace import SymbolicTrace
+        import numpy as np
+        trace = SymbolicTrace(np.zeros(1, np.int8), np.zeros(1, np.int64),
+                              np.zeros(1, np.int8))
+        with pytest.raises(RuntimeError):
+            system.run_trace(trace)
+
+    def test_end_to_end_ideal_is_unity(self, configs):
+        from repro.graphs.rmat import rmat_graph
+        from repro.accel.algorithms import run_workload
+        graph = rmat_graph(scale=9, edge_factor=8, seed=30)
+        result = run_workload("pagerank", graph)
+        system = HeterogeneousSystem(
+            configs["ideal"], SystemParams(phys_bytes=256 * MB))
+        system.load_graph(graph)
+        metrics = system.run(result.trace, workload="pagerank", graph="t")
+        assert metrics.normalized_time == pytest.approx(1.0)
+        assert metrics.energy_pj == 0.0
+
+    def test_identity_fraction_reported(self, configs):
+        from repro.graphs.rmat import rmat_graph
+        from repro.accel.algorithms import run_workload
+        graph = rmat_graph(scale=9, edge_factor=8, seed=30)
+        result = run_workload("bfs", graph)
+        system = HeterogeneousSystem(
+            configs["dvm_pe"], SystemParams(phys_bytes=256 * MB))
+        system.load_graph(graph)
+        metrics = system.run(result.trace, workload="bfs", graph="t")
+        assert metrics.identity_fraction == 1.0
+        assert metrics.page_table_bytes > 0
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def runner(self):
+        return ExperimentRunner(profile="bench")
+
+    def test_prepare_caches(self, runner):
+        a = runner.prepare("bfs", "FR")
+        b = runner.prepare("bfs", "FR")
+        assert a is b
+
+    def test_run_caches(self, runner):
+        config = runner.configs()["ideal"]
+        a = runner.run("bfs", "FR", config)
+        b = runner.run("bfs", "FR", config)
+        assert a is b
+
+    def test_metrics_labelled(self, runner):
+        config = runner.configs()["ideal"]
+        m = runner.run("bfs", "FR", config)
+        assert m.workload == "bfs"
+        assert m.graph == "FR"
+        assert m.config == "ideal"
+
+    def test_run_pairs_subset(self, runner):
+        out = runner.run_pairs(pairs=[("bfs", "FR")],
+                               config_names=["ideal", "dvm_pe"])
+        assert set(out) == {("bfs", "FR", "ideal"), ("bfs", "FR", "dvm_pe")}

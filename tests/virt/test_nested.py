@@ -1,0 +1,101 @@
+"""Virtualization extension (repro.virt, paper Section 5)."""
+
+import pytest
+
+from repro.common.perms import Perm
+from repro.virt.nested import SCHEMES, VirtualizedSystem, compare_schemes
+
+MB = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def systems():
+    return {scheme: VirtualizedSystem(scheme, host_bytes=512 * MB,
+                                      guest_bytes=128 * MB)
+            for scheme in SCHEMES}
+
+
+class TestConstruction:
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualizedSystem("paravirt")
+
+    def test_guest_ram_inside_host(self, systems):
+        for system in systems.values():
+            assert system.guest_ram.size == 128 * MB
+
+    def test_host_dvm_identity_maps_guest_ram(self, systems):
+        assert systems["host_dvm"].guest_ram.identity
+        assert systems["full_dvm"].guest_ram.identity
+        assert not systems["nested"].guest_ram.identity
+
+
+class TestTranslation:
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    def test_translation_succeeds(self, systems, scheme):
+        system = systems[scheme]
+        alloc = system.guest_mmap(4 * MB)
+        t = system.translate(alloc.va + 12345)
+        assert system.host.phys.contains(t.spa)
+
+    def test_full_dvm_is_identity_end_to_end(self, systems):
+        system = systems["full_dvm"]
+        alloc = system.guest_mmap(4 * MB)
+        t = system.translate(alloc.va + 777)
+        assert t.identity_end_to_end
+        assert t.spa == alloc.va + 777
+
+    def test_guest_dvm_gva_equals_gpa(self, systems):
+        system = systems["guest_dvm"]
+        alloc = system.guest_mmap(4 * MB)
+        assert alloc.identity  # gVA == gPA
+        t = system.translate(alloc.va)
+        # The host still translates, so gVA != sPA in general.
+        assert not t.identity_end_to_end
+
+    def test_nested_charges_both_dimensions(self, systems):
+        system = systems["nested"]
+        alloc = system.guest_mmap(4 * MB)
+        system._guest_walker.cache.invalidate_all()
+        system._host_walker.cache.invalidate_all()
+        t = system.translate(alloc.va)
+        assert t.guest_mem_accesses >= 3   # cold guest walk
+        assert t.host_mem_accesses > t.guest_mem_accesses  # 2D blow-up
+
+    def test_guest_fault_propagates(self, systems):
+        from repro.common.errors import PageFault
+        with pytest.raises(PageFault):
+            systems["nested"].translate(0x7000_0000_0000)
+
+
+class TestSchemeComparison:
+    @pytest.fixture(scope="class")
+    def steady(self):
+        return compare_schemes(buffer_size=4 * MB, probes=128,
+                               mode="steady")
+
+    def test_paper_ordering_steady_state(self, steady):
+        """Section 5's claim: DVM converts the 2D walk to 1D (either
+        dimension) and can eliminate it entirely."""
+        assert (steady["nested"]["mem_per_miss"]
+                > steady["host_dvm"]["mem_per_miss"])
+        assert (steady["nested"]["mem_per_miss"]
+                > steady["guest_dvm"]["mem_per_miss"])
+        assert (steady["full_dvm"]["mem_per_miss"]
+                < steady["host_dvm"]["mem_per_miss"])
+
+    def test_full_dvm_nearly_eliminates_walk_memory(self, steady):
+        assert steady["full_dvm"]["mem_per_miss"] < 0.2
+        assert steady["full_dvm"]["identity_fraction"] == 1.0
+
+    def test_cold_mode_costs_more(self):
+        cold = compare_schemes(buffer_size=4 * MB, probes=32, mode="cold")
+        steady = compare_schemes(buffer_size=4 * MB, probes=32,
+                                 mode="steady")
+        for scheme in SCHEMES:
+            assert (cold[scheme]["mem_per_miss"]
+                    >= steady[scheme]["mem_per_miss"])
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            compare_schemes(probes=1, mode="lukewarm")
