@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments examples clean
+.PHONY: install test bench bench-figures lint experiments examples clean
 
 install:
 	pip install -e . || \
@@ -11,8 +11,18 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Timing-engine benchmark: full Figure 8 sweep under both engines,
+# recorded in BENCH_timing.json at the repo root.
 bench:
+	$(PYTHON) benchmarks/perf_timing.py
+
+bench-figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+lint:
+	@command -v ruff >/dev/null 2>&1 \
+	&& ruff check src tests benchmarks examples \
+	|| echo "ruff not installed; skipping lint"
 
 experiments:
 	$(PYTHON) -m repro all

@@ -1,0 +1,120 @@
+"""Tracked timing-engine benchmark: scalar loop vs page-run fast path.
+
+Times the full Figure 8 sweep (15 workload/graph pairs x 7 MMU
+configurations) end-to-end under both timing engines and records the
+results in ``BENCH_timing.json`` at the repository root, so the speedup
+is tracked in-tree alongside the code that produces it.
+
+Each engine gets a fresh :class:`ExperimentRunner` per pair: its wall
+time therefore includes everything a cold figure regeneration pays —
+dataset build, functional execution, concretization and timing — which
+is the number a user actually experiences.  The two engines' metrics
+are compared field-for-field; the benchmark fails if they ever diverge.
+
+Usage::
+
+    python benchmarks/perf_timing.py               # full profile (~minutes)
+    python benchmarks/perf_timing.py --quick       # bench profile smoke
+    python benchmarks/perf_timing.py --pairs 4     # first N pairs only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.graphs.datasets import WORKLOAD_PAIRS          # noqa: E402
+from repro.sim import _native                             # noqa: E402
+from repro.sim.runner import ExperimentRunner             # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_timing.json"
+
+
+def time_pair(workload: str, dataset: str, profile: str, engine: str):
+    """Cold end-to-end run of one pair's 7 configurations under one engine."""
+    runner = ExperimentRunner(profile=profile, engine=engine)
+    start = time.perf_counter()
+    metrics = runner.run_pairs(pairs=[(workload, dataset)])
+    wall = time.perf_counter() - start
+    accesses = runner.prepare(workload, dataset).trace_length
+    return wall, accesses, metrics
+
+
+def bench(profile: str, pairs, output: pathlib.Path) -> dict:
+    rows = []
+    totals = {"scalar_s": 0.0, "fast_s": 0.0, "accesses": 0}
+    for workload, dataset in pairs:
+        scalar_s, accesses, scalar_m = time_pair(workload, dataset,
+                                                 profile, "scalar")
+        fast_s, _, fast_m = time_pair(workload, dataset, profile, "fast")
+        identical = all(scalar_m[k].to_dict() == fast_m[k].to_dict()
+                        for k in scalar_m)
+        row = {
+            "workload": workload, "dataset": dataset, "accesses": accesses,
+            "scalar_s": round(scalar_s, 3), "fast_s": round(fast_s, 3),
+            "speedup": round(scalar_s / fast_s, 3) if fast_s else None,
+            "identical": identical,
+        }
+        rows.append(row)
+        totals["scalar_s"] += scalar_s
+        totals["fast_s"] += fast_s
+        totals["accesses"] += accesses
+        print(f"{workload:>9}:{dataset:<5} {accesses:>11,} accesses  "
+              f"scalar {scalar_s:7.2f}s  fast {fast_s:7.2f}s  "
+              f"{row['speedup']:.2f}x  identical={identical}", flush=True)
+        if not identical:
+            raise SystemExit(f"engine divergence on {workload}:{dataset}")
+    # Each engine times 7 configurations over the pair's trace.
+    timed = 7 * totals["accesses"]
+    report = {
+        "benchmark": "figure8-sweep-timing",
+        "profile": profile,
+        "pairs": rows,
+        "totals": {
+            "accesses": totals["accesses"],
+            "scalar_s": round(totals["scalar_s"], 3),
+            "fast_s": round(totals["fast_s"], 3),
+            "speedup": round(totals["scalar_s"] / totals["fast_s"], 3),
+            "scalar_accesses_per_s": int(timed / totals["scalar_s"]),
+            "fast_accesses_per_s": int(timed / totals["fast_s"]),
+        },
+        "native_kernel": _native.available(),
+    }
+    output.write_text(json.dumps(report, indent=1) + "\n")
+    t = report["totals"]
+    print(f"\ntotal: scalar {t['scalar_s']:.1f}s  fast {t['fast_s']:.1f}s  "
+          f"speedup {t['speedup']:.2f}x  "
+          f"(native kernel: {report['native_kernel']})")
+    print(f"wrote {output}")
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", default="full",
+                        help="dataset profile (default: full)")
+    parser.add_argument("--quick", action="store_true",
+                        help="shorthand for --profile bench")
+    parser.add_argument("--pairs", type=int, default=None,
+                        help="limit to the first N workload pairs")
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+                        help=f"report path (default: {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+    profile = "bench" if args.quick else args.profile
+    pairs = list(WORKLOAD_PAIRS)
+    if args.pairs is not None:
+        pairs = pairs[:args.pairs]
+    if not pairs:
+        parser.error("--pairs must select at least one workload pair")
+    bench(profile, pairs, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -135,7 +135,13 @@ def interleave_chunks(values: np.ndarray, num_lanes: int) -> np.ndarray:
     if num_lanes <= 1 or n <= num_lanes:
         return values
     per_lane = -(-n // num_lanes)  # ceil division
-    padded = np.full(per_lane * num_lanes, -1, dtype=values.dtype)
+    total = per_lane * num_lanes
+    padded = np.zeros(total, dtype=values.dtype)
     padded[:n] = values
+    # Track padding with a parallel length mask rather than a sentinel
+    # value: any value of the input dtype is a legitimate element.
+    valid = np.zeros(total, dtype=bool)
+    valid[:n] = True
     merged = padded.reshape(num_lanes, per_lane).T.reshape(-1)
-    return merged[merged != -1]
+    keep = valid.reshape(num_lanes, per_lane).T.reshape(-1)
+    return merged[keep]

@@ -30,7 +30,9 @@ paper-scale footprints.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
 
 from repro.common.consts import PAGE_SIZE, SIZE_1G, SIZE_2M
 from repro.kernel.vm_syscalls import MemPolicy
@@ -101,6 +103,17 @@ class MMUConfig:
         valid = ("conventional", "dvm_bm", "dvm_pe", "dvm_pe_plus", "ideal")
         if self.mech not in valid:
             raise ValueError(f"unknown mechanism {self.mech!r}")
+
+    def fingerprint(self) -> str:
+        """Content hash over every parameter (including the OS policy).
+
+        Cache keys must use this, not ``name``: two differently
+        parameterized configurations may share a name (ablations built
+        with :func:`config_with`), and keying on the name alone would
+        silently alias their results.
+        """
+        payload = json.dumps(asdict(self), sort_keys=True, default=str)
+        return hashlib.sha1(payload.encode()).hexdigest()
 
     @property
     def uses_identity(self) -> bool:

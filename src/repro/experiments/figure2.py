@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 from repro.experiments.reporting import render_table
 from repro.graphs.datasets import WORKLOAD_PAIRS
-from repro.sim.runner import ExperimentRunner
+from repro.sim.runner import ExperimentRunner, workers_from_env
 
 
 @dataclass
@@ -63,8 +63,17 @@ def render(rows: list[Figure2Row]) -> str:
 
 
 def main(profile: str = "full") -> str:
-    """Regenerate Figure 2 and return its rendering."""
-    runner = ExperimentRunner(profile=profile)
+    """Regenerate Figure 2 and return its rendering.
+
+    Honors ``REPRO_WORKERS`` (parallel pair execution) and
+    ``REPRO_CACHE_DIR`` (persistent trace/metrics artifacts).
+    """
+    runner = ExperimentRunner.from_env(profile=profile)
+    workers = workers_from_env()
+    if workers > 1:
+        # Figure 2 only reads the conventional TLBs, but the warmed cache
+        # is shared with Figures 8/9, so run the full matrix.
+        runner.run_pairs(workers=workers)
     text = render(figure2(runner))
     print(text)
     return text

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.experiments.reporting import geometric_mean, render_table
 from repro.graphs.datasets import WORKLOAD_PAIRS
-from repro.sim.runner import ExperimentRunner
+from repro.sim.runner import ExperimentRunner, workers_from_env
 
 #: Figure 9's bar order (energies normalized to conv_4k).
 CONFIG_ORDER = ("conv_2m", "conv_1g", "dvm_bm", "dvm_pe", "dvm_pe_plus")
@@ -89,8 +89,15 @@ def render(rows: list[Figure9Row]) -> str:
 
 
 def main(profile: str = "full") -> str:
-    """Regenerate Figure 9 and return its rendering."""
-    runner = ExperimentRunner(profile=profile)
+    """Regenerate Figure 9 and return its rendering.
+
+    Honors ``REPRO_WORKERS`` (parallel pair execution) and
+    ``REPRO_CACHE_DIR`` (persistent trace/metrics artifacts).
+    """
+    runner = ExperimentRunner.from_env(profile=profile)
+    workers = workers_from_env()
+    if workers > 1:
+        runner.run_pairs(workers=workers)   # warm the caches in parallel
     text = render(figure9(runner))
     print(text)
     return text

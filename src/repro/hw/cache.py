@@ -18,6 +18,34 @@ from dataclasses import dataclass
 from repro.common.util import is_power_of_two
 
 
+def lru_get(lru_set: dict, key):
+    """Probe one LRU set for ``key``: touch to MRU, return its value.
+
+    Returns ``None`` on absence.  The shared probe primitive of every
+    insertion-ordered-dict LRU structure (TLB sets, cache sets): a hit
+    re-inserts the key so dict order stays recency order.
+    """
+    entry = lru_set.get(key)
+    if entry is not None:
+        del lru_set[key]
+        lru_set[key] = entry
+    return entry
+
+
+def lru_put(lru_set: dict, key, value, ways: int) -> None:
+    """Install ``key`` at the MRU end of one LRU set.
+
+    Re-inserts if already resident; otherwise evicts the LRU (first) key
+    when the set is at capacity.  The shared fill primitive matching
+    :func:`lru_get`.
+    """
+    if key in lru_set:
+        del lru_set[key]
+    elif len(lru_set) >= ways:
+        lru_set.pop(next(iter(lru_set)))
+    lru_set[key] = value
+
+
 @dataclass
 class CacheStats:
     """Hit/miss counters."""
@@ -79,22 +107,26 @@ class SetAssocCache:
         """
         block = addr >> self._block_shift
         cache_set = self._sets[block % self.num_sets]
-        if block in cache_set:
-            # LRU touch: move to the MRU (most recently inserted) position.
-            del cache_set[block]
-            cache_set[block] = True
+        if lru_get(cache_set, block) is not None:
             self.stats.hits += 1
             return True
         self.stats.misses += 1
-        if len(cache_set) >= self.ways:
-            cache_set.pop(next(iter(cache_set)))
-        cache_set[block] = True
+        lru_put(cache_set, block, True, self.ways)
         return False
 
     def probe(self, addr: int) -> bool:
         """Non-allocating lookup (no fill, no LRU update, no stats)."""
         block = addr >> self._block_shift
         return block in self._sets[block % self.num_sets]
+
+    def install_block(self, block: int) -> None:
+        """Fill ``block`` at the MRU position without touching stats.
+
+        The batched timing engine uses this to rebuild end-of-trace
+        contents from its analysis (blocks installed in last-touch
+        order); counters are accounted separately in bulk.
+        """
+        lru_put(self._sets[block % self.num_sets], block, True, self.ways)
 
     def invalidate_all(self) -> None:
         """Flush the cache contents (stats are preserved)."""

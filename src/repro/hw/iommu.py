@@ -36,6 +36,17 @@ methods) because they execute millions of times per experiment.  The inline
 operations are op-for-op identical to :meth:`TLB.lookup`/:meth:`fill` and
 :meth:`SetAssocCache.access`; the unit tests in
 ``tests/hw/test_iommu_equivalence.py`` verify the equivalence.
+
+On top of the scalar loops sits a batched engine
+(:mod:`repro.sim.fastpath`): :meth:`IOMMU.run_trace` compresses the trace
+into page runs and resolves guaranteed LRU hits vectorially, replaying
+only the residual accesses through the same dict operations.  The fast
+engine produces bit-identical :class:`TimingStats` and final structure
+state (``tests/sim/test_fastpath_equivalence.py``); traces that could
+fault — and a few unsupported shapes, like a populated TLB or an L2 TLB —
+fall back to the scalar loops, which remain the ground truth.  Select the
+engine per call (``engine="scalar"``) or globally via the
+``REPRO_TIMING_ENGINE`` environment variable.
 """
 
 from __future__ import annotations
@@ -172,17 +183,50 @@ class IOMMU:
 
     # -- trace simulation -------------------------------------------------------
 
-    def run_trace(self, addrs, writes) -> TimingStats:
+    def run_trace(self, addrs, writes, engine: str | None = None
+                  ) -> TimingStats:
         """Simulate a whole trace; returns aggregated timing statistics.
 
         ``addrs`` is a sequence of virtual addresses, ``writes`` a parallel
-        sequence of 0/1 flags.  Both may be numpy arrays.
+        sequence of 0/1 flags.  Both may be numpy arrays.  ``engine``
+        selects ``"fast"`` (batched page-run engine, the default) or
+        ``"scalar"`` (the per-access loops); unset, the
+        ``REPRO_TIMING_ENGINE`` environment variable decides.  The fast
+        engine falls back to the scalar loops for traces it cannot prove
+        fault-free, so results are identical either way.
         """
+        from repro.sim import fastpath
+        if engine is None:
+            engine = fastpath.default_engine()
+        elif engine not in ("fast", "scalar"):
+            raise ValueError(f"unknown timing engine {engine!r}")
+        if engine == "fast":
+            return self.run_batch(fastpath.PageRunBatch.from_trace(
+                addrs, writes))
         addr_list = addrs.tolist() if hasattr(addrs, "tolist") else list(addrs)
         write_list = (writes.tolist() if hasattr(writes, "tolist")
                       else list(writes))
         if len(addr_list) != len(write_list):
             raise ValueError("addrs and writes must have equal length")
+        return self._run_scalar(addr_list, write_list)
+
+    def run_batch(self, batch) -> TimingStats:
+        """Simulate a pre-compressed :class:`~repro.sim.fastpath.PageRunBatch`.
+
+        The batched entry point: callers that already hold a page-run batch
+        (the parallel runner shares them across configurations) skip the
+        pre-pass.  Falls back to the scalar loops when the fast engine
+        declines the trace.
+        """
+        from repro.sim import fastpath
+        stats = TimingStats()
+        if fastpath.run_batch(self, batch, stats):
+            self._finalize_energy(stats)
+            return stats
+        return self._run_scalar(batch.addrs.tolist(), batch.writes.tolist())
+
+    def _run_scalar(self, addr_list: list, write_list: list) -> TimingStats:
+        """Dispatch to the per-access loops (the ground-truth engine)."""
         stats = TimingStats()
         mech = self.config.mech
         if mech == "ideal":

@@ -19,7 +19,7 @@ from __future__ import annotations
 from repro.common.consts import PAGE_SIZE
 from repro.common.perms import Perm
 from repro.common.util import is_power_of_two
-from repro.hw.cache import CacheStats
+from repro.hw.cache import CacheStats, lru_get, lru_put
 
 #: A cached translation: (region-aligned physical base, permission).
 TLBEntry = tuple[int, int]
@@ -65,11 +65,8 @@ class TLB:
     def lookup(self, va: int) -> TLBEntry | None:
         """Probe for ``va``; returns ``(pa_base, perm)`` on hit, else None."""
         vpn = va >> self.page_shift
-        tlb_set = self._sets[vpn % self.num_sets]
-        entry = tlb_set.get(vpn)
+        entry = lru_get(self._sets[vpn % self.num_sets], vpn)
         if entry is not None:
-            del tlb_set[vpn]
-            tlb_set[vpn] = entry
             self.stats.hits += 1
             return entry
         self.stats.misses += 1
@@ -82,12 +79,16 @@ class TLB:
         region-aligned physical base.
         """
         vpn = va >> self.page_shift
-        tlb_set = self._sets[vpn % self.num_sets]
-        if vpn in tlb_set:
-            del tlb_set[vpn]
-        elif len(tlb_set) >= self.ways:
-            tlb_set.pop(next(iter(tlb_set)))
-        tlb_set[vpn] = (pa - (va - (vpn << self.page_shift)), int(perm))
+        lru_put(self._sets[vpn % self.num_sets], vpn,
+                (pa - (va - (vpn << self.page_shift)), int(perm)), self.ways)
+
+    def install(self, vpn: int, entry: TLBEntry) -> None:
+        """Install a prebuilt entry at the MRU position (no stats).
+
+        The batched timing engine rebuilds end-of-trace TLB contents
+        through this; counters are accounted separately in bulk.
+        """
+        lru_put(self._sets[vpn % self.num_sets], vpn, entry, self.ways)
 
     def translate(self, va: int) -> int | None:
         """PA for ``va`` if resident (updates LRU/stats), else None."""

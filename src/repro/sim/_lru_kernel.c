@@ -1,0 +1,168 @@
+/* Exact set-associative LRU replay over a compact-id key stream.
+ *
+ * This is the same algorithm the simulator's Python structures implement
+ * with insertion-ordered dicts (hit = move to MRU, miss = evict the LRU
+ * entry when the set is full), restated with O(1) doubly-linked recency
+ * lists so a multi-million access stream replays in milliseconds.  The
+ * output contract matches repro.sim.fastpath._simulate_lru: a per-access
+ * miss mask plus each key's occurrence count, last-touch position and
+ * last-fill position (-1 when absent / never filled).
+ *
+ * Compiled on demand by repro.sim._native (gcc -O3 -shared -fPIC); the
+ * engine runs pure-numpy when no compiler is available.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* ids:      m key ids in 0..k-1, chronological order
+ * set_of:   per-key set id in 0..nsets-1, or NULL when nsets == 1
+ * miss:     out, m bytes, 1 where the access missed
+ * counts:   out, k occurrence counts
+ * last_occ: out, k last-touch stream positions, -1 when never seen
+ * last_fill:out, k last-miss stream positions, -1 when never filled
+ * returns 0 on success, 1 on allocation failure
+ */
+int repro_lru_sim(const int32_t *ids, int64_t m, int32_t k,
+                  int32_t nsets, int32_t ways, const int32_t *set_of,
+                  uint8_t *miss, int64_t *counts,
+                  int64_t *last_occ, int64_t *last_fill)
+{
+    int32_t *nxt = malloc(sizeof(int32_t) * (size_t)k);
+    int32_t *prv = malloc(sizeof(int32_t) * (size_t)k);
+    uint8_t *present = calloc((size_t)k, 1);
+    int32_t *head = malloc(sizeof(int32_t) * (size_t)nsets);
+    int32_t *tail = malloc(sizeof(int32_t) * (size_t)nsets);
+    int32_t *size = calloc((size_t)nsets, sizeof(int32_t));
+    if (!nxt || !prv || !present || !head || !tail || !size) {
+        free(nxt); free(prv); free(present);
+        free(head); free(tail); free(size);
+        return 1;
+    }
+    for (int32_t s = 0; s < nsets; s++) {
+        head[s] = -1;
+        tail[s] = -1;
+    }
+    for (int64_t i = 0; i < m; i++) {
+        int32_t id = ids[i];
+        counts[id]++;
+        last_occ[id] = i;
+        if (present[id]) {
+            miss[i] = 0;
+            int32_t s = set_of ? set_of[id] : 0;
+            if (head[s] != id) {                /* unlink, push to MRU */
+                int32_t p = prv[id], n = nxt[id];
+                nxt[p] = n;
+                if (n >= 0) prv[n] = p; else tail[s] = p;
+                prv[id] = -1;
+                nxt[id] = head[s];
+                prv[head[s]] = id;
+                head[s] = id;
+            }
+        } else {
+            miss[i] = 1;
+            last_fill[id] = i;
+            int32_t s = set_of ? set_of[id] : 0;
+            if (size[s] == ways) {              /* evict the LRU entry */
+                int32_t v = tail[s];
+                int32_t p = prv[v];
+                present[v] = 0;
+                tail[s] = p;
+                if (p >= 0) nxt[p] = -1; else head[s] = -1;
+                size[s]--;
+            }
+            present[id] = 1;                    /* insert at MRU */
+            prv[id] = -1;
+            nxt[id] = head[s];
+            if (head[s] >= 0) prv[head[s]] = id; else tail[s] = id;
+            head[s] = id;
+            size[s]++;
+        }
+    }
+    free(nxt); free(prv); free(present);
+    free(head); free(tail); free(size);
+    return 0;
+}
+
+/* Same replay over an *indirect* walk-block stream: event e touches the
+ * contiguous id slice flat_ids[block_off[page_idx[e]] ..
+ * block_off[page_idx[e] + 1]), in order.  The expanded stream (nevents x
+ * per-page depth elements) is never materialized; the per-access miss
+ * mask is folded into a per-event miss count as it is produced.
+ * last_occ / last_fill positions are in expanded-stream coordinates,
+ * exactly as if the caller had flattened the stream first.
+ *
+ * page_idx:   nevents page-table indices, chronological order
+ * block_off:  npages+1 offsets of each page's id slice in flat_ids
+ * event_miss: out, nevents misses among the event's blocks
+ * returns 0 on success, 1 on allocation failure
+ */
+int repro_lru_sim_walk(const int32_t *page_idx, int64_t nevents,
+                       const int32_t *block_off, const int32_t *flat_ids,
+                       int32_t k, int32_t nsets, int32_t ways,
+                       const int32_t *set_of, int32_t *event_miss,
+                       int64_t *counts, int64_t *last_occ,
+                       int64_t *last_fill)
+{
+    int32_t *nxt = malloc(sizeof(int32_t) * (size_t)k);
+    int32_t *prv = malloc(sizeof(int32_t) * (size_t)k);
+    uint8_t *present = calloc((size_t)k, 1);
+    int32_t *head = malloc(sizeof(int32_t) * (size_t)nsets);
+    int32_t *tail = malloc(sizeof(int32_t) * (size_t)nsets);
+    int32_t *size = calloc((size_t)nsets, sizeof(int32_t));
+    if (!nxt || !prv || !present || !head || !tail || !size) {
+        free(nxt); free(prv); free(present);
+        free(head); free(tail); free(size);
+        return 1;
+    }
+    for (int32_t s = 0; s < nsets; s++) {
+        head[s] = -1;
+        tail[s] = -1;
+    }
+    int64_t pos = 0;
+    for (int64_t e = 0; e < nevents; e++) {
+        int32_t page = page_idx[e];
+        int32_t misses = 0;
+        for (int32_t j = block_off[page]; j < block_off[page + 1]; j++) {
+            int32_t id = flat_ids[j];
+            counts[id]++;
+            last_occ[id] = pos;
+            if (present[id]) {
+                int32_t s = set_of ? set_of[id] : 0;
+                if (head[s] != id) {            /* unlink, push to MRU */
+                    int32_t p = prv[id], n = nxt[id];
+                    nxt[p] = n;
+                    if (n >= 0) prv[n] = p; else tail[s] = p;
+                    prv[id] = -1;
+                    nxt[id] = head[s];
+                    prv[head[s]] = id;
+                    head[s] = id;
+                }
+            } else {
+                misses++;
+                last_fill[id] = pos;
+                int32_t s = set_of ? set_of[id] : 0;
+                if (size[s] == ways) {          /* evict the LRU entry */
+                    int32_t v = tail[s];
+                    int32_t p = prv[v];
+                    present[v] = 0;
+                    tail[s] = p;
+                    if (p >= 0) nxt[p] = -1; else head[s] = -1;
+                    size[s]--;
+                }
+                present[id] = 1;                /* insert at MRU */
+                prv[id] = -1;
+                nxt[id] = head[s];
+                if (head[s] >= 0) prv[head[s]] = id; else tail[s] = id;
+                head[s] = id;
+                size[s]++;
+            }
+            pos++;
+        }
+        event_miss[e] = misses;
+    }
+    free(nxt); free(prv); free(present);
+    free(head); free(tail); free(size);
+    return 0;
+}

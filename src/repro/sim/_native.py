@@ -1,0 +1,159 @@
+"""Best-effort loader for the compiled LRU replay kernel.
+
+``_lru_kernel.c`` holds the serial set-associative LRU replay used by the
+timing fast path.  This module compiles it once per source revision with
+whatever C compiler the host offers (``cc``/``gcc``), caches the shared
+library under ``build/native/`` at the repository root (or the system
+temp directory when the tree is read-only), and exposes it through
+:func:`lru_sim`.
+
+Everything here degrades silently: no compiler, a failed compile, an
+unwritable cache or ``REPRO_NATIVE=0`` all make :func:`lru_sim` return
+``None``, and the caller falls back to the pure-numpy distance engine.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+#: Set to ``0`` to force the pure-numpy engine (used by equivalence tests).
+NATIVE_ENV_VAR = "REPRO_NATIVE"
+
+_SOURCE = Path(__file__).with_name("_lru_kernel.c")
+
+_lib: ctypes.CDLL | None = None
+_tried = False
+
+
+def _cache_dirs(tag: str):
+    """Candidate directories for the compiled library, best first."""
+    root = Path(__file__).resolve().parents[3]
+    yield root / "build" / "native"
+    yield Path(tempfile.gettempdir()) / f"repro-native-{tag}"
+
+
+def _compile() -> ctypes.CDLL | None:
+    compiler = shutil.which("cc") or shutil.which("gcc")
+    if compiler is None or not _SOURCE.exists():
+        return None
+    source = _SOURCE.read_bytes()
+    tag = hashlib.sha256(source).hexdigest()[:12]
+    for cache in _cache_dirs(tag):
+        lib_path = cache / f"_lru_{tag}.so"
+        try:
+            if not lib_path.exists():
+                cache.mkdir(parents=True, exist_ok=True)
+                tmp = lib_path.with_suffix(f".{os.getpid()}.tmp")
+                subprocess.run(
+                    [compiler, "-O3", "-shared", "-fPIC",
+                     str(_SOURCE), "-o", str(tmp)],
+                    check=True, capture_output=True, timeout=120)
+                os.replace(tmp, lib_path)  # atomic under concurrent builds
+            return ctypes.CDLL(str(lib_path))
+        except (OSError, subprocess.SubprocessError):
+            continue
+    return None
+
+
+def _load() -> ctypes.CDLL | None:
+    global _lib, _tried
+    if _tried:
+        return _lib
+    _tried = True
+    if os.environ.get(NATIVE_ENV_VAR, "1") == "0":
+        return None
+    lib = _compile()
+    if lib is not None:
+        lib.repro_lru_sim.restype = ctypes.c_int
+        lib.repro_lru_sim.argtypes = [
+            ctypes.c_void_p, ctypes.c_int64, ctypes.c_int32,
+            ctypes.c_int32, ctypes.c_int32, ctypes.c_void_p,
+            ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,
+            ctypes.c_void_p,
+        ]
+        lib.repro_lru_sim_walk.restype = ctypes.c_int
+        lib.repro_lru_sim_walk.argtypes = [
+            ctypes.c_void_p, ctypes.c_int64, ctypes.c_void_p,
+            ctypes.c_void_p, ctypes.c_int32, ctypes.c_int32,
+            ctypes.c_int32, ctypes.c_void_p, ctypes.c_void_p,
+            ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,
+        ]
+    _lib = lib
+    return _lib
+
+
+def available() -> bool:
+    """Whether the compiled kernel is (or can be made) loadable."""
+    return _load() is not None
+
+
+def lru_sim(ids: np.ndarray, k: int, nsets: int, ways: int, sid_u):
+    """Replay ``ids`` through the compiled LRU kernel.
+
+    Returns ``(miss, counts, last_occ, last_fill)`` exactly as the numpy
+    engine would, or ``None`` when the kernel is unavailable.
+    """
+    lib = _load()
+    if lib is None:
+        return None
+    m = int(ids.shape[0])
+    ids32 = np.ascontiguousarray(ids, dtype=np.int32)
+    miss = np.empty(m, np.uint8)
+    counts = np.zeros(k, np.int64)
+    last_occ = np.full(k, -1, np.int64)
+    last_fill = np.full(k, -1, np.int64)
+    if nsets > 1:
+        set_of = np.ascontiguousarray(sid_u, dtype=np.int32)
+        set_ptr = set_of.ctypes.data
+    else:
+        set_ptr = None
+    rc = lib.repro_lru_sim(
+        ids32.ctypes.data, m, k, nsets, ways, set_ptr,
+        miss.ctypes.data, counts.ctypes.data,
+        last_occ.ctypes.data, last_fill.ctypes.data)
+    if rc != 0:
+        return None
+    return miss.view(bool), counts, last_occ, last_fill
+
+
+def lru_walk(page_idx: np.ndarray, block_off: np.ndarray,
+             flat_ids: np.ndarray, k: int, nsets: int, ways: int, sid_u):
+    """Replay an indirect walk-block stream through the compiled kernel.
+
+    Event ``e`` touches the id slice ``flat_ids[block_off[p]:
+    block_off[p + 1]]`` for ``p = page_idx[e]`` — the expanded stream is
+    never materialized.  Returns ``(event_miss, counts, last_occ,
+    last_fill)`` with positions in expanded-stream coordinates, or
+    ``None`` when the kernel is unavailable.
+    """
+    lib = _load()
+    if lib is None:
+        return None
+    nevents = int(page_idx.shape[0])
+    pidx32 = np.ascontiguousarray(page_idx, dtype=np.int32)
+    off32 = np.ascontiguousarray(block_off, dtype=np.int32)
+    ids32 = np.ascontiguousarray(flat_ids, dtype=np.int32)
+    event_miss = np.empty(nevents, np.int32)
+    counts = np.zeros(k, np.int64)
+    last_occ = np.full(k, -1, np.int64)
+    last_fill = np.full(k, -1, np.int64)
+    if nsets > 1:
+        set_of = np.ascontiguousarray(sid_u, dtype=np.int32)
+        set_ptr = set_of.ctypes.data
+    else:
+        set_ptr = None
+    rc = lib.repro_lru_sim_walk(
+        pidx32.ctypes.data, nevents, off32.ctypes.data, ids32.ctypes.data,
+        k, nsets, ways, set_ptr, event_miss.ctypes.data,
+        counts.ctypes.data, last_occ.ctypes.data, last_fill.ctypes.data)
+    if rc != 0:
+        return None
+    return event_miss, counts, last_occ, last_fill

@@ -1,0 +1,1178 @@
+"""Batched page-run timing engine — the IOMMU's vectorized fast path.
+
+The scalar loops in :mod:`repro.hw.iommu` execute a few dict operations per
+access, millions of times per experiment.  This module reproduces their
+results *bit-identically* from a numpy pre-pass with no per-access Python
+work at all; only final-state reconstruction touches the real dicts, once
+per resident entry.
+
+Three observations make that possible (the full argument is recorded in
+DESIGN.md, "Key design decisions"):
+
+1.  **Page runs.**  Accelerator reference streams are page-grained and
+    run-structured: consecutive accesses to the same 4 KB page collapse
+    into a run ``(page, length, writes)``.  Within a run, every lookup
+    structure sees the same keys it saw at the run's head access, with the
+    keys at the MRU end of their sets — so accesses 2..k of a run are
+    *guaranteed* hits whose LRU re-touches leave every dict in exactly the
+    state the head left it.  Only run heads can change state.
+
+2.  **LRU is distance-determined.**  Each set of a set-associative LRU
+    structure is an independent fully-associative LRU: an access hits iff
+    the number of *distinct* keys that touched its set since the key's
+    previous occurrence is at most ``ways - 1`` — a pure function of the
+    key stream, independent of the victims chosen along the way.  Victims
+    are therefore unobservable, and the exact per-access miss mask follows
+    from exact stack distances.  Distances are resolved in three vector
+    tiers: an in-set reuse gap of at most ``ways`` guarantees a hit;
+    small per-set alphabets are counted exactly with per-key
+    ``searchsorted`` scans; large alphabets get logarithmic lower/upper
+    distance bounds from tiered reuse-gap prefix sums, and the residual
+    ambiguous "band" (whose windows are short by construction) is counted
+    exactly with one gather.
+
+3.  **Final state from last touches.**  An LRU set's dict is ordered by
+    last touch, and its residents are exactly the ``ways``
+    most-recently-touched distinct keys; a TLB entry's value is the one
+    computed by the key's last *fill* (miss).  Both are per-key grouped
+    reductions, so the end-of-trace dicts are rebuilt bit-identically
+    without replaying the stream.
+
+The engine refuses (returns ``False``) whenever the trace could diverge
+from the pre-pass's assumptions — a possible ``ProtectionFault`` or
+``PageFault``, pre-populated lookup structures, an L2 TLB, or an analysis
+exceeding its vector-work budget — and the caller falls back to the
+scalar loops, which remain the ground truth for exceptions and partial
+state.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.common.consts import PAGE_SHIFT
+from repro.sim import _native
+
+#: Environment override for the engine selection ("fast" | "scalar").
+ENGINE_ENV_VAR = "REPRO_TIMING_ENGINE"
+
+_ENGINES = ("fast", "scalar")
+
+
+def default_engine() -> str:
+    """The engine :meth:`IOMMU.run_trace` uses when none is requested."""
+    engine = os.environ.get(ENGINE_ENV_VAR, "fast")
+    if engine not in _ENGINES:
+        raise ValueError(
+            f"{ENGINE_ENV_VAR} must be one of {_ENGINES}, got {engine!r}")
+    return engine
+
+
+# ---------------------------------------------------------------------------
+# Page-run pre-pass
+# ---------------------------------------------------------------------------
+
+class PageRunBatch:
+    """A concretized VA trace compressed into page runs.
+
+    A *run* is a maximal stretch of consecutive accesses to one 4 KB page.
+    ``addrs``/``writes`` keep the raw per-access columns (the scalar
+    fallback still needs them); the remaining arrays are one entry per run
+    and are computed lazily on first use, so mechanisms that never look at
+    runs (``ideal``) and batches restored from the artifact cache pay
+    nothing.  Batches are immutable and safe to share across
+    configurations simulating the same concretized trace.
+
+    Batches come in two flavors: :meth:`from_trace` wraps an already
+    concretized address column, while :meth:`from_skeleton` derives the
+    per-layout columns from a layout-independent
+    :class:`TraceRunSkeleton` with run-scale (not access-scale) work,
+    deferring the full address column until something (the scalar
+    fallback) actually needs it.
+    """
+
+    __slots__ = ("_addrs", "writes", "_runs", "_upages", "_lazy",
+                 "_head_vas", "_paggs")
+
+    def __init__(self, addrs: np.ndarray | None, writes: np.ndarray,
+                 lazy=None):
+        self._addrs = addrs      # int64[n] virtual address per access
+        self.writes = writes     # int[n] 0/1 store flag per access
+        self._runs = None
+        self._upages = None
+        self._lazy = lazy        # (skeleton, bases_arr) when deferred
+        self._head_vas = None
+        self._paggs = None
+
+    @property
+    def addrs(self) -> np.ndarray:
+        """int64[n] VA column; concretized on demand for skeleton batches."""
+        if self._addrs is None:
+            skel, bases = self._lazy
+            self._addrs = bases[skel.streams] + skel.offsets
+        return self._addrs
+
+    @property
+    def num_accesses(self) -> int:
+        """Accesses in the underlying trace."""
+        return int(self.writes.shape[0])
+
+    @property
+    def num_runs(self) -> int:
+        """Page runs after compression."""
+        return int(self.starts.shape[0])
+
+    @property
+    def starts(self) -> np.ndarray:
+        """int64[m] index of each run's head access."""
+        return self._compress()[0]
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """int64[m] accesses in the run."""
+        return self._compress()[1]
+
+    @property
+    def pages(self) -> np.ndarray:
+        """int64[m] 4 KB page number of the run."""
+        return self._compress()[2]
+
+    @property
+    def run_writes(self) -> np.ndarray:
+        """int64[m] stores in the run."""
+        return self._compress()[3]
+
+    @property
+    def head_writes(self) -> np.ndarray:
+        """int64[m] store flag of the head access."""
+        return self._compress()[4]
+
+    @classmethod
+    def from_trace(cls, addrs, writes) -> "PageRunBatch":
+        """Wrap an (addrs, writes) trace for page-run simulation."""
+        addrs = np.asarray(addrs, dtype=np.int64)
+        writes = np.asarray(writes)
+        if addrs.shape != writes.shape:
+            raise ValueError("addrs and writes must have equal length")
+        return cls(addrs, writes)
+
+    @classmethod
+    def from_skeleton(cls, skel: "TraceRunSkeleton",
+                      bases_arr: np.ndarray) -> "PageRunBatch":
+        """Bind a layout-independent skeleton to one layout's bases.
+
+        Only run-scale gathers happen here; the caller has already
+        verified (:func:`_skeleton_layout_ok`) that the layout keeps the
+        skeleton's run decomposition exact.
+        """
+        batch = cls(None, skel.writes, lazy=(skel, bases_arr))
+        pages = bases_arr[skel.head_streams] + skel.head_offsets
+        pages >>= PAGE_SHIFT
+        batch._runs = (skel.starts, skel.lengths, pages, skel.run_writes,
+                       skel.head_writes)
+        return batch
+
+    def head_vas(self) -> np.ndarray:
+        """int64[m] VA of each run's head access, memoized."""
+        if self._head_vas is None:
+            if self._addrs is None:
+                skel, bases = self._lazy
+                self._head_vas = bases[skel.head_streams] + skel.head_offsets
+            else:
+                self._head_vas = self._addrs[self.starts]
+        return self._head_vas
+
+    def unique_pages(self):
+        """(unique pages, int32 run->unique index), memoized per batch."""
+        if self._upages is None:
+            self._upages = _compact(self.pages)
+        return self._upages
+
+    def page_aggregates(self):
+        """Per-unique-page run aggregates, memoized per batch.
+
+        Returns ``(run_count, access_count, write_count, written)`` —
+        each indexed like :meth:`unique_pages`'s unique array.  These let
+        the mechanism runners turn run-scale (m) reductions into
+        unique-page-scale (u << m for degenerate traces) ones.
+        """
+        if self._paggs is None:
+            upages, uidx = self.unique_pages()
+            u = upages.shape[0]
+            run_count = np.bincount(uidx, minlength=u)
+            if self.num_runs == self.num_accesses:
+                # Degenerate compression (every run one access): the
+                # weighted reductions collapse to integer bincounts.
+                access_count = run_count
+                write_count = np.bincount(uidx[self.run_writes > 0],
+                                          minlength=u)
+            else:
+                # float64 weights are exact for any count below 2**53.
+                access_count = np.bincount(
+                    uidx, weights=self.lengths, minlength=u).astype(np.int64)
+                write_count = np.bincount(
+                    uidx, weights=self.run_writes, minlength=u).astype(np.int64)
+            self._paggs = (run_count, access_count, write_count,
+                           write_count > 0)
+        return self._paggs
+
+    def _compress(self):
+        if self._runs is not None:
+            return self._runs
+        addrs, writes = self.addrs, self.writes
+        n = addrs.shape[0]
+        if n == 0:
+            empty = np.empty(0, np.int64)
+            self._runs = (empty, empty, empty, empty, empty)
+            return self._runs
+        pages_all = addrs >> PAGE_SHIFT
+        change = np.empty(n, bool)
+        change[0] = True
+        np.not_equal(pages_all[1:], pages_all[:-1], out=change[1:])
+        starts = np.flatnonzero(change)
+        m = starts.shape[0]
+        lengths = np.empty(m, np.int64)
+        np.subtract(starts[1:], starts[:-1], out=lengths[:m - 1])
+        lengths[m - 1] = n - starts[m - 1]
+        wcum = np.empty(n + 1, np.int64)
+        wcum[0] = 0
+        np.cumsum(writes, dtype=np.int64, out=wcum[1:])
+        run_writes = wcum[starts + lengths]
+        run_writes -= wcum[starts]
+        self._runs = (
+            starts,
+            lengths,
+            pages_all[starts],
+            run_writes,
+            writes[starts].astype(np.int64),
+        )
+        return self._runs
+
+
+class TraceRunSkeleton:
+    """The layout-independent half of the page-run pre-pass.
+
+    Stream allocations are page-disjoint in every eligible layout
+    (:func:`_skeleton_layout_ok`), so two consecutive accesses share a
+    4 KB page iff they are in the same stream *and* the same page of that
+    stream — a property of the symbolic trace alone.  The skeleton
+    therefore computes the run decomposition (and everything derived only
+    from it) once per trace; binding to a concrete layout is a run-scale
+    gather in :meth:`PageRunBatch.from_skeleton`.
+    """
+
+    __slots__ = ("streams", "offsets", "writes", "starts", "lengths",
+                 "run_writes", "head_writes", "head_streams",
+                 "head_offsets", "present", "max_opage")
+
+    def __init__(self, trace):
+        streams = np.asarray(trace.streams)
+        offsets = np.asarray(trace.offsets, dtype=np.int64)
+        writes = np.asarray(trace.writes)
+        self.streams = streams
+        self.offsets = offsets
+        self.writes = writes
+        n = streams.shape[0]
+        if n == 0:
+            empty = np.empty(0, np.int64)
+            self.starts = self.lengths = self.run_writes = empty
+            self.head_writes = self.head_offsets = empty
+            self.head_streams = np.empty(0, np.intp)
+            self.present = []
+            self.max_opage = {}
+            return
+        opage = offsets >> PAGE_SHIFT
+        change = np.empty(n, bool)
+        change[0] = True
+        np.not_equal(streams[1:], streams[:-1], out=change[1:])
+        change[1:] |= opage[1:] != opage[:-1]
+        starts = np.flatnonzero(change)
+        m = starts.shape[0]
+        lengths = np.empty(m, np.int64)
+        np.subtract(starts[1:], starts[:-1], out=lengths[:m - 1])
+        lengths[m - 1] = n - starts[m - 1]
+        wcum = np.empty(n + 1, np.int64)
+        wcum[0] = 0
+        np.cumsum(writes, dtype=np.int64, out=wcum[1:])
+        run_writes = wcum[starts + lengths]
+        run_writes -= wcum[starts]
+        self.starts = starts
+        self.lengths = lengths
+        self.run_writes = run_writes
+        self.head_writes = writes[starts].astype(np.int64)
+        # Runs never span streams, so every stream's accesses are covered
+        # by heads of that stream; per-stream extrema come from heads.
+        self.head_streams = streams[starts].astype(np.intp)
+        self.head_offsets = offsets[starts]
+        head_opage = self.head_offsets >> PAGE_SHIFT
+        self.present = np.unique(self.head_streams).tolist()
+        self.max_opage = {
+            s: int(head_opage[self.head_streams == s].max())
+            for s in self.present
+        }
+
+
+def _skeleton_layout_ok(skel: TraceRunSkeleton, layout) -> bool:
+    """Whether ``layout`` preserves the skeleton's run decomposition.
+
+    Requires every accessed stream to have a page-aligned base, accesses
+    to stay inside their stream's allocation, and the allocations' page
+    ranges to be pairwise disjoint — together these guarantee a page
+    change exactly where the stream or the in-stream page changes.
+    """
+    page = 1 << PAGE_SHIFT
+    bases = layout.stream_bases
+    spans = []
+    for stream in skel.present:
+        base = bases.get(stream)
+        size = layout.stream_sizes.get(stream, 0)
+        if base is None or base % page or size <= 0:
+            return False
+        if skel.max_opage[stream] > (size - 1) >> PAGE_SHIFT:
+            return False
+        spans.append((base >> PAGE_SHIFT, (base + size - 1) >> PAGE_SHIFT))
+    spans.sort()
+    return all(prev_hi < lo for (_, prev_hi), (lo, _) in zip(spans, spans[1:]))
+
+
+def batch_for(trace, layout, cache: dict | None = None) -> PageRunBatch:
+    """The page-run batch of ``trace`` bound to ``layout``.
+
+    Reuses two levels from ``cache`` when given: the finished per-layout
+    batch (keyed by the concrete base addresses) and the per-trace
+    :class:`TraceRunSkeleton` that makes a second layout's batch cost
+    run-scale instead of access-scale.  Layouts the skeleton cannot serve
+    exactly fall back to eager concretization.
+    """
+    bases = layout.stream_bases
+    key = (id(trace), tuple(sorted(bases.items())))
+    if cache is not None and key in cache:
+        return cache[key]
+    skel_key = ("skeleton", id(trace))
+    skel = cache.get(skel_key) if cache is not None else None
+    if skel is None:
+        skel = TraceRunSkeleton(trace)
+        if cache is not None:
+            cache[skel_key] = skel
+    if _skeleton_layout_ok(skel, layout):
+        max_stream = max(skel.present, default=-1)
+        bases_arr = np.zeros(max_stream + 1, dtype=np.int64)
+        for stream, base in bases.items():
+            if stream <= max_stream:
+                bases_arr[stream] = base
+        batch = PageRunBatch.from_skeleton(skel, bases_arr)
+    else:
+        addrs, writes = trace.concretize(bases)
+        batch = PageRunBatch.from_trace(addrs, writes)
+    if cache is not None:
+        cache[key] = batch
+    return batch
+
+
+class _WalkTable:
+    """Functional walk outcomes for a batch's unique pages, as columns."""
+
+    __slots__ = ("ok", "perm", "pa_base", "identity", "blocks", "fixed",
+                 "counts")
+
+    def __init__(self, walker, upages: np.ndarray):
+        info_for = walker.info_for
+        ok, perm, pa_base, identity, blocks, fixed = [], [], [], [], [], []
+        for page in upages.tolist():
+            info = info_for(page)
+            ok.append(info[0])
+            perm.append(info[1])
+            pa_base.append(info[2])
+            identity.append(info[3])
+            blocks.append(info[4])
+            fixed.append(info[5])
+        self.ok = np.array(ok, dtype=bool)
+        self.perm = np.array(perm, dtype=np.int64)
+        self.pa_base = pa_base          # python ints, used scalar-only
+        self.identity = np.array(identity, dtype=bool)
+        self.blocks = blocks            # list of block-id tuples
+        self.fixed = np.array(fixed, dtype=np.int64)
+        self.counts = np.array([len(b) for b in blocks], dtype=np.int64)
+
+
+# ---------------------------------------------------------------------------
+# Exact LRU stream analysis
+# ---------------------------------------------------------------------------
+
+#: Max Σ_set (candidates × alphabet) for the per-key searchsorted scan.
+_SCAN_OPS_BUDGET = 60_000_000
+#: Max total gathered window elements for the ambiguous-band resolution.
+_BAND_GATHER_BUDGET = 400_000_000
+
+
+#: Max direct-table span for the linear-time factorization below.
+_COMPACT_SPAN_BUDGET = 1 << 26
+
+
+def _compact(values: np.ndarray):
+    """(unique values, int32 inverse) — identical to sorted ``np.unique``.
+
+    Page/VPN/walk-block alphabets span narrow ranges (the heap's), so a
+    direct presence table factorizes the stream in linear time instead of
+    ``np.unique``'s sort; the sort stays as the fallback for wide spans.
+    """
+    if not values.size:
+        return values.astype(np.int64), np.empty(0, np.int32)
+    lo = int(values.min())
+    span = int(values.max()) - lo + 1
+    if span <= _COMPACT_SPAN_BUDGET:
+        shifted = values - lo          # only ever used as an index column
+        present = np.zeros(span, bool)
+        present[shifted] = True
+        # Rank of each span slot among the present ones == sorted-unique id.
+        rank = np.cumsum(present, dtype=np.int32)
+        rank -= 1
+        uniq = np.flatnonzero(present).astype(np.int64)
+        uniq += lo
+        return uniq, rank[shifted]
+    uniq, inverse = np.unique(values, return_inverse=True)
+    return uniq, inverse.astype(np.int32)
+
+
+class _StreamLRU:
+    """Exact LRU outcome of one compact-id key stream over nsets × ways.
+
+    All positional attributes are in global (chronological) stream
+    coordinates: ``miss`` is the exact per-access miss mask; ``last_occ``
+    / ``last_fill`` hold each id's final touch and final fill position
+    (-1 when absent / never filled).
+    """
+
+    __slots__ = ("miss", "k", "counts", "last_occ", "last_fill", "sid_u",
+                 "nsets", "ways")
+
+
+def _pcum(flags: np.ndarray) -> np.ndarray:
+    """Zero-prefixed int32 prefix sum of a boolean array."""
+    out = np.empty(flags.size + 1, np.int32)
+    out[0] = 0
+    np.cumsum(flags, dtype=np.int32, out=out[1:])
+    return out
+
+
+def _scan_distances(cand, prev, order, starts, k):
+    """Exact stack distances for ``cand`` via per-key occurrence scans.
+
+    For each candidate window ``(prev, cand)`` and each key of the
+    alphabet, one binary search decides whether the key occurs in the
+    window; summing the indicators is the distinct count.  Exact, and
+    cheap whenever the alphabet is small (AVC blocks, bitmap words,
+    walk-cache blocks).
+    """
+    p = prev[cand]
+    t = cand
+    d = np.zeros(cand.size, np.int64)
+    for u in range(k):
+        occ = order[starts[u]:starts[u + 1]]
+        if occ.size == 0:
+            continue
+        j = np.searchsorted(occ, p, side="right")
+        d += (j < occ.size) & (occ[np.minimum(j, occ.size - 1)] < t)
+    return d
+
+
+def _tier_decide(cand, prev, gap, ways):
+    """Exact miss decisions for ``cand`` via tiered distance bounds.
+
+    The distinct count of window ``(p, t)`` equals the number of
+    ``j in (p, t)`` whose previous occurrence is at or before ``p`` —
+    i.e. whose reuse gap satisfies ``gap_j >= j - p``.  Bucketing offsets
+    ``o = j - p`` into power-of-two tiers gives, from one family of
+    reuse-gap prefix sums, a lower bound (``gap_j`` exceeds the tier's
+    upper edge) and an upper bound (``gap_j`` exceeds its lower edge).
+    A candidate is decided as soon as the lower bound reaches ``ways``
+    (miss) or its window is exhausted with the upper bound below
+    (hit).  Undecided candidates form a *band* whose gaps hug the
+    ``gap ≈ o`` diagonal — short windows by construction — and are
+    counted exactly with one gather.  Returns a per-candidate miss mask,
+    or ``None`` when the band exceeds the vector-work budget.
+    """
+    nc = cand.size
+    mc = gap.shape[0]
+    pa = prev[cand].astype(np.int64)
+    ta = cand.astype(np.int64)
+    decided_miss = np.zeros(nc, bool)
+    # Exact diagonal stage: element j at offset o = j - p satisfies
+    # prev_j <= p iff gap_j >= o, so the first ways+1 offsets are counted
+    # exactly with one gather per offset.  The o = 1 element always lies
+    # in the window (candidates have gap > ways >= 1) and always counts.
+    # A prefix count reaching `ways` is already a decided miss, and a
+    # window no longer than ways+1 is fully counted — for typical
+    # streams this decides almost every candidate before any tier work.
+    if ways <= 64:
+        d = np.ones(nc, np.int32)
+        for o in range(2, ways + 2):
+            j = pa + o
+            d += (j < ta) & (gap[np.minimum(j, mc - 1)] >= o)
+        decided_miss = d >= ways
+        live = ~decided_miss & (ta - pa - 1 > ways + 1)
+        rem = np.flatnonzero(live)
+        pa = pa[rem]
+        ta = ta[rem]
+        upper = d[rem].copy()
+        lower = d[rem].copy()
+        e_lo = ways + 1
+    else:
+        rem = np.arange(nc)
+        upper = np.ones(nc, np.int32)
+        lower = np.ones(nc, np.int32)
+        e_lo = 1
+    band_p, band_t, band_r = [], [], []
+    cum_next = _pcum(gap > e_lo) if rem.size else None
+    while rem.size:
+        cum_lo = cum_next          # prefix counts of gap > e_lo
+        e_hi = e_lo << 1
+        cum_next = _pcum(gap > e_hi)
+        lo = np.minimum(pa + (e_lo + 1), ta)
+        hi = np.minimum(pa + (e_hi + 1), ta)
+        upper += cum_lo[hi] - cum_lo[lo]
+        lower += cum_next[hi] - cum_next[lo]
+        covered = hi == ta
+        is_miss = lower >= ways
+        is_hit = covered & ~is_miss & (upper < ways)
+        in_band = covered & ~is_miss & ~is_hit
+        if is_miss.any():
+            decided_miss[rem[is_miss]] = True
+        if in_band.any():
+            band_p.append(pa[in_band])
+            band_t.append(ta[in_band])
+            band_r.append(rem[in_band])
+        live = ~(is_miss | is_hit | in_band)
+        rem = rem[live]
+        pa = pa[live]
+        ta = ta[live]
+        upper = upper[live]
+        lower = lower[live]
+        e_lo = e_hi
+    if band_r:
+        pb = np.concatenate(band_p)
+        tb = np.concatenate(band_t)
+        br = np.concatenate(band_r)
+        lens = tb - pb - 1
+        total = int(lens.sum())
+        if total > _BAND_GATHER_BUDGET:
+            return None
+        off = np.concatenate(([0], np.cumsum(lens))).astype(np.int32)
+        pb32 = pb.astype(np.int32)
+        window = (np.arange(total, dtype=np.int32)
+                  - np.repeat(off[:-1], lens)
+                  + np.repeat(pb32 + 1, lens))
+        in_count = prev[window] <= np.repeat(pb32, lens)
+        csum = _pcum(in_count)
+        d_band = csum[off[1:]] - csum[off[:-1]]
+        decided_miss[br[d_band >= ways]] = True
+    return decided_miss
+
+
+def _simulate_lru(ids: np.ndarray, k: int, nsets: int, ways: int,
+                  sid_u) -> _StreamLRU | None:
+    """Exact per-access LRU hit/miss for a compact-id key stream.
+
+    ``ids`` holds key ids in ``0..k-1``; ``sid_u`` maps each id to its set
+    (``None`` when ``nsets == 1``).  Pure — touches no simulator state.
+    Returns ``None`` when an exact classification would exceed the vector
+    budgets (the caller then falls back to the scalar engine).
+    """
+    m = ids.shape[0]
+    out = _StreamLRU()
+    out.k = k
+    out.sid_u = sid_u
+    out.nsets = nsets
+    out.ways = ways
+    if m == 0:
+        out.miss = np.zeros(0, bool)
+        out.counts = np.zeros(k, np.int64)
+        out.last_occ = np.full(k, -1, np.int64)
+        out.last_fill = np.full(k, -1, np.int64)
+        return out
+    # The compiled replay kernel is the literal scalar algorithm (O(1)
+    # recency lists instead of insertion-ordered dicts) and needs no
+    # distance analysis at all; use it whenever the host can build it.
+    native = _native.lru_sim(ids, k, nsets, ways, sid_u)
+    if native is not None:
+        out.miss, out.counts, out.last_occ, out.last_fill = native
+        return out
+    if nsets == 1:
+        fa = _fa_lru(ids, k, ways)
+        if fa is None:
+            return None
+        out.miss, out.counts, out.last_occ, out.last_fill = fa
+        return out
+    # Each set is an independent fully-associative LRU over its own
+    # subsequence, so process sets one at a time: peak memory is one
+    # set's arrays, and each set picks its own distance method.  The
+    # subsequence positions (gpos) are monotone, so mapping the per-set
+    # results back to global coordinates preserves occurrence order.
+    sid = sid_u[ids]
+    miss = np.zeros(m, bool)
+    counts = np.zeros(k, np.int64)
+    last_occ = np.full(k, -1, np.int64)
+    last_fill = np.full(k, -1, np.int64)
+    lid = np.empty(k, np.int32)
+    for s in range(nsets):
+        uk = np.flatnonzero(sid_u == s)
+        if uk.size == 0:
+            continue
+        gpos = np.flatnonzero(sid == s)
+        if gpos.size == 0:
+            continue
+        lid[uk] = np.arange(uk.size, dtype=np.int32)
+        fa = _fa_lru(lid[ids[gpos]], uk.size, ways)
+        if fa is None:
+            return None
+        miss_s, counts_s, lo_s, lf_s = fa
+        miss[gpos] = miss_s
+        counts[uk] = counts_s
+        present = counts_s > 0
+        ukp = uk[present]
+        last_occ[ukp] = gpos[lo_s[present]]
+        lfp = lf_s[present]
+        last_fill[ukp] = np.where(
+            lfp >= 0, gpos[np.maximum(lfp, 0)], -1)
+    out.miss = miss
+    out.counts = counts
+    out.last_occ = last_occ
+    out.last_fill = last_fill
+    return out
+
+
+def _fa_lru(ids: np.ndarray, k: int, ways: int):
+    """Exact fully-associative LRU outcome for one key stream.
+
+    Returns ``(miss, counts, last_occ, last_fill)`` in the stream's own
+    coordinates, or ``None`` when exact classification would exceed the
+    vector budgets.
+    """
+    m = ids.shape[0]
+    # Consecutive-duplicate compression: a repeat of the MRU key is a
+    # guaranteed hit that restores the dict to the same order, and a
+    # duplicate never adds a distinct key to anyone's reuse window — so
+    # distances over the deduplicated stream are unchanged, removed
+    # positions are hits, and retained positions keep the ids' relative
+    # last-touch order (a duplicate block is contiguous, so no other
+    # id's touch can land inside it).
+    keep = np.empty(m, bool)
+    keep[0] = True
+    np.not_equal(ids[1:], ids[:-1], out=keep[1:])
+    kept = np.flatnonzero(keep)
+    mc = kept.shape[0]
+    dedup = mc < m
+    core = ids[kept] if dedup else ids
+    counts = np.bincount(core, minlength=k).astype(np.int64)
+    starts = np.concatenate(([0], np.cumsum(counts)))
+    order = np.argsort(core, kind="stable")
+    prev = np.full(mc, -1, np.int32)
+    follower = np.ones(mc, bool)
+    follower[starts[:-1]] = False
+    idx = np.flatnonzero(follower)
+    oi = order[idx]
+    prev[oi] = order[idx - 1]
+    del oi, idx, follower
+    first = prev < 0
+    gap = np.arange(mc, dtype=np.int32) - prev
+    gap[first] = np.iinfo(np.int32).max  # sentinel: exceeds every tier edge
+    miss_core = first.copy()
+    if k > ways:
+        cand = np.flatnonzero(~first & (gap > ways))
+        if cand.size:
+            if cand.size * k <= _SCAN_OPS_BUDGET:
+                d = _scan_distances(cand, prev, order, starts, k)
+                miss_core[cand[d >= ways]] = True
+            else:
+                decided = _tier_decide(cand, prev, gap, ways)
+                if decided is None:
+                    return None
+                miss_core[cand[decided]] = True
+    nonempty = counts > 0
+    last_w = order[starts[1:] - 1]
+    last_occ = np.full(k, -1, np.int64)
+    last_occ[nonempty] = (kept[last_w[nonempty]] if dedup
+                          else last_w[nonempty])
+    last_fill = np.full(k, -1, np.int64)
+    if nonempty.any():
+        fillpos = np.where(miss_core[order], order, -1)
+        lf = np.maximum.reduceat(fillpos, starts[:-1][nonempty])
+        if dedup:
+            lf = np.where(lf >= 0, kept[np.maximum(lf, 0)], -1)
+        last_fill[nonempty] = lf
+    if dedup:
+        miss = np.zeros(m, bool)
+        miss[kept] = miss_core
+    else:
+        miss = miss_core
+    return miss, counts, last_occ, last_fill
+
+
+def _residents(lru: _StreamLRU) -> np.ndarray:
+    """Ids resident at end of stream, ascending by last touch.
+
+    An LRU set holds exactly its ``ways`` most-recently-touched distinct
+    keys (every access promotes to MRU), and its dict iterates in
+    ascending last-touch order — so the final state is a per-set top-k
+    selection over last occurrences.
+    """
+    present = np.flatnonzero(lru.counts > 0)
+    by_touch = present[np.argsort(lru.last_occ[present], kind="stable")]
+    if lru.nsets == 1:
+        return by_touch[-lru.ways:]
+    keep = np.zeros(by_touch.size, bool)
+    room = [lru.ways] * lru.nsets
+    sids = lru.sid_u[by_touch].tolist()
+    for i in range(by_touch.size - 1, -1, -1):
+        s = sids[i]
+        if room[s]:
+            keep[i] = True
+            room[s] -= 1
+    return by_touch[keep]
+
+
+def _rebuild_cache(cache, lru: _StreamLRU, ukeys: np.ndarray) -> None:
+    """Recreate a block cache's end-of-trace contents (last-touch order)."""
+    install = cache.install_block
+    for u in _residents(lru).tolist():
+        install(int(ukeys[u]))
+
+
+def _rebuild_tlb(tlb, lru: _StreamLRU, u_vpns: np.ndarray,
+                 head_vas: np.ndarray, page_idx: np.ndarray,
+                 table: _WalkTable) -> None:
+    """Recreate the TLB's contents, entries recomputed at each last fill."""
+    tshift = tlb.page_shift
+    install = tlb.install
+    bases = table.pa_base
+    for u in _residents(lru).tolist():
+        vpn = int(u_vpns[u])
+        h = int(lru.last_fill[u])
+        pidx = int(page_idx[h])
+        va = int(head_vas[h])
+        install(vpn, (bases[pidx] - ((va & ~0xFFF) - (vpn << tshift)),
+                      int(table.perm[pidx])))
+
+
+def _region_fault_screen(region_of_page: np.ndarray, nregions: int,
+                         page_perm: np.ndarray,
+                         page_written: np.ndarray) -> bool:
+    """True when no access can fault, judged at TLB-region granularity.
+
+    A TLB entry's permission comes from whichever member 4 KB page was
+    walked at fill time, so a conservative screen must hold for *every*
+    touched page of a region: reads need min perm >= 1, and a region
+    containing any store needs every page at perm == 2 (otherwise some
+    interleaving faults).  All inputs are per unique page — the touched
+    pages of a region are exactly its members in the unique-page table —
+    so the screen never materializes the head stream.
+    """
+    counts = np.bincount(region_of_page, minlength=nregions)
+    nonempty = counts > 0
+    if not nonempty.any():
+        return True
+    order = np.argsort(region_of_page, kind="stable")
+    rs = np.concatenate(([0], np.cumsum(counts)))[:-1][nonempty]
+    min_perm = np.minimum.reduceat(page_perm[order], rs)
+    any_write = np.maximum.reduceat(
+        page_written[order].astype(np.int8), rs)
+    if np.any(min_perm < 1):
+        return False
+    return not np.any((any_write > 0) & (min_perm != 2))
+
+
+def _block_alphabet(table: _WalkTable):
+    """(unique blocks, compact flat ids, per-page offsets) of a table.
+
+    Ids are compacted against the table's (small) block alphabet, never
+    an expanded stream; ``offsets[p]:offsets[p + 1]`` slices page ``p``'s
+    ids out of the flat column.
+    """
+    flat_blocks = np.array(
+        [b for blocks in table.blocks for b in blocks], np.int64)
+    ublocks, flat_ids = _compact(flat_blocks)
+    offsets = np.concatenate(
+        ([0], np.cumsum(table.counts))).astype(np.int32)
+    return ublocks, flat_ids, offsets
+
+
+def _walk_lru(cache, table: _WalkTable, page_idx: np.ndarray):
+    """Exact LRU analysis of the walk-block stream selected by ``page_idx``.
+
+    Event ``e`` walks page ``page_idx[e]``, touching its blocks in walk
+    order.  Returns ``(lru, ublocks, event_miss)`` — the stream's
+    :class:`_StreamLRU` (totals come from ``event_miss``; its ``miss``
+    mask may be ``None``) plus per-event miss counts — or ``None`` when
+    exact classification would exceed the vector budgets.  The compiled
+    indirect kernel is preferred: it replays straight from the per-page
+    block table and never materializes the expanded stream.
+    """
+    ublocks, flat_ids, offsets = _block_alphabet(table)
+    k = ublocks.shape[0]
+    sid_u = ((ublocks % cache.num_sets).astype(np.int16)
+             if cache.num_sets > 1 else None)
+    native = _native.lru_walk(page_idx, offsets, flat_ids, k,
+                              cache.num_sets, cache.ways, sid_u)
+    if native is not None:
+        event_miss, counts, last_occ, last_fill = native
+        lru = _StreamLRU()
+        lru.miss = None
+        lru.k = k
+        lru.counts = counts
+        lru.last_occ = last_occ
+        lru.last_fill = last_fill
+        lru.sid_u = sid_u
+        lru.nsets = cache.num_sets
+        lru.ways = cache.ways
+        return lru, ublocks, event_miss
+    stream, out_off = _walk_block_stream(table, page_idx, flat_ids, offsets)
+    lru = _simulate_lru(stream, k, cache.num_sets, cache.ways, sid_u)
+    if lru is None:
+        return None
+    cs = np.empty(lru.miss.shape[0] + 1, np.int64)
+    cs[0] = 0
+    np.cumsum(lru.miss, dtype=np.int64, out=cs[1:])
+    event_miss = cs[out_off[1:]]
+    event_miss -= cs[out_off[:-1]]
+    return lru, ublocks, event_miss
+
+
+def _walk_block_stream(table: _WalkTable, page_idx: np.ndarray,
+                       flat_ids: np.ndarray, block_offsets: np.ndarray):
+    """(compact ids, per-event offsets) of a materialized walk stream.
+
+    The numpy fallback behind :func:`_walk_lru`: ``page_idx`` selects the
+    walked page per event, in order; the stream concatenates each page's
+    walk blocks.
+    """
+    counts = table.counts
+    starts_per = block_offsets[page_idx]
+    if counts.size and counts.min() == counts.max():
+        # Uniform walk depth: the stream is a dense (events x depth)
+        # matrix; build it with one broadcast add, no repeats.
+        depth = int(counts[0])
+        out_off = np.arange(page_idx.shape[0] + 1, dtype=np.int64)
+        out_off *= depth
+        gather = starts_per[:, None] + np.arange(depth, dtype=np.int32)
+        stream = flat_ids[gather.ravel()]
+        return stream, out_off
+    counts_per = counts.astype(np.int32)[page_idx]
+    out_off = np.concatenate(
+        ([0], np.cumsum(counts_per, dtype=np.int64)))
+    total = int(out_off[-1])
+    # One repeat: each event contributes a contiguous ramp starting at
+    # its page's first block slot.
+    shift = starts_per.astype(np.int64)
+    shift -= out_off[:-1]
+    gather = np.arange(total, dtype=np.int64)
+    gather += np.repeat(shift, counts_per)
+    stream = flat_ids[gather]
+    return stream, out_off
+
+
+# ---------------------------------------------------------------------------
+# Engine entry
+# ---------------------------------------------------------------------------
+
+def run_batch(iommu, batch: PageRunBatch, stats) -> bool:
+    """Run ``batch`` through ``iommu``'s configuration on the fast path.
+
+    Fills ``stats`` (a :class:`~repro.hw.iommu.TimingStats` without energy,
+    which the caller finalizes) and mutates the IOMMU's lookup structures
+    to their exact end-of-trace state.  Returns ``False`` — with **no**
+    state modified — when the trace needs the scalar loops: a possible
+    fault, an unmapped page, pre-populated lookup structures, or an L2 TLB.
+    """
+    mech = iommu.config.mech
+    if mech == "ideal":
+        _run_ideal(iommu, batch, stats)
+        return True
+    if mech == "conventional":
+        return _run_conventional(iommu, batch, stats)
+    if mech == "dvm_bm":
+        return _run_bitmap(iommu, batch, stats)
+    return _run_dav(iommu, batch, stats, preload=(mech == "dvm_pe_plus"))
+
+
+def _run_ideal(iommu, batch: PageRunBatch, stats) -> None:
+    n = batch.num_accesses
+    stats.accesses = n
+    stats.writes = int(batch.writes.sum())
+    stats.reads = n - stats.writes
+    iommu.dram.stats.data_accesses += n
+
+
+# ---------------------------------------------------------------------------
+# Conventional: TLB + page-walk cache
+# ---------------------------------------------------------------------------
+
+def _tlb_walk_analysis(tlb, walker, upages: np.ndarray, uidx: np.ndarray,
+                       table: _WalkTable, page_written: np.ndarray):
+    """Analyse a TLB-fronted walk stream (the conventional hot path).
+
+    ``uidx`` indexes each head's page into ``upages``/``table``;
+    ``page_written`` flags unique pages with any written run.  Pure:
+    returns ``None`` for scalar fallback (possible fault or budget), else
+    ``(walks, walk_sram, walk_mem, fixed_total, tlb_lru, u_vpns,
+    cache_lru, ublocks)`` with the rebuild inputs for the caller's commit.
+    """
+    tshift = tlb.page_shift
+    # vpn = va >> tshift == page >> (tshift - 12), so the TLB alphabet is
+    # derived from the (small) unique-page table, not the head stream.
+    u_vpns, vid_of_upage = _compact(upages >> (tshift - PAGE_SHIFT))
+    if not _region_fault_screen(vid_of_upage, u_vpns.shape[0],
+                                table.perm, page_written):
+        return None
+    vids = vid_of_upage[uidx]
+    sid_u = ((u_vpns % tlb.num_sets).astype(np.int16)
+             if tlb.num_sets > 1 else None)
+    tlb_lru = _simulate_lru(vids, u_vpns.shape[0], tlb.num_sets, tlb.ways,
+                            sid_u)
+    if tlb_lru is None:
+        return None
+    miss_heads = np.flatnonzero(tlb_lru.miss)
+    walks = int(miss_heads.shape[0])
+    walked_pidx = uidx[miss_heads]
+    walk_sram = int(table.counts[walked_pidx].sum())
+    fixed_total = int(table.fixed[walked_pidx].sum())
+    res = _walk_lru(walker.cache, table, walked_pidx)
+    if res is None:
+        return None
+    cache_lru, ublocks, event_miss = res
+    walk_mem = fixed_total + int(event_miss.sum())
+    return (walks, walk_sram, walk_mem, fixed_total, tlb_lru, u_vpns,
+            cache_lru, ublocks)
+
+
+def _run_conventional(iommu, batch: PageRunBatch, stats) -> bool:
+    tlb = iommu.tlb
+    walker = iommu.walker
+    if iommu.tlb_l2 is not None:
+        return False
+    if tlb.occupancy() or walker.cache.occupancy():
+        return False
+    n = batch.num_accesses
+    m = batch.num_runs
+    dram = iommu.dram
+    if m == 0:
+        stats.accesses = 0
+        dram.stats.data_accesses += 0
+        return True
+    upages, uidx = batch.unique_pages()
+    table = _WalkTable(walker, upages)
+    if not table.ok.all():
+        return False
+    _run_count, _access_count, write_count, written_pages = (
+        batch.page_aggregates())
+    analysis = _tlb_walk_analysis(tlb, walker, upages, uidx, table,
+                                  page_written=written_pages)
+    if analysis is None:
+        return False
+    (walks, walk_sram, walk_mem, fixed_total, tlb_lru, u_vpns,
+     cache_lru, ublocks) = analysis
+    # --- guards passed; state mutation may begin -------------------------
+    head_vas = batch.head_vas()
+    _rebuild_cache(walker.cache, cache_lru, ublocks)
+    _rebuild_tlb(tlb, tlb_lru, u_vpns, head_vas, uidx, table)
+    cache_misses = walk_mem - fixed_total
+    dram.stats.data_accesses += n
+    dram.stats.walk_accesses += walk_mem
+    tlb.stats.hits += n - walks
+    tlb.stats.misses += walks
+    cache = walker.cache
+    cache.stats.hits += walk_sram - cache_misses
+    cache.stats.misses += cache_misses
+    stats.accesses = n
+    stats.writes = int(write_count.sum())
+    stats.reads = n - stats.writes
+    stats.sram_stall_cycles = walk_sram
+    stats.mem_stall_cycles = walk_mem * dram.walk_latency
+    stats.tlb_lookups = n
+    stats.tlb_misses = walks
+    stats.walks = walks
+    stats.walk_sram_accesses = walk_sram
+    stats.walk_mem_accesses = walk_mem
+    return True
+
+
+# ---------------------------------------------------------------------------
+# DVM-BM: permission bitmap + bitmap cache, TLB fallback
+# ---------------------------------------------------------------------------
+
+def _run_bitmap(iommu, batch: PageRunBatch, stats) -> bool:
+    bitmap = iommu.perm_bitmap
+    tlb = iommu.tlb
+    walker = iommu.walker
+    bm_cache = bitmap.cache
+    if (tlb.occupancy() or walker.cache.occupancy()
+            or bm_cache.occupancy()):
+        return False
+    n = batch.num_accesses
+    m = batch.num_runs
+    dram = iommu.dram
+    if m == 0:
+        stats.accesses = 0
+        dram.stats.data_accesses += 0
+        stats.bitmap_lookups = 0
+        return True
+    perms = bitmap._perms
+    upages, uidx = batch.unique_pages()
+    bitmap_perm = np.array([int(perms.get(p, 0)) for p in upages.tolist()],
+                           np.int64)
+    run_count, access_count, write_count, written_u = batch.page_aggregates()
+    identity_pages = bitmap_perm > 0
+    # Identity pages fault only on stores without write permission.
+    if np.any(written_u & identity_pages & (bitmap_perm != 2)):
+        return False
+    if identity_pages.all():
+        fb_idx = np.empty(0, np.int64)
+    else:
+        fb_idx = np.flatnonzero(~identity_pages[uidx])
+    fb_analysis = None
+    if fb_idx.shape[0]:
+        # Walk outcomes only for fallback pages — the scalar loop never
+        # walks identity pages, so neither may the guard.
+        fb_umask = np.zeros(upages.shape[0], bool)
+        fb_umask[np.unique(uidx[fb_idx])] = True
+        fb_upages = upages[fb_umask]
+        remap = np.full(upages.shape[0], -1, np.int32)
+        remap[fb_umask] = np.arange(fb_upages.shape[0], dtype=np.int32)
+        table = _WalkTable(walker, fb_upages)
+        if not table.ok.all():
+            return False
+        fb_pidx = remap[uidx[fb_idx]]
+        fb_written = np.zeros(fb_upages.shape[0], bool)
+        fb_written[fb_pidx[batch.run_writes[fb_idx] > 0]] = True
+        fb_analysis = _tlb_walk_analysis(tlb, walker, fb_upages, fb_pidx,
+                                         table, page_written=fb_written)
+        if fb_analysis is None:
+            return False
+    # Bitmap-cache stream: one probe per head (interiors re-touch at MRU).
+    bm_base_block = bitmap.base_pa >> 3
+    u_words, wid_of_upage = _compact(bm_base_block + (upages >> 5))
+    wids = wid_of_upage[uidx]
+    bm_sid_u = ((u_words % bm_cache.num_sets).astype(np.int16)
+                if bm_cache.num_sets > 1 else None)
+    bm_lru = _simulate_lru(wids, u_words.shape[0], bm_cache.num_sets,
+                           bm_cache.ways, bm_sid_u)
+    if bm_lru is None:
+        return False
+    bm_mem = int(bm_lru.miss.sum())
+    # --- guards passed; state mutation may begin -------------------------
+    _rebuild_cache(bm_cache, bm_lru, u_words)
+    walks = walk_sram = walk_mem = 0
+    if fb_analysis is not None:
+        (walks, walk_sram, walk_mem, _fixed, tlb_lru, u_vpns,
+         cache_lru, ublocks) = fb_analysis
+        fb_head_vas = batch.head_vas()[fb_idx]
+        _rebuild_cache(walker.cache, cache_lru, ublocks)
+        _rebuild_tlb(tlb, tlb_lru, u_vpns, fb_head_vas, fb_pidx, table)
+    walk_latency = dram.walk_latency
+    identity = int(access_count[identity_pages].sum())
+    tlb_lookups = n - identity
+    dram.stats.data_accesses += n
+    dram.stats.walk_accesses += walk_mem + bm_mem
+    bm_cache.stats.hits += n - bm_mem
+    bm_cache.stats.misses += bm_mem
+    tlb.stats.hits += tlb_lookups - walks
+    tlb.stats.misses += walks
+    stats.accesses = n
+    stats.writes = int(batch.writes.sum())
+    stats.reads = n - stats.writes
+    stats.sram_stall_cycles = n + walk_sram
+    stats.mem_stall_cycles = (bm_mem + walk_mem) * walk_latency
+    stats.tlb_lookups = tlb_lookups
+    stats.tlb_misses = walks
+    stats.walks = walks
+    stats.walk_sram_accesses = walk_sram
+    stats.walk_mem_accesses = walk_mem
+    stats.bitmap_lookups = n
+    stats.bitmap_mem_accesses = bm_mem
+    stats.identity_accesses = identity
+    stats.fallback_accesses = n - identity
+    return True
+
+
+# ---------------------------------------------------------------------------
+# DVM-PE / DVM-PE+: DAV through the AVC
+# ---------------------------------------------------------------------------
+
+def _run_dav(iommu, batch: PageRunBatch, stats, *, preload: bool) -> bool:
+    walker = iommu.walker
+    cache = walker.cache
+    if cache.occupancy():
+        return False
+    n = batch.num_accesses
+    m = batch.num_runs
+    dram = iommu.dram
+    if m == 0:
+        stats.accesses = 0
+        dram.stats.data_accesses += 0
+        return True
+    upages, uidx = batch.unique_pages()
+    table = _WalkTable(walker, upages)
+    if not table.ok.all():
+        return False
+    # Every unique page is touched by some run, so per-page predicates
+    # answer the per-run guards at unique-page scale.
+    run_count, access_count, write_count, written_u = batch.page_aggregates()
+    if np.any(table.perm < 1):
+        return False
+    if np.any(written_u & (table.perm != 2)):
+        return False
+    # AVC block stream: the blocks each *head* touches, in walk order.
+    # Interior accesses re-touch the same blocks back to the same dict
+    # order, so the head stream alone determines the cache's evolution.
+    res = _walk_lru(cache, table, uidx)
+    if res is None:
+        return False
+    avc_lru, ublocks, event_miss = res
+    # --- guards passed; state mutation may begin -------------------------
+    _rebuild_cache(cache, avc_lru, ublocks)
+    walk_latency = dram.walk_latency
+    data_latency = dram.data_latency
+    walk_sram = int((table.counts * access_count).sum())
+    walk_mem = int((table.fixed * run_count).sum()) + int(event_miss.sum())
+    identity = int(access_count[table.identity].sum())
+    if not preload:
+        sram_stall = walk_sram
+        mem_stall = walk_mem * walk_latency
+        squashes = 0
+    else:
+        # Head reads overlap DAV with the preload; only walk memory time
+        # beyond the data fetch is exposed.  Interior accesses have zero
+        # walk memory, so their reads expose nothing.  Writes (head or
+        # interior) behave like dvm_pe; non-identity reads squash.  The
+        # per-head AVC miss counts are the walk analysis's per-event
+        # output, no segment sums needed.
+        mem_per_head = table.fixed[uidx] + event_miss
+        head_reads = 1 - batch.head_writes
+        exposed = mem_per_head * walk_latency - data_latency
+        np.maximum(exposed, 0, out=exposed)
+        mem_stall = int((exposed * head_reads).sum())
+        squashes = int(
+            (access_count - write_count)[~table.identity].sum())
+        mem_stall += squashes * data_latency
+        sram_stall = int((table.counts * write_count).sum())
+        mem_stall += int(
+            (mem_per_head * batch.head_writes).sum()) * walk_latency
+    dram.stats.data_accesses += n
+    dram.stats.walk_accesses += walk_mem
+    dram.stats.squashed_preloads += squashes
+    walker.walks += n
+    cache.stats.hits += walk_sram - walk_mem
+    cache.stats.misses += walk_mem
+    stats.accesses = n
+    stats.writes = int(write_count.sum())
+    stats.reads = n - stats.writes
+    stats.sram_stall_cycles = sram_stall
+    stats.mem_stall_cycles = mem_stall
+    stats.walks = n
+    stats.walk_sram_accesses = walk_sram
+    stats.walk_mem_accesses = walk_mem
+    stats.identity_accesses = identity
+    stats.fallback_accesses = n - identity
+    stats.squashed_preloads = squashes
+    return True

@@ -16,7 +16,7 @@ Figure 8 normalization does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.hw.dram import DRAMModel
 from repro.hw.iommu import TimingStats
@@ -55,6 +55,15 @@ class Metrics:
     def vm_overhead(self) -> float:
         """VM overhead: fractional slowdown over ideal."""
         return self.normalized_time - 1.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the runner's on-disk metrics cache)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Metrics":
+        """Rebuild a record saved by :meth:`to_dict`."""
+        return cls(**payload)
 
 
 def execution_cycles(timing: TimingStats, dram: DRAMModel,

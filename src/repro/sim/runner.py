@@ -7,19 +7,55 @@ the paper's evaluation does:
   every MMU configuration consumes the identical symbolic trace;
 * one timing simulation per (workload, dataset, configuration) — Figures 2,
   8 and 9 all read from the same runs (Figure 2's miss rates come from the
-  conventional configurations' TLBs).
+  conventional configurations' TLBs);
+* one concretization + page-run pre-pass per distinct address-space
+  layout — configurations that bind the trace to the same addresses share
+  a :class:`~repro.sim.fastpath.PageRunBatch`.
+
+With ``cache_dir`` set the artifacts also persist across invocations:
+symbolic traces as compressed ``.npz`` (via ``SymbolicTrace.save``) and
+metrics as JSON, both under content keys covering every input that can
+change the result (profile, workload knobs, hardware scale, system
+parameters and the full configuration fingerprint — never just a name).
+
+``run_pairs(workers=N)`` fans independent (workload, dataset) pairs across
+processes; the merge is deterministic (submission order), so the result
+dict is identical to a serial run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
 
 from repro.accel.algorithms import prop_bytes_for, run_workload
 from repro.accel.graphicionado import ExecutionResult
+from repro.accel.trace import SymbolicTrace
 from repro.core.config import HardwareScale, MMUConfig, standard_configs
 from repro.graphs import datasets
 from repro.sim.metrics import Metrics
 from repro.sim.system import HeterogeneousSystem, SystemParams
+
+#: Environment wiring for the figure entry points.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def workers_from_env() -> int:
+    """The ``REPRO_WORKERS`` setting as a validated worker count."""
+    raw = os.environ.get(WORKERS_ENV_VAR, "1") or "1"
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise SystemExit(
+            f"{WORKERS_ENV_VAR} must be an integer, got {raw!r}") from None
+    return max(workers, 1)
 
 
 @dataclass
@@ -48,28 +84,101 @@ class ExperimentRunner:
     pagerank_iters: int = 1
     sssp_max_iters: int = 5
     cf_passes: int = 1
+    engine: str | None = None            # timing engine ("fast"/"scalar")
+    cache_dir: str | None = None         # on-disk artifact cache root
     _prepared: dict = field(default_factory=dict, init=False)
     _metrics: dict = field(default_factory=dict, init=False)
+    _batches: dict = field(default_factory=dict, init=False)
+    _batch_pair: tuple | None = field(default=None, init=False)
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ExperimentRunner":
+        """A runner wired from the environment.
+
+        ``REPRO_CACHE_DIR`` sets the artifact cache directory (unset
+        disables persistence); the timing engine keeps its own
+        ``REPRO_TIMING_ENGINE`` override.  Keyword overrides win.
+        """
+        overrides.setdefault("cache_dir",
+                             os.environ.get(CACHE_DIR_ENV_VAR) or None)
+        return cls(**overrides)
 
     def configs(self) -> dict[str, MMUConfig]:
         """The seven standard configurations under this runner's scale."""
         return standard_configs(self.scale)
 
+    # -- artifact cache -------------------------------------------------------
+
+    def _spec(self) -> dict:
+        """Picklable constructor kwargs reproducing this runner."""
+        return dict(profile=self.profile, scale=self.scale,
+                    params=self.params, pagerank_iters=self.pagerank_iters,
+                    sssp_max_iters=self.sssp_max_iters,
+                    cf_passes=self.cf_passes, engine=self.engine,
+                    cache_dir=self.cache_dir)
+
+    def _workload_content(self, workload: str, dataset: str) -> dict:
+        """Everything that determines a functional run's trace."""
+        return dict(workload=workload, dataset=dataset, profile=self.profile,
+                    pagerank_iters=self.pagerank_iters,
+                    sssp_max_iters=self.sssp_max_iters,
+                    cf_passes=self.cf_passes)
+
+    @staticmethod
+    def _content_key(payload: dict) -> str:
+        blob = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha1(blob.encode()).hexdigest()[:20]
+
+    def _artifact_path(self, kind: str, key: str, suffix: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        root = Path(self.cache_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        return root / f"{kind}-{key}{suffix}"
+
+    def _trace_path(self, workload: str, dataset: str) -> Path | None:
+        key = self._content_key(self._workload_content(workload, dataset))
+        return self._artifact_path("trace", key, ".npz")
+
+    def _metrics_path(self, workload: str, dataset: str,
+                      config: MMUConfig) -> Path | None:
+        payload = self._workload_content(workload, dataset)
+        payload.update(scale=asdict(self.scale), params=asdict(self.params),
+                       config=config.fingerprint())
+        return self._artifact_path("metrics", self._content_key(payload),
+                                   ".json")
+
     # -- functional phase -----------------------------------------------------
 
     def prepare(self, workload: str, dataset: str) -> PreparedWorkload:
-        """Build the dataset surrogate and run the accelerator functionally."""
+        """Build the dataset surrogate and run the accelerator functionally.
+
+        With a cache directory configured, the symbolic trace round-trips
+        through disk: a prior invocation's functional run is reused and
+        only the (cheap, deterministic) graph surrogate is rebuilt.
+        """
         key = (workload, dataset)
         prepared = self._prepared.get(key)
         if prepared is not None:
             return prepared
         graph, shape = datasets.load(dataset, self.profile)
-        result = run_workload(
-            workload, graph, shape=shape,
-            pagerank_iters=self.pagerank_iters,
-            sssp_max_iters=self.sssp_max_iters,
-            cf_passes=self.cf_passes,
-        )
+        trace_path = self._trace_path(workload, dataset)
+        if trace_path is not None and trace_path.exists():
+            trace = SymbolicTrace.load(trace_path)
+            result = ExecutionResult(
+                trace=trace, prop=np.empty(0), iterations=0, converged=True,
+                aux={"restored_from": str(trace_path)})
+        else:
+            result = run_workload(
+                workload, graph, shape=shape,
+                pagerank_iters=self.pagerank_iters,
+                sssp_max_iters=self.sssp_max_iters,
+                cf_passes=self.cf_passes,
+            )
+            if trace_path is not None:
+                tmp = trace_path.with_suffix(f".{os.getpid()}.tmp.npz")
+                result.trace.save(tmp)
+                os.replace(tmp, trace_path)
         prepared = PreparedWorkload(workload=workload, dataset=dataset,
                                     graph=graph, shape=shape, result=result)
         self._prepared[key] = prepared
@@ -79,32 +188,74 @@ class ExperimentRunner:
 
     def run(self, workload: str, dataset: str, config: MMUConfig) -> Metrics:
         """Timing-simulate one (workload, dataset) pair under one config."""
-        key = (workload, dataset, config.name)
+        key = (workload, dataset, config.fingerprint())
         metrics = self._metrics.get(key)
         if metrics is not None:
             return metrics
+        metrics_path = self._metrics_path(workload, dataset, config)
+        if metrics_path is not None and metrics_path.exists():
+            metrics = Metrics.from_dict(json.loads(metrics_path.read_text()))
+            self._metrics[key] = metrics
+            return metrics
         prepared = self.prepare(workload, dataset)
+        if self._batch_pair != (workload, dataset):
+            # Shared page-run batches are only reusable within one pair;
+            # drop the previous pair's to bound peak memory.
+            self._batches.clear()
+            self._batch_pair = (workload, dataset)
         system = HeterogeneousSystem(config, self.params)
         system.load_graph(prepared.graph,
                           prop_bytes=prop_bytes_for(workload))
         metrics = system.run(prepared.result.trace, workload=workload,
-                             graph=dataset)
+                             graph=dataset, engine=self.engine,
+                             batch_cache=self._batches)
         self._metrics[key] = metrics
+        if metrics_path is not None:
+            tmp = metrics_path.with_suffix(f".{os.getpid()}.tmp")
+            tmp.write_text(json.dumps(metrics.to_dict(), indent=1))
+            os.replace(tmp, metrics_path)
         return metrics
 
-    def run_pairs(self, pairs=None, config_names=None
+    def run_pairs(self, pairs=None, config_names=None, workers: int = 1
                   ) -> dict[tuple[str, str, str], Metrics]:
         """Run a set of (workload, dataset) pairs across configurations.
 
         Defaults to the paper's 15 pairs and all 7 configurations.
+        ``workers > 1`` fans whole pairs across a process pool (a pair is
+        the natural unit: its configurations share the functional trace);
+        results merge in submission order, so the returned dict is
+        identical to the serial one.
         """
-        pairs = pairs if pairs is not None else datasets.WORKLOAD_PAIRS
+        pairs = list(pairs if pairs is not None else datasets.WORKLOAD_PAIRS)
         configs = self.configs()
         if config_names is not None:
             configs = {k: configs[k] for k in config_names}
         out: dict[tuple[str, str, str], Metrics] = {}
+        if workers > 1 and len(pairs) > 1:
+            spec = self._spec()
+            names = list(configs)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_pair_worker, spec, workload, dataset, names)
+                    for workload, dataset in pairs
+                ]
+                for future in futures:        # submission order: deterministic
+                    for (w, d, name), metrics in future.result():
+                        out[(w, d, name)] = metrics
+                        self._metrics[(w, d, configs[name].fingerprint())] \
+                            = metrics
+            return out
         for workload, dataset in pairs:
             for name, config in configs.items():
                 out[(workload, dataset, name)] = self.run(workload, dataset,
                                                           config)
         return out
+
+
+def _pair_worker(spec: dict, workload: str, dataset: str,
+                 config_names: list) -> list:
+    """Process-pool entry: run one pair's configurations in a child."""
+    runner = ExperimentRunner(**spec)
+    result = runner.run_pairs(pairs=[(workload, dataset)],
+                              config_names=config_names)
+    return list(result.items())

@@ -74,17 +74,34 @@ class HeterogeneousSystem:
 
     # -- simulation -------------------------------------------------------------
 
-    def run_trace(self, trace: SymbolicTrace) -> TimingStats:
-        """Bind a symbolic trace to this layout and run it through the IOMMU."""
+    def run_trace(self, trace: SymbolicTrace, *, engine: str | None = None,
+                  batch_cache: dict | None = None) -> TimingStats:
+        """Bind a symbolic trace to this layout and run it through the IOMMU.
+
+        ``engine`` selects the timing engine (``"fast"``/``"scalar"``,
+        defaulting to the environment selection).  ``batch_cache`` is an
+        optional dict shared by the caller across configurations: two
+        configurations whose layouts concretize the trace to the same
+        addresses reuse one :class:`~repro.sim.fastpath.PageRunBatch`,
+        and differing layouts still share the per-trace
+        :class:`~repro.sim.fastpath.TraceRunSkeleton`, so the
+        access-scale pre-pass is paid once per trace.
+        """
         if self.layout is None:
             raise RuntimeError("load_graph() must be called before run_trace()")
+        from repro.sim import fastpath
+        selected = engine if engine is not None else fastpath.default_engine()
+        if selected == "fast":
+            batch = fastpath.batch_for(trace, self.layout, batch_cache)
+            return self.iommu.run_batch(batch)
         addrs, writes = trace.concretize(self.layout.stream_bases)
-        return self.iommu.run_trace(addrs, writes)
+        return self.iommu.run_trace(addrs, writes, engine=selected)
 
     def run(self, trace: SymbolicTrace, *, workload: str = "",
-            graph: str = "") -> Metrics:
+            graph: str = "", engine: str | None = None,
+            batch_cache: dict | None = None) -> Metrics:
         """Run a trace and assemble the experiment metrics."""
-        timing = self.run_trace(trace)
+        timing = self.run_trace(trace, engine=engine, batch_cache=batch_cache)
         ident = identity_fraction(self.process, self.layout)
         return metrics_from(
             timing, self.dram,

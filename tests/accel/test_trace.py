@@ -74,3 +74,16 @@ class TestInterleave:
         values = np.arange(100)
         merged = interleave_chunks(values, 8)
         assert sorted(merged.tolist()) == values.tolist()
+
+    def test_sentinel_like_values_survive(self):
+        # Padding is tracked by a length mask, so values that look like
+        # padding sentinels (0, -1) must round-trip untouched.
+        values = np.array([-1, 0, -1, 0, -1], dtype=np.int64)
+        merged = interleave_chunks(values, 2)
+        assert sorted(merged.tolist()) == sorted(values.tolist())
+        assert len(merged) == len(values)
+
+    def test_uneven_negative_addresses(self):
+        values = -np.arange(1, 8)
+        merged = interleave_chunks(values, 3)
+        assert sorted(merged.tolist()) == sorted(values.tolist())

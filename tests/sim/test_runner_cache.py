@@ -1,0 +1,79 @@
+"""Runner-level caching and parallel execution tests (bench scale)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.config import HardwareScale
+from repro.sim.runner import ExperimentRunner
+
+PAIRS = [("bfs", "FR"), ("pagerank", "FR")]
+
+
+def bench_runner(**kw):
+    return ExperimentRunner(profile="bench", scale=HardwareScale.bench(),
+                            **kw)
+
+
+@pytest.fixture(scope="module")
+def serial_metrics():
+    return bench_runner().run_pairs(pairs=PAIRS)
+
+
+class TestRunPairs:
+    def test_covers_all_configs(self, serial_metrics):
+        assert len(serial_metrics) == len(PAIRS) * 7
+
+    def test_workers_match_serial(self, serial_metrics):
+        parallel = bench_runner().run_pairs(pairs=PAIRS, workers=2)
+        assert list(parallel) == list(serial_metrics)
+        for key in serial_metrics:
+            assert parallel[key].to_dict() == serial_metrics[key].to_dict()
+
+    def test_workers_populate_memo(self):
+        runner = bench_runner()
+        out = runner.run_pairs(pairs=PAIRS, workers=2)
+        config = runner.configs()["conv_4k"]
+        # run() must hit the merged in-memory cache, not recompute.
+        assert runner.run("bfs", "FR", config) is out[("bfs", "FR",
+                                                       "conv_4k")]
+
+    def test_engines_agree_end_to_end(self, serial_metrics):
+        fast = bench_runner(engine="fast").run_pairs(pairs=PAIRS)
+        scalar = bench_runner(engine="scalar").run_pairs(pairs=PAIRS)
+        for key in fast:
+            assert fast[key].to_dict() == scalar[key].to_dict()
+            assert fast[key].to_dict() == serial_metrics[key].to_dict()
+
+
+class TestDiskCache:
+    def test_round_trip(self, serial_metrics, tmp_path):
+        first = bench_runner(cache_dir=str(tmp_path)).run_pairs(pairs=PAIRS)
+        names = sorted(os.listdir(tmp_path))
+        assert sum(n.startswith("trace-") for n in names) == len(PAIRS)
+        assert sum(n.startswith("metrics-") for n in names) == len(PAIRS) * 7
+        second = bench_runner(cache_dir=str(tmp_path)).run_pairs(pairs=PAIRS)
+        for key in first:
+            assert second[key].to_dict() == first[key].to_dict()
+            assert first[key].to_dict() == serial_metrics[key].to_dict()
+
+    def test_trace_restored_from_disk(self, tmp_path):
+        warm = bench_runner(cache_dir=str(tmp_path))
+        warm.prepare("bfs", "FR")
+        cold = bench_runner(cache_dir=str(tmp_path))
+        prepared = cold.prepare("bfs", "FR")
+        assert "restored_from" in prepared.result.aux
+
+    def test_keys_cover_config(self, tmp_path):
+        # Two configs sharing a name but differing in content must not
+        # collide: the key includes the configuration fingerprint.
+        runner = bench_runner(cache_dir=str(tmp_path))
+        configs = runner.configs()
+        a = runner._metrics_path("bfs", "FR", configs["conv_4k"])
+        b = runner._metrics_path("bfs", "FR", configs["conv_2m"])
+        assert a != b
+        full = ExperimentRunner(profile="bench", cache_dir=str(tmp_path))
+        c = full._metrics_path("bfs", "FR", full.configs()["conv_4k"])
+        assert c != a  # different HardwareScale -> different key
