@@ -2,7 +2,10 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-figures lint experiments examples clean
+.PHONY: install test chaos bench bench-figures lint experiments examples clean
+
+# Seed matrix for the chaos battery (comma-separated injector seeds).
+REPRO_CHAOS_SEEDS ?= 0,1,2,3
 
 install:
 	pip install -e . || \
@@ -10,6 +13,13 @@ install:
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Fault-injection battery: full sweeps under seeded worker crashes,
+# cache corruption, compile failures and allocator OOM, asserting
+# bit-identical metrics (tests/chaos/).  Widen REPRO_CHAOS_SEEDS for a
+# longer soak; every test carries a REPRO_TEST_TIMEOUT watchdog.
+chaos:
+	REPRO_CHAOS_SEEDS=$(REPRO_CHAOS_SEEDS) $(PYTHON) -m pytest tests/chaos/ -q
 
 # Timing-engine benchmark: full Figure 8 sweep under both engines,
 # recorded in BENCH_timing.json at the repo root.

@@ -48,3 +48,49 @@ class PageFault(ReproError):
 
 class ConfigError(ReproError):
     """An experiment or hardware configuration was inconsistent."""
+
+
+class TransientError(ReproError):
+    """A failure that is expected to succeed on retry.
+
+    The resilience layer (``repro.sim.resilience``) retries these with
+    exponential backoff; anything else propagates immediately so
+    programming errors and genuinely fatal conditions are never masked
+    by a retry loop.
+    """
+
+
+class WorkerCrashError(TransientError):
+    """A process-pool worker died or raised while running a pair."""
+
+
+class PairTimeoutError(TransientError):
+    """A (workload, dataset) pair exceeded its wall-clock budget."""
+
+
+class CacheIntegrityError(ReproError):
+    """A persisted artifact failed validation (corrupt, truncated, or
+    written under a different schema version).
+
+    Not transient in the retry sense: the remedy is quarantining the
+    artifact and recomputing it, not re-reading the same bytes.
+    """
+
+
+class InjectedFault(TransientError):
+    """A failure raised by the deterministic fault injector.
+
+    Only ``repro.common.faults`` raises this; production code paths
+    treat it like any other transient failure.
+    """
+
+
+class InjectedOutOfMemoryError(OutOfMemoryError, TransientError):
+    """An injected allocator OOM (chaos testing).
+
+    Subclasses :class:`OutOfMemoryError` so the identity-mapping code
+    falls back to demand paging exactly as it would on real memory
+    pressure (paper Section 4.3), and :class:`TransientError` so that if
+    it escapes those fallbacks (e.g. fired during demand paging itself)
+    the experiment harness retries the computation instead of dying.
+    """

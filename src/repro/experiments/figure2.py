@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.common import faults
 from repro.experiments.reporting import render_table
 from repro.graphs.datasets import WORKLOAD_PAIRS
 from repro.sim.runner import ExperimentRunner, workers_from_env
@@ -76,6 +77,8 @@ def main(profile: str = "full") -> str:
         runner.run_pairs(workers=workers)
     text = render(figure2(runner))
     print(text)
+    if runner.resilience.events() or faults.active():
+        print(runner.resilience.render())
     return text
 
 

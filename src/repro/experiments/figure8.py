@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.common import faults
 from repro.experiments.reporting import geometric_mean, render_table
 from repro.graphs.datasets import WORKLOAD_PAIRS
 from repro.sim.runner import ExperimentRunner, workers_from_env
@@ -96,8 +97,10 @@ def render(rows: list[Figure8Row]) -> str:
 def main(profile: str = "full") -> str:
     """Regenerate Figure 8 and return its rendering.
 
-    Honors ``REPRO_WORKERS`` (parallel pair execution) and
-    ``REPRO_CACHE_DIR`` (persistent trace/metrics artifacts).
+    Honors ``REPRO_WORKERS`` (parallel pair execution), ``REPRO_CACHE_DIR``
+    (persistent trace/metrics artifacts + resumable sweep checkpoint),
+    ``REPRO_PAIR_TIMEOUT`` and ``REPRO_FAULTS`` (chaos testing); anything
+    the resilience layer had to do is reported after the figure.
     """
     runner = ExperimentRunner.from_env(profile=profile)
     workers = workers_from_env()
@@ -105,6 +108,8 @@ def main(profile: str = "full") -> str:
         runner.run_pairs(workers=workers)   # warm the caches in parallel
     text = render(figure8(runner))
     print(text)
+    if runner.resilience.events() or faults.active():
+        print(runner.resilience.render())
     return text
 
 

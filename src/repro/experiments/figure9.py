@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.common import faults
 from repro.experiments.reporting import geometric_mean, render_table
 from repro.graphs.datasets import WORKLOAD_PAIRS
 from repro.sim.runner import ExperimentRunner, workers_from_env
@@ -100,6 +101,8 @@ def main(profile: str = "full") -> str:
         runner.run_pairs(workers=workers)   # warm the caches in parallel
     text = render(figure9(runner))
     print(text)
+    if runner.resilience.events() or faults.active():
+        print(runner.resilience.render())
     return text
 
 

@@ -21,8 +21,9 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
+from repro.common import faults
 from repro.common.consts import PAGE_SHIFT, PAGE_SIZE
-from repro.common.errors import OutOfMemoryError
+from repro.common.errors import InjectedOutOfMemoryError, OutOfMemoryError
 from repro.common.util import align_up, is_aligned, size_to_order
 
 
@@ -144,6 +145,13 @@ class BuddyAllocator:
         rounding slack from accumulating as permanent fragmentation.
         Returns the physical address of the range.
         """
+        if faults.should_fire("alloc_oom"):
+            # Chaos hook: simulated memory pressure on the contiguous
+            # path, exercising the identity-mapping -> demand-paging
+            # fallback (paper Section 4.3 / kernel/identity.py).
+            self.stats.failed_allocations += 1
+            raise InjectedOutOfMemoryError(
+                f"injected alloc_oom fault ({size} bytes)")
         usable = align_up(size, PAGE_SIZE)
         order = size_to_order(size, PAGE_SIZE)
         if (PAGE_SIZE << order) == usable:

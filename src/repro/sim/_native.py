@@ -7,9 +7,13 @@ library under ``build/native/`` at the repository root (or the system
 temp directory when the tree is read-only), and exposes it through
 :func:`lru_sim`.
 
-Everything here degrades silently: no compiler, a failed compile, an
+Everything here degrades gracefully: no compiler, a failed compile, an
 unwritable cache or ``REPRO_NATIVE=0`` all make :func:`lru_sim` return
 ``None``, and the caller falls back to the pure-numpy distance engine.
+Degradation is silent by default but never untraceable: set
+``REPRO_DEBUG=1`` to log why the compiled kernel is unavailable
+(including the compiler's stderr).  Stale ``.{pid}.tmp`` libraries left
+by crashed or timed-out compiles are reaped before building.
 """
 
 from __future__ import annotations
@@ -19,13 +23,24 @@ import hashlib
 import os
 import shutil
 import subprocess
+import sys
 import tempfile
 from pathlib import Path
 
 import numpy as np
 
+from repro.common import faults, integrity
+
 #: Set to ``0`` to force the pure-numpy engine (used by equivalence tests).
 NATIVE_ENV_VAR = "REPRO_NATIVE"
+
+#: Set to log native-kernel degradation (compile failures etc.) to stderr.
+DEBUG_ENV_VAR = "REPRO_DEBUG"
+
+
+def _debug(message: str) -> None:
+    if os.environ.get(DEBUG_ENV_VAR):
+        print(f"[repro._native] {message}", file=sys.stderr)
 
 _SOURCE = Path(__file__).with_name("_lru_kernel.c")
 
@@ -41,25 +56,37 @@ def _cache_dirs(tag: str):
 
 
 def _compile() -> ctypes.CDLL | None:
+    if faults.should_fire("compile_fail"):
+        _debug("injected compile_fail fault; using the numpy engine")
+        return None
     compiler = shutil.which("cc") or shutil.which("gcc")
     if compiler is None or not _SOURCE.exists():
+        _debug("no C compiler or kernel source; using the numpy engine")
         return None
     source = _SOURCE.read_bytes()
     tag = hashlib.sha256(source).hexdigest()[:12]
     for cache in _cache_dirs(tag):
         lib_path = cache / f"_lru_{tag}.so"
+        tmp = integrity.tmp_path(lib_path)
         try:
             if not lib_path.exists():
                 cache.mkdir(parents=True, exist_ok=True)
-                tmp = lib_path.with_suffix(f".{os.getpid()}.tmp")
+                # Reap shared-library tmp files orphaned by compiles that
+                # crashed or timed out; live writers' files are spared.
+                integrity.reap_stale_tmp(cache)
                 subprocess.run(
                     [compiler, "-O3", "-shared", "-fPIC",
                      str(_SOURCE), "-o", str(tmp)],
                     check=True, capture_output=True, timeout=120)
                 os.replace(tmp, lib_path)  # atomic under concurrent builds
             return ctypes.CDLL(str(lib_path))
-        except (OSError, subprocess.SubprocessError):
-            continue
+        except subprocess.CalledProcessError as exc:
+            stderr = (exc.stderr or b"").decode(errors="replace").strip()
+            _debug(f"compile failed in {cache}: {stderr or exc}")
+        except (OSError, subprocess.SubprocessError) as exc:
+            _debug(f"native kernel unavailable via {cache}: {exc}")
+        tmp.unlink(missing_ok=True)     # never leave our own droppings
+    _debug("all native cache directories failed; using the numpy engine")
     return None
 
 

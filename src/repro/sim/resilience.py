@@ -1,0 +1,202 @@
+"""Fault tolerance for the experiment pipeline.
+
+The design mirrors the system under test: DVM's identity mapping eagerly
+allocates and degrades to demand paging rather than failing (paper
+Section 4.3), and the harness degrades the same way — a failed worker is
+retried with backoff, a broken process pool is rebuilt for just the
+unfinished pairs, and the last tier is plain in-process serial execution,
+which has no pool to break.  The invariant throughout (DESIGN.md):
+retries, resume, and degradation may change *how long* a sweep takes,
+never *what it computes* — merged metrics stay bit-identical to a
+fault-free serial run.
+
+Three pieces live here:
+
+* :class:`RetryPolicy` / :func:`retry_call` — exponential backoff with
+  *deterministic* jitter (a pure function of ``(seed, tag, attempt)``),
+  so chaos tests replay exactly;
+* :class:`SweepCheckpoint` — a checksummed journal of completed pairs
+  that lets an interrupted ``run_pairs`` resume without recomputation;
+* :class:`ResilienceReport` — structured counters for everything the
+  resilience machinery did, surfaced by the figure entry points.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.common import faults, integrity
+from repro.common.errors import CacheIntegrityError, TransientError
+
+#: Artifact kind tag for checkpoint envelopes.
+CHECKPOINT_KIND = "sweep-checkpoint"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic, bounded jitter."""
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    backoff_factor: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5          # +/- fraction of the nominal delay
+    seed: int = 0
+
+    def delay(self, attempt: int, tag: str = "") -> float:
+        """Backoff before retry number ``attempt`` (1-based).
+
+        Jitter is a pure function of ``(seed, tag, attempt)`` — no RNG
+        state — so a given sweep produces the identical schedule on
+        every run while distinct pairs still decorrelate.
+        """
+        nominal = min(self.max_delay,
+                      self.base_delay * self.backoff_factor ** (attempt - 1))
+        if self.jitter <= 0:
+            return nominal
+        digest = hashlib.sha256(
+            f"{self.seed}|{tag}|{attempt}".encode()).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2**64      # [0, 1)
+        return nominal * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+
+def retry_call(fn, *, policy: RetryPolicy | None = None, tag: str = "",
+               retryable=(TransientError,), sleep=time.sleep,
+               on_retry=None):
+    """Call ``fn`` with retries for ``retryable`` failures.
+
+    Anything outside ``retryable`` propagates on the first raise; the
+    last retryable failure propagates once attempts are exhausted.
+    ``on_retry(attempt, exc, delay)`` observes each scheduled retry.
+    """
+    policy = policy or RetryPolicy()
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn()
+        except retryable as exc:
+            if attempt >= policy.max_attempts:
+                raise
+            delay = policy.delay(attempt, tag)
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            if delay > 0:
+                sleep(delay)
+
+
+class SweepCheckpoint:
+    """A resumable journal of completed (workload, dataset) pairs.
+
+    Each entry maps a pair to its full per-configuration metrics, so a
+    resumed sweep replays completed pairs from the journal byte-for-byte
+    instead of recomputing them.  The file is an integrity envelope
+    (:mod:`repro.common.integrity`): a corrupt or version-mismatched
+    checkpoint is quarantined and the sweep restarts from scratch —
+    never trusted.
+    """
+
+    def __init__(self, path: Path, sweep_key: str):
+        self.path = Path(path)
+        self.sweep_key = sweep_key
+        self._entries: dict[str, list] = {}
+
+    @staticmethod
+    def pair_key(workload: str, dataset: str) -> str:
+        return f"{workload}/{dataset}"
+
+    def load(self) -> dict[str, list]:
+        """Read the journal; quarantines and ignores anything invalid.
+
+        A checkpoint written for a different sweep (other pairs, other
+        configs, other runner spec) is discarded: its ``sweep_key`` is
+        part of the validated payload.
+        """
+        self._entries = {}
+        if not self.path.exists():
+            return self._entries
+        try:
+            payload = integrity.read_json_verified(self.path,
+                                                   CHECKPOINT_KIND)
+        except CacheIntegrityError:
+            integrity.quarantine(self.path)
+            return self._entries
+        if payload.get("sweep_key") != self.sweep_key:
+            # A different sweep's journal at the same path: not corrupt,
+            # just inapplicable. Start fresh without destroying it.
+            return self._entries
+        self._entries = dict(payload.get("pairs", {}))
+        return self._entries
+
+    def record(self, workload: str, dataset: str, entries: list) -> None:
+        """Append one completed pair and persist the journal atomically.
+
+        ``entries`` is ``[(config_name, metrics_dict), ...]`` — exactly
+        what the merge step needs, so resume is bit-identical.
+        """
+        self._entries[self.pair_key(workload, dataset)] = [
+            [name, metrics] for name, metrics in entries
+        ]
+        integrity.write_json_atomic(
+            self.path,
+            {"sweep_key": self.sweep_key, "pairs": self._entries},
+            CHECKPOINT_KIND)
+
+    def complete(self) -> None:
+        """Remove the journal after a fully merged sweep."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+
+@dataclass
+class ResilienceReport:
+    """What the resilience machinery did during a sweep."""
+
+    retries: int = 0                 # pair attempts rescheduled w/ backoff
+    worker_crashes: int = 0          # transient worker failures observed
+    pair_timeouts: int = 0           # pairs abandoned past their deadline
+    pool_rebuilds: int = 0           # BrokenProcessPool recoveries
+    serial_degradations: int = 0     # pairs finished by the serial tier
+    resumed_pairs: int = 0           # pairs replayed from a checkpoint
+    quarantined: int = 0             # corrupt artifacts moved aside
+    reaped_tmp: int = 0              # dead writers' tmp files removed
+    perturbed_reruns: int = 0        # computations discarded after a
+    #                                  perturbing injected fault (alloc_oom)
+    perturbed_accepted: int = 0      # perturbed results kept after rerun
+    #                                  attempts ran out (breaks the
+    #                                  bit-identical guarantee; reported
+    #                                  loudly, never silent)
+
+    def events(self) -> int:
+        """Total resilience actions taken (0 == nothing went wrong)."""
+        return sum(asdict(self).values())
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form, including injected-fault counters."""
+        payload = asdict(self)
+        inj = faults.injector()
+        if inj is not None and inj.stats:
+            payload["injected_faults"] = inj.to_dict()
+        return payload
+
+    def render(self) -> str:
+        """One-paragraph human summary for the figure entry points."""
+        fields = [(k, v) for k, v in asdict(self).items() if v]
+        lines = ["Resilience report:"]
+        if not fields:
+            lines.append("  clean run (no faults, retries, or repairs)")
+        for key, value in fields:
+            lines.append(f"  {key.replace('_', ' ')}: {value}")
+        inj = faults.injector()
+        if inj is not None:
+            fired = inj.fire_counts()
+            if fired:
+                shots = ", ".join(f"{site}x{n}"
+                                  for site, n in sorted(fired.items()))
+                lines.append(f"  injected faults fired: {shots}")
+        return "\n".join(lines)

@@ -17,10 +17,20 @@ symbolic traces as compressed ``.npz`` (via ``SymbolicTrace.save``) and
 metrics as JSON, both under content keys covering every input that can
 change the result (profile, workload knobs, hardware scale, system
 parameters and the full configuration fingerprint — never just a name).
+Every persisted artifact is integrity-protected (schema version +
+SHA-256, sidecars for binaries); corrupt or stale entries are quarantined
+as ``.corrupt`` and recomputed, and dead writers' ``.tmp`` droppings are
+reaped on startup (:mod:`repro.common.integrity`).
 
 ``run_pairs(workers=N)`` fans independent (workload, dataset) pairs across
-processes; the merge is deterministic (submission order), so the result
-dict is identical to a serial run.
+processes and degrades gracefully (:mod:`repro.sim.resilience`): failed
+pair attempts retry with deterministic exponential backoff, a
+``BrokenProcessPool`` is rebuilt for just the unfinished pairs, pairs past
+their wall-clock budget are abandoned and re-run, and the final tier is
+plain in-process serial execution.  A checksummed sweep checkpoint makes
+an interrupted ``run_pairs`` resumable.  None of this changes results:
+the merge iterates the (deduplicated) pair list in order, so the returned
+dict is bit-identical to a fault-free serial run.
 """
 
 from __future__ import annotations
@@ -28,7 +38,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
@@ -37,14 +50,23 @@ import numpy as np
 from repro.accel.algorithms import prop_bytes_for, run_workload
 from repro.accel.graphicionado import ExecutionResult
 from repro.accel.trace import SymbolicTrace
+from repro.common import faults, integrity
+from repro.common.errors import (CacheIntegrityError, ConfigError,
+                                 TransientError, WorkerCrashError)
 from repro.core.config import HardwareScale, MMUConfig, standard_configs
 from repro.graphs import datasets
 from repro.sim.metrics import Metrics
+from repro.sim.resilience import (ResilienceReport, RetryPolicy,
+                                  SweepCheckpoint, retry_call)
 from repro.sim.system import HeterogeneousSystem, SystemParams
 
 #: Environment wiring for the figure entry points.
 WORKERS_ENV_VAR = "REPRO_WORKERS"
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+PAIR_TIMEOUT_ENV_VAR = "REPRO_PAIR_TIMEOUT"
+
+#: Artifact kind tag for metrics envelopes.
+METRICS_KIND = "metrics"
 
 
 def workers_from_env() -> int:
@@ -56,6 +78,19 @@ def workers_from_env() -> int:
         raise SystemExit(
             f"{WORKERS_ENV_VAR} must be an integer, got {raw!r}") from None
     return max(workers, 1)
+
+
+def pair_timeout_from_env() -> float | None:
+    """The ``REPRO_PAIR_TIMEOUT`` setting (seconds), if any."""
+    raw = os.environ.get(PAIR_TIMEOUT_ENV_VAR, "") or ""
+    if not raw:
+        return None
+    try:
+        timeout = float(raw)
+    except ValueError:
+        raise SystemExit(f"{PAIR_TIMEOUT_ENV_VAR} must be a number, "
+                         f"got {raw!r}") from None
+    return timeout if timeout > 0 else None
 
 
 @dataclass
@@ -86,21 +121,34 @@ class ExperimentRunner:
     cf_passes: int = 1
     engine: str | None = None            # timing engine ("fast"/"scalar")
     cache_dir: str | None = None         # on-disk artifact cache root
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    pair_timeout: float | None = None    # wall-clock budget per pair
+    max_pool_rebuilds: int = 2           # BrokenProcessPool recoveries
+    max_perturbed_reruns: int = 16       # injected-perturbation discards
+    resilience: ResilienceReport = field(default_factory=ResilienceReport,
+                                         init=False)
     _prepared: dict = field(default_factory=dict, init=False)
     _metrics: dict = field(default_factory=dict, init=False)
     _batches: dict = field(default_factory=dict, init=False)
     _batch_pair: tuple | None = field(default=None, init=False)
+    _cache_swept: bool = field(default=False, init=False)
+
+    #: Backoff sleep; class-level so tests can stub it without touching
+    #: the picklable constructor spec.
+    _sleep = staticmethod(time.sleep)
 
     @classmethod
     def from_env(cls, **overrides) -> "ExperimentRunner":
         """A runner wired from the environment.
 
         ``REPRO_CACHE_DIR`` sets the artifact cache directory (unset
-        disables persistence); the timing engine keeps its own
+        disables persistence) and ``REPRO_PAIR_TIMEOUT`` the per-pair
+        wall-clock budget; the timing engine keeps its own
         ``REPRO_TIMING_ENGINE`` override.  Keyword overrides win.
         """
         overrides.setdefault("cache_dir",
                              os.environ.get(CACHE_DIR_ENV_VAR) or None)
+        overrides.setdefault("pair_timeout", pair_timeout_from_env())
         return cls(**overrides)
 
     def configs(self) -> dict[str, MMUConfig]:
@@ -115,7 +163,10 @@ class ExperimentRunner:
                     params=self.params, pagerank_iters=self.pagerank_iters,
                     sssp_max_iters=self.sssp_max_iters,
                     cf_passes=self.cf_passes, engine=self.engine,
-                    cache_dir=self.cache_dir)
+                    cache_dir=self.cache_dir, retry=self.retry,
+                    pair_timeout=self.pair_timeout,
+                    max_pool_rebuilds=self.max_pool_rebuilds,
+                    max_perturbed_reruns=self.max_perturbed_reruns)
 
     def _workload_content(self, workload: str, dataset: str) -> dict:
         """Everything that determines a functional run's trace."""
@@ -133,7 +184,10 @@ class ExperimentRunner:
         if self.cache_dir is None:
             return None
         root = Path(self.cache_dir)
-        root.mkdir(parents=True, exist_ok=True)
+        if not self._cache_swept:
+            root.mkdir(parents=True, exist_ok=True)
+            self.resilience.reaped_tmp += len(integrity.reap_stale_tmp(root))
+            self._cache_swept = True
         return root / f"{kind}-{key}{suffix}"
 
     def _trace_path(self, workload: str, dataset: str) -> Path | None:
@@ -148,6 +202,10 @@ class ExperimentRunner:
         return self._artifact_path("metrics", self._content_key(payload),
                                    ".json")
 
+    def _quarantine(self, path: Path) -> None:
+        if integrity.quarantine(path) is not None:
+            self.resilience.quarantined += 1
+
     # -- functional phase -----------------------------------------------------
 
     def prepare(self, workload: str, dataset: str) -> PreparedWorkload:
@@ -155,7 +213,9 @@ class ExperimentRunner:
 
         With a cache directory configured, the symbolic trace round-trips
         through disk: a prior invocation's functional run is reused and
-        only the (cheap, deterministic) graph surrogate is rebuilt.
+        only the (cheap, deterministic) graph surrogate is rebuilt.  A
+        trace that fails checksum/schema validation is quarantined and
+        regenerated.
         """
         key = (workload, dataset)
         prepared = self._prepared.get(key)
@@ -163,12 +223,16 @@ class ExperimentRunner:
             return prepared
         graph, shape = datasets.load(dataset, self.profile)
         trace_path = self._trace_path(workload, dataset)
+        result = None
         if trace_path is not None and trace_path.exists():
-            trace = SymbolicTrace.load(trace_path)
-            result = ExecutionResult(
-                trace=trace, prop=np.empty(0), iterations=0, converged=True,
-                aux={"restored_from": str(trace_path)})
-        else:
+            try:
+                trace = SymbolicTrace.load(trace_path, verify=True)
+                result = ExecutionResult(
+                    trace=trace, prop=np.empty(0), iterations=0,
+                    converged=True, aux={"restored_from": str(trace_path)})
+            except CacheIntegrityError:
+                self._quarantine(trace_path)
+        if result is None:
             result = run_workload(
                 workload, graph, shape=shape,
                 pagerank_iters=self.pagerank_iters,
@@ -176,8 +240,11 @@ class ExperimentRunner:
                 cf_passes=self.cf_passes,
             )
             if trace_path is not None:
-                tmp = trace_path.with_suffix(f".{os.getpid()}.tmp.npz")
+                tmp = integrity.tmp_path(trace_path, suffix=".npz")
                 result.trace.save(tmp)
+                # Sidecar first (hashing the tmp bytes), then the atomic
+                # publish: readers never see a trace without its sidecar.
+                integrity.write_sidecar(trace_path, content_of=tmp)
                 os.replace(tmp, trace_path)
         prepared = PreparedWorkload(workload=workload, dataset=dataset,
                                     graph=graph, shape=shape, result=result)
@@ -194,9 +261,62 @@ class ExperimentRunner:
             return metrics
         metrics_path = self._metrics_path(workload, dataset, config)
         if metrics_path is not None and metrics_path.exists():
-            metrics = Metrics.from_dict(json.loads(metrics_path.read_text()))
-            self._metrics[key] = metrics
-            return metrics
+            try:
+                payload = integrity.read_json_verified(metrics_path,
+                                                       METRICS_KIND)
+                metrics = Metrics.from_dict(payload)
+                self._metrics[key] = metrics
+                return metrics
+            except CacheIntegrityError:
+                self._quarantine(metrics_path)
+        metrics = self._compute_metrics(workload, dataset, config)
+        self._metrics[key] = metrics
+        if metrics_path is not None:
+            integrity.write_json_atomic(metrics_path, metrics.to_dict(),
+                                        METRICS_KIND)
+        return metrics
+
+    def _compute_metrics(self, workload: str, dataset: str,
+                         config: MMUConfig) -> Metrics:
+        """One timing simulation, shielded from injected perturbation.
+
+        Injected allocator OOM (the ``alloc_oom`` fault) legitimately
+        changes what a run measures — identity mapping falls back to
+        demand paging, exactly as the paper describes.  To keep chaos
+        runs bit-identical to fault-free ones, any computation during
+        which a perturbing fault fired (or escaped as a transient error)
+        is discarded and re-run; only perturbation-free results are
+        memoized, persisted, or returned.
+        """
+        perturbed = 0
+        while True:
+            mark = faults.perturbation_mark()
+            try:
+                metrics = self._simulate(workload, dataset, config)
+            except TransientError:
+                # Not caused by a perturbing fault (or past the rerun
+                # budget): a genuine transient, for the caller's retry
+                # tier, not this barrier.
+                if not faults.perturbed_since(mark) \
+                        or perturbed >= self.max_perturbed_reruns:
+                    raise
+                metrics = None
+            if metrics is not None and not faults.perturbed_since(mark):
+                return metrics
+            perturbed += 1
+            self.resilience.perturbed_reruns += 1
+            # A perturbed run bound the trace to a different (demand
+            # paged) layout; its shared batches are unusable.
+            self._batches.clear()
+            self._batch_pair = None
+            if metrics is not None and perturbed >= self.max_perturbed_reruns:
+                # Only an uncapped high-rate injection can get here;
+                # surface it rather than loop forever.
+                self.resilience.perturbed_accepted += 1
+                return metrics
+
+    def _simulate(self, workload: str, dataset: str,
+                  config: MMUConfig) -> Metrics:
         prepared = self.prepare(workload, dataset)
         if self._batch_pair != (workload, dataset):
             # Shared page-run batches are only reusable within one pair;
@@ -206,56 +326,249 @@ class ExperimentRunner:
         system = HeterogeneousSystem(config, self.params)
         system.load_graph(prepared.graph,
                           prop_bytes=prop_bytes_for(workload))
-        metrics = system.run(prepared.result.trace, workload=workload,
-                             graph=dataset, engine=self.engine,
-                             batch_cache=self._batches)
-        self._metrics[key] = metrics
-        if metrics_path is not None:
-            tmp = metrics_path.with_suffix(f".{os.getpid()}.tmp")
-            tmp.write_text(json.dumps(metrics.to_dict(), indent=1))
-            os.replace(tmp, metrics_path)
-        return metrics
+        return system.run(prepared.result.trace, workload=workload,
+                          graph=dataset, engine=self.engine,
+                          batch_cache=self._batches)
 
-    def run_pairs(self, pairs=None, config_names=None, workers: int = 1
+    # -- sweep execution ------------------------------------------------------
+
+    def run_pairs(self, pairs=None, config_names=None, workers: int = 1,
+                  *, checkpoint: str | Path | None = None,
+                  resume: bool = True
                   ) -> dict[tuple[str, str, str], Metrics]:
         """Run a set of (workload, dataset) pairs across configurations.
 
-        Defaults to the paper's 15 pairs and all 7 configurations.
+        Defaults to the paper's 15 pairs and all 7 configurations;
+        duplicate pairs are collapsed (first occurrence wins) and unknown
+        configuration names raise :class:`ConfigError` up front.
+
         ``workers > 1`` fans whole pairs across a process pool (a pair is
-        the natural unit: its configurations share the functional trace);
-        results merge in submission order, so the returned dict is
-        identical to the serial one.
+        the natural unit: its configurations share the functional trace)
+        with per-pair retry, pool rebuild, and serial degradation as
+        described in :mod:`repro.sim.resilience`.  With a cache directory
+        (or an explicit ``checkpoint`` path) each completed pair is
+        journaled, so an interrupted sweep resumes from the checkpoint;
+        ``resume=False`` disables the journal.  However executed, the
+        merge iterates the pair list in order, so the returned dict is
+        bit-identical to a fault-free serial run.
         """
-        pairs = list(pairs if pairs is not None else datasets.WORKLOAD_PAIRS)
+        raw = pairs if pairs is not None else datasets.WORKLOAD_PAIRS
+        pairs = list(dict.fromkeys(tuple(p) for p in raw))
         configs = self.configs()
         if config_names is not None:
-            configs = {k: configs[k] for k in config_names}
+            unknown = [n for n in config_names if n not in configs]
+            if unknown:
+                raise ConfigError(
+                    f"unknown configuration name(s): "
+                    f"{', '.join(map(repr, unknown))}; valid names: "
+                    f"{', '.join(configs)}")
+            configs = {name: configs[name] for name in config_names}
+        names = list(configs)
+
+        ckpt = self._sweep_checkpoint(checkpoint, pairs, names) \
+            if resume else None
+        completed: dict[tuple, list] = {}
+        if ckpt is not None:
+            journal = ckpt.load()
+            for pair in pairs:
+                entries = journal.get(SweepCheckpoint.pair_key(*pair))
+                if entries is not None:
+                    completed[pair] = [(name, payload)
+                                       for name, payload in entries]
+            self.resilience.resumed_pairs += len(completed)
+
+        def finish_pair(pair, entries):
+            completed[pair] = entries
+            if ckpt is not None:
+                ckpt.record(pair[0], pair[1], entries)
+            faults.maybe_raise("sweep_abort")
+
+        pending = [pair for pair in pairs if pair not in completed]
+        if workers > 1 and len(pending) > 1:
+            self._run_pairs_parallel(pending, names, workers, finish_pair)
+        else:
+            for pair in pending:
+                finish_pair(pair, self._run_pair_resilient(pair, configs))
+
         out: dict[tuple[str, str, str], Metrics] = {}
-        if workers > 1 and len(pairs) > 1:
-            spec = self._spec()
-            names = list(configs)
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(_pair_worker, spec, workload, dataset, names)
-                    for workload, dataset in pairs
-                ]
-                for future in futures:        # submission order: deterministic
-                    for (w, d, name), metrics in future.result():
-                        out[(w, d, name)] = metrics
-                        self._metrics[(w, d, configs[name].fingerprint())] \
-                            = metrics
-            return out
         for workload, dataset in pairs:
-            for name, config in configs.items():
-                out[(workload, dataset, name)] = self.run(workload, dataset,
-                                                          config)
+            for name, payload in completed[(workload, dataset)]:
+                metrics = Metrics.from_dict(payload)
+                out[(workload, dataset, name)] = metrics
+                self._metrics[(workload, dataset,
+                               configs[name].fingerprint())] = metrics
+        if ckpt is not None:
+            ckpt.complete()
         return out
+
+    def _run_pair_serial(self, pair: tuple, configs: dict) -> list:
+        """One pair's configurations, in-process; returns journal entries."""
+        workload, dataset = pair
+        return [(name, self.run(workload, dataset, config).to_dict())
+                for name, config in configs.items()]
+
+    def _run_pair_resilient(self, pair: tuple, configs: dict) -> list:
+        """Serial-tier pair execution, retrying transient escapes.
+
+        Completed configurations are memoized, so a retry recomputes
+        only the configuration whose run actually failed.
+        """
+
+        def on_retry(_attempt, _exc, _delay):
+            self.resilience.retries += 1
+
+        return retry_call(lambda: self._run_pair_serial(pair, configs),
+                          policy=self.retry,
+                          tag=SweepCheckpoint.pair_key(*pair),
+                          sleep=self._sleep, on_retry=on_retry)
+
+    def _sweep_checkpoint(self, checkpoint, pairs, names
+                          ) -> SweepCheckpoint | None:
+        """The journal for this exact sweep, if anywhere to keep it.
+
+        The sweep key covers everything that determines the merged
+        result — runner knobs, scale, params, the pair list and each
+        configuration's fingerprint — but *not* the timing engine, which
+        is guaranteed bit-identical, so a sweep may resume under either
+        engine.
+        """
+        payload = dict(profile=self.profile, scale=asdict(self.scale),
+                       params=asdict(self.params),
+                       pagerank_iters=self.pagerank_iters,
+                       sssp_max_iters=self.sssp_max_iters,
+                       cf_passes=self.cf_passes, pairs=pairs,
+                       configs={name: self.configs()[name].fingerprint()
+                                for name in names})
+        key = self._content_key(payload)
+        if checkpoint is not None:
+            path = Path(checkpoint)
+        else:
+            path = self._artifact_path("sweep", key, ".ckpt.json")
+            if path is None:
+                return None
+        return SweepCheckpoint(path, sweep_key=key)
+
+    # -- parallel tiers -------------------------------------------------------
+
+    def _run_pairs_parallel(self, pending, names, workers,
+                            finish_pair) -> None:
+        """Pool tiers with rebuild, then serial degradation.
+
+        Tier 1..N: process pools (a fresh pool per ``BrokenProcessPool``,
+        up to ``max_pool_rebuilds`` rebuilds, each covering only the
+        still-unfinished pairs).  Last tier: in-process serial execution,
+        which cannot break and therefore always completes the sweep.
+        """
+        remaining = list(pending)
+        rebuilds = 0
+        while remaining:
+            remaining, broke = self._pool_tier(remaining, names, workers,
+                                               finish_pair)
+            if not remaining:
+                return
+            if broke and rebuilds < self.max_pool_rebuilds:
+                rebuilds += 1
+                self.resilience.pool_rebuilds += 1
+                continue
+            break
+        configs = self.configs()
+        selected = {name: configs[name] for name in names}
+        for pair in remaining:
+            self.resilience.serial_degradations += 1
+            finish_pair(pair, self._run_pair_resilient(pair, selected))
+
+    def _pool_tier(self, pairs, names, workers, finish_pair
+                   ) -> tuple[list, bool]:
+        """One process-pool pass; returns (unfinished pairs, pool broke).
+
+        Transient worker failures are retried in-pool with deterministic
+        backoff; pairs past ``pair_timeout`` are abandoned (their worker
+        cannot be interrupted, so the pool is shut down without waiting);
+        pairs that exhaust retries are left for the next tier.
+        """
+        spec = self._spec()
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(pairs)))
+        attempts = {pair: 1 for pair in pairs}
+        hung = False
+
+        def submit(pair):
+            workload, dataset = pair
+            scope = f"{workload}/{dataset}#a{attempts[pair]}"
+            return pool.submit(_pair_worker, spec, workload, dataset,
+                               names, scope)
+
+        try:
+            # A worker death can surface as BrokenProcessPool from any
+            # pool interaction — result() *or* a retry's submit() — so
+            # the whole tier body is guarded, not just the result call.
+            futures = {pair: submit(pair) for pair in pairs}
+            deadlines = {
+                pair: time.monotonic() + self.pair_timeout
+                for pair in pairs
+            } if self.pair_timeout is not None else {}
+            while futures:
+                pair, future = next(iter(futures.items()))
+                timeout = None
+                if self.pair_timeout is not None:
+                    timeout = max(0.0, deadlines[pair] - time.monotonic())
+                try:
+                    entries = future.result(timeout=timeout)
+                except FutureTimeoutError:
+                    # The worker is wedged and cannot be killed through
+                    # the executor API; abandon the pair to a later tier
+                    # and do not wait on the pool at shutdown.
+                    del futures[pair]
+                    self.resilience.pair_timeouts += 1
+                    hung = True
+                    continue
+                except TransientError:
+                    del futures[pair]
+                    self.resilience.worker_crashes += 1
+                    attempt = attempts[pair]
+                    if attempt < self.retry.max_attempts:
+                        self.resilience.retries += 1
+                        delay = self.retry.delay(attempt,
+                                                 tag=f"{pair[0]}/{pair[1]}")
+                        if delay > 0:
+                            self._sleep(delay)
+                        attempts[pair] = attempt + 1
+                        futures[pair] = submit(pair)
+                        if self.pair_timeout is not None:
+                            deadlines[pair] = (time.monotonic()
+                                               + self.pair_timeout)
+                    # else: retries exhausted; next tier picks it up.
+                else:
+                    del futures[pair]
+                    del attempts[pair]
+                    finish_pair(pair, entries)
+            return list(attempts), False
+        except BrokenProcessPool:
+            return list(attempts), True
+        finally:
+            pool.shutdown(wait=not hung, cancel_futures=True)
 
 
 def _pair_worker(spec: dict, workload: str, dataset: str,
-                 config_names: list) -> list:
-    """Process-pool entry: run one pair's configurations in a child."""
+                 config_names: list, fault_scope: str | None = None) -> list:
+    """Process-pool entry: run one pair's configurations in a child.
+
+    ``fault_scope`` re-keys the fault injector deterministically per pair
+    *attempt*, so chaos patterns do not depend on which pool process the
+    task landed in, and a retried attempt sees a fresh pattern.
+    """
+    if fault_scope is not None:
+        faults.rescope(fault_scope)
+    if faults.should_fire("worker_exit"):
+        os._exit(13)        # simulate a hard worker death (chaos testing)
+    if faults.should_fire("worker_hang"):
+        # Simulate a wedged worker; the parent abandons the pair once its
+        # wall-clock budget expires and finishes it in a later tier.
+        time.sleep(float(os.environ.get("REPRO_HANG_SECONDS", "30")))
+    faults.maybe_raise(
+        "worker_crash",
+        lambda: WorkerCrashError(
+            f"injected worker crash on {workload}/{dataset}"))
     runner = ExperimentRunner(**spec)
-    result = runner.run_pairs(pairs=[(workload, dataset)],
-                              config_names=config_names)
-    return list(result.items())
+    configs = runner.configs()
+    selected = {name: configs[name] for name in config_names}
+    return runner._run_pair_serial((workload, dataset), selected)

@@ -1,0 +1,168 @@
+"""Artifact-integrity unit tests: envelopes, sidecars, quarantine, reaping."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.common import faults, integrity
+from repro.common.errors import CacheIntegrityError
+
+
+class TestJsonEnvelope:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        payload = {"cycles": 12.5, "accesses": 3}
+        integrity.write_json_atomic(path, payload, "metrics")
+        assert integrity.read_json_verified(path, "metrics") == payload
+
+    def test_no_tmp_left_behind(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        integrity.write_json_atomic(path, {"a": 1}, "metrics")
+        assert os.listdir(tmp_path) == ["artifact.json"]
+
+    def test_truncated_artifact(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        integrity.write_json_atomic(path, {"a": 1}, "metrics")
+        path.write_text(path.read_text()[:20])
+        with pytest.raises(CacheIntegrityError):
+            integrity.read_json_verified(path, "metrics")
+
+    def test_flipped_payload_fails_checksum(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        integrity.write_json_atomic(path, {"a": 1}, "metrics")
+        doc = json.loads(path.read_text())
+        doc["payload"]["a"] = 2
+        path.write_text(json.dumps(doc))
+        with pytest.raises(CacheIntegrityError, match="checksum"):
+            integrity.read_json_verified(path, "metrics")
+
+    def test_legacy_bare_payload_rejected(self, tmp_path):
+        # PR-1-era artifacts were bare dicts: version mismatch by design.
+        path = tmp_path / "artifact.json"
+        path.write_text(json.dumps({"cycles": 1.0}))
+        with pytest.raises(CacheIntegrityError, match="envelope"):
+            integrity.read_json_verified(path, "metrics")
+
+    def test_schema_and_kind_mismatch(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        integrity.write_json_atomic(path, {"a": 1}, "metrics")
+        doc = json.loads(path.read_text())
+        doc["schema"] = 999
+        path.write_text(json.dumps(doc))
+        with pytest.raises(CacheIntegrityError, match="schema"):
+            integrity.read_json_verified(path, "metrics")
+        integrity.write_json_atomic(path, {"a": 1}, "metrics")
+        with pytest.raises(CacheIntegrityError, match="kind"):
+            integrity.read_json_verified(path, "sweep-checkpoint")
+
+    def test_cache_corrupt_fault_truncates_write(self, tmp_path):
+        faults.configure("cache_corrupt:1.0:1", seed=0)
+        path = tmp_path / "artifact.json"
+        integrity.write_json_atomic(path, {"a": 1}, "metrics")
+        with pytest.raises(CacheIntegrityError):
+            integrity.read_json_verified(path, "metrics")
+        # The cap expired: the rewrite is clean.
+        integrity.write_json_atomic(path, {"a": 1}, "metrics")
+        assert integrity.read_json_verified(path, "metrics") == {"a": 1}
+
+
+class TestSidecar:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        path.write_bytes(b"binary blob")
+        integrity.write_sidecar(path)
+        integrity.verify_sidecar(path)     # does not raise
+
+    def test_missing_sidecar(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        path.write_bytes(b"binary blob")
+        with pytest.raises(CacheIntegrityError, match="missing"):
+            integrity.verify_sidecar(path)
+
+    def test_corrupt_artifact_detected(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        path.write_bytes(b"binary blob")
+        integrity.write_sidecar(path)
+        path.write_bytes(b"binary blog")
+        with pytest.raises(CacheIntegrityError, match="mismatch"):
+            integrity.verify_sidecar(path)
+
+    def test_version_mismatch(self, tmp_path):
+        path = tmp_path / "trace.npz"
+        path.write_bytes(b"x")
+        integrity.write_sidecar(path)
+        sidecar = integrity.sidecar_path(path)
+        sidecar.write_text(sidecar.read_text().replace(
+            f"repro-cache-v{integrity.SCHEMA_VERSION}", "repro-cache-v999"))
+        with pytest.raises(CacheIntegrityError, match="schema"):
+            integrity.verify_sidecar(path)
+
+    def test_content_of_supports_publish_ordering(self, tmp_path):
+        # Hash the tmp file, publish the sidecar, then publish the
+        # artifact: the final pair must verify.
+        tmp = tmp_path / "trace.npz.123.tmp"
+        tmp.write_bytes(b"payload")
+        final = tmp_path / "trace.npz"
+        integrity.write_sidecar(final, content_of=tmp)
+        os.replace(tmp, final)
+        integrity.verify_sidecar(final)
+
+
+class TestQuarantine:
+    def test_renames_and_uniquifies(self, tmp_path):
+        for expected in ("bad.json.corrupt", "bad.json.corrupt.1"):
+            path = tmp_path / "bad.json"
+            path.write_text("junk")
+            assert integrity.quarantine(path).name == expected
+            assert not path.exists()
+        assert (tmp_path / "bad.json.corrupt").exists()
+        assert (tmp_path / "bad.json.corrupt.1").exists()
+
+    def test_vanished_file_is_benign(self, tmp_path):
+        assert integrity.quarantine(tmp_path / "gone.json") is None
+
+
+class TestReapStaleTmp:
+    def fake_dead_pid(self):
+        # Find a pid that is definitely not running.
+        pid = 2 ** 22 - 7
+        while True:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return pid
+            except OSError:
+                pass
+            pid -= 1
+
+    def test_dead_writer_reaped_live_writer_spared(self, tmp_path):
+        dead = tmp_path / f"metrics-abc.{self.fake_dead_pid()}.tmp"
+        dead.write_text("partial")
+        live = tmp_path / f"metrics-def.{os.getpid()}.tmp"
+        live.write_text("in flight")
+        npz = tmp_path / f"trace-abc.{self.fake_dead_pid()}.tmp.npz"
+        npz.write_bytes(b"partial")
+        keep = tmp_path / "metrics-abc.json"
+        keep.write_text("real artifact")
+        reaped = integrity.reap_stale_tmp(tmp_path)
+        assert sorted(p.name for p in reaped) == sorted([dead.name,
+                                                         npz.name])
+        assert live.exists() and keep.exists()
+
+    def test_age_fallback_for_possibly_recycled_pids(self, tmp_path):
+        stale = tmp_path / "_lru_abc.1.tmp"    # pid 1 is always "alive"
+        stale.write_text("x")
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        fresh = tmp_path / "_lru_def.1.tmp"
+        fresh.write_text("x")
+        reaped = integrity.reap_stale_tmp(tmp_path)
+        assert [p.name for p in reaped] == [stale.name]
+        assert fresh.exists()
+
+    def test_missing_root_is_noop(self, tmp_path):
+        assert integrity.reap_stale_tmp(tmp_path / "nope") == []

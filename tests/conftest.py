@@ -1,9 +1,22 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus a per-test wall-clock timeout.
+
+The timeout is a lightweight stand-in for ``pytest-timeout`` (not in the
+environment): a hung test — e.g. a wedged pool worker that resilience
+failed to abandon — fails fast with a traceback instead of wedging the
+whole tier-1 run.  ``REPRO_TEST_TIMEOUT`` overrides the default budget
+(seconds; ``0`` disables), and ``@pytest.mark.timeout(seconds)`` adjusts
+a single test.
+"""
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
+
 import pytest
 
+from repro.common import faults
 from repro.core.config import standard_configs
 from repro.kernel.kernel import Kernel
 from repro.kernel.phys import PhysicalMemory
@@ -11,6 +24,48 @@ from repro.kernel.vm_syscalls import MemPolicy
 
 #: A small machine keeps unit tests fast.
 SMALL_PHYS = 256 << 20  # 256 MB
+
+#: Per-test wall-clock budget in seconds (0 disables).
+DEFAULT_TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): override the per-test wall-clock timeout")
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    timeout = DEFAULT_TEST_TIMEOUT
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        timeout = float(marker.args[0])
+    # SIGALRM only works in the main thread of the main interpreter;
+    # elsewhere (or when disabled) run the test unguarded.
+    if (timeout <= 0 or not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        return (yield)
+
+    def _expired(signum, frame):
+        pytest.fail(f"test exceeded its {timeout:.0f}s wall-clock budget",
+                    pytrace=False)
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(autouse=True)
+def _no_fault_leakage():
+    """Keep fault-injector state from leaking between tests."""
+    faults.reset()
+    yield
+    faults.reset()
 
 
 @pytest.fixture

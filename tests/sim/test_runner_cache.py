@@ -52,8 +52,14 @@ class TestDiskCache:
     def test_round_trip(self, serial_metrics, tmp_path):
         first = bench_runner(cache_dir=str(tmp_path)).run_pairs(pairs=PAIRS)
         names = sorted(os.listdir(tmp_path))
-        assert sum(n.startswith("trace-") for n in names) == len(PAIRS)
+        assert sum(n.startswith("trace-") and n.endswith(".npz")
+                   for n in names) == len(PAIRS)
+        # every binary trace carries a checksum sidecar
+        assert sum(n.startswith("trace-") and n.endswith(".sha256")
+                   for n in names) == len(PAIRS)
         assert sum(n.startswith("metrics-") for n in names) == len(PAIRS) * 7
+        # a completed sweep leaves no checkpoint journal behind
+        assert not any(n.startswith("sweep-") for n in names)
         second = bench_runner(cache_dir=str(tmp_path)).run_pairs(pairs=PAIRS)
         for key in first:
             assert second[key].to_dict() == first[key].to_dict()
