@@ -14,6 +14,7 @@ import sys
 
 from repro.experiments import (
     ablations,
+    fault_model,
     figure2,
     figure8,
     figure9,
@@ -36,6 +37,7 @@ ARTIFACTS = {
     "table4": (lambda: table4.main(), False),
     "table5": (lambda: table5.main(), False),
     "ablations": (ablations.main, True),
+    "faults": (fault_model.main, True),
     "virt": (lambda: virt_extension.main(), False),
     "multiplex": (multiplexing.main, True),
     "security": (lambda: security.main(), False),

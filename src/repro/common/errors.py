@@ -37,6 +37,11 @@ class ProtectionFault(ReproError):
             message or f"protection fault: {access!r} access to {va:#x} denied"
         )
 
+    def __reduce__(self):
+        # Exceptions with non-message __init__ args need an explicit recipe
+        # so they survive the process-pool pickle round trip.
+        return (type(self), (self.va, self.access, str(self)))
+
 
 class PageFault(ReproError):
     """An access touched an unmapped virtual address."""
@@ -44,6 +49,34 @@ class PageFault(ReproError):
     def __init__(self, va: int, message: str | None = None):
         self.va = va
         super().__init__(message or f"page fault at {va:#x}")
+
+    def __reduce__(self):
+        return (type(self), (self.va, str(self)))
+
+
+class AccessViolation(ProtectionFault):
+    """A guest access the kernel fault handler refused to service.
+
+    The recoverable-fault path (``repro.hw.fault_queue`` +
+    ``repro.kernel.fault``) raises this instead of a naked
+    :class:`PageFault`/:class:`ProtectionFault`: it carries the full
+    structured :class:`~repro.hw.fault_queue.FaultRecord` (va, access,
+    fault kind, configuration, trace index, coalesce count) so sweep-level
+    containment can quarantine the faulting pair with a useful report.
+    Subclasses :class:`ProtectionFault` so pre-fault-path handlers keep
+    working.
+    """
+
+    def __init__(self, record, message: str | None = None):
+        self.record = record
+        super().__init__(
+            record.va, record.access,
+            message or (f"access violation: {record.access!r} access to "
+                        f"{record.va:#x} ({record.kind}) under "
+                        f"{record.config or 'unknown config'!s} refused"))
+
+    def __reduce__(self):
+        return (AccessViolation, (self.record, str(self)))
 
 
 class ConfigError(ReproError):

@@ -44,6 +44,19 @@ Sites (the complete registry — unknown names are a :class:`ConfigError`):
 ``sweep_abort``
     ``run_pairs`` raises :class:`InjectedFault` after checkpointing a
     pair (exercises kill-mid-sweep resume).
+``page_fault``
+    the IOMMU delivers a synthetic guest fault for one trace access
+    through the recoverable-fault path (``hw/fault_queue.py`` +
+    ``kernel/fault.py``); the kernel services it as spurious, so the
+    trace completes with fault-service stall added.  A *perturbing*
+    site — the stall changes the measured cycles, so the runner
+    discards and re-runs (see ``perturbation_mark``).
+``perm_fault``
+    the IOMMU escalates a synthetic permission violation
+    (:class:`~repro.common.errors.AccessViolation`) for one trace
+    access (exercises sweep-level quarantine: the faulting pair lands
+    in the ResilienceReport instead of poisoning the sweep).  Not
+    perturbing: the pair produces no metrics at all.
 
 When no faults are configured every hook is a single global-flag check,
 so production paths pay nothing.
@@ -69,12 +82,14 @@ KNOWN_SITES = (
     "compile_fail",
     "alloc_oom",
     "sweep_abort",
+    "page_fault",
+    "perm_fault",
 )
 
 #: Sites whose firing changes simulation *results*, not just control flow.
 #: Computations during which one fired are discarded and re-run so
 #: persisted and returned metrics always come from fault-free executions.
-PERTURBING_SITES = frozenset({"alloc_oom"})
+PERTURBING_SITES = frozenset({"alloc_oom", "page_fault"})
 
 
 @dataclass(frozen=True)

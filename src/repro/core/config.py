@@ -161,6 +161,21 @@ def config_with(base: MMUConfig, **overrides) -> MMUConfig:
     return replace(base, **overrides)
 
 
+def demand_faulting_config(base: MMUConfig) -> MMUConfig:
+    """``base`` with eager pre-faulting replaced by true demand faulting.
+
+    The OS backs demand mappings one chunk at a time as the accelerator's
+    major faults arrive through the recoverable fault path
+    (``hw/fault_queue.py`` + ``kernel/fault.py``) — the execution mode
+    whose per-fault cost the paper's Section 4.3 argues accelerators
+    cannot afford, and which the eager policies exist to avoid.  Used by
+    ``experiments/fault_model.py``.
+    """
+    return replace(base, name=f"{base.name}_demand",
+                   label=f"{base.label},demand",
+                   policy=replace(base.policy, demand_faulting=True))
+
+
 def two_level_tlb_config(scale: HardwareScale | None = None) -> MMUConfig:
     """The related-work IOMMU baseline (Cong et al., HPCA'17).
 

@@ -38,11 +38,15 @@ def figure2(runner: ExperimentRunner | None = None,
     configs = runner.configs()
     rows = []
     for workload, dataset in pairs:
-        m4k = runner.run(workload, dataset, configs["conv_4k"])
-        m2m = runner.run(workload, dataset, configs["conv_2m"])
-        rows.append(Figure2Row(workload=workload, graph=dataset,
-                               miss_rate_4k=m4k.tlb_miss_rate,
-                               miss_rate_2m=m2m.tlb_miss_rate))
+        results = runner.run_pair_configs(
+            workload, dataset,
+            {name: configs[name] for name in ("conv_4k", "conv_2m")})
+        if results is None:   # quarantined guest violation; row skipped
+            continue
+        rows.append(Figure2Row(
+            workload=workload, graph=dataset,
+            miss_rate_4k=results["conv_4k"].tlb_miss_rate,
+            miss_rate_2m=results["conv_2m"].tlb_miss_rate))
     return rows
 
 

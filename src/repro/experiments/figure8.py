@@ -41,10 +41,12 @@ def figure8(runner: ExperimentRunner | None = None,
     configs = runner.configs()
     rows = []
     for workload, dataset in pairs:
-        normalized = {}
-        for name in CONFIG_ORDER:
-            metrics = runner.run(workload, dataset, configs[name])
-            normalized[name] = metrics.normalized_time
+        results = runner.run_pair_configs(
+            workload, dataset, {name: configs[name] for name in CONFIG_ORDER})
+        if results is None:   # quarantined guest violation; row skipped
+            continue
+        normalized = {name: results[name].normalized_time
+                      for name in CONFIG_ORDER}
         rows.append(Figure8Row(workload=workload, graph=dataset,
                                normalized=normalized))
     return rows

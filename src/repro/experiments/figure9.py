@@ -38,12 +38,16 @@ def figure9(runner: ExperimentRunner | None = None,
     configs = runner.configs()
     rows = []
     for workload, dataset in pairs:
-        baseline = runner.run(workload, dataset, configs["conv_4k"]).energy_pj
-        normalized = {}
-        for name in CONFIG_ORDER:
-            metrics = runner.run(workload, dataset, configs[name])
-            normalized[name] = (metrics.energy_pj / baseline
-                                if baseline else 0.0)
+        wanted = {name: configs[name]
+                  for name in dict.fromkeys(("conv_4k", *CONFIG_ORDER))}
+        results = runner.run_pair_configs(workload, dataset, wanted)
+        if results is None:   # quarantined guest violation; row skipped
+            continue
+        baseline = results["conv_4k"].energy_pj
+        normalized = {
+            name: (results[name].energy_pj / baseline if baseline else 0.0)
+            for name in CONFIG_ORDER
+        }
         rows.append(Figure9Row(workload=workload, graph=dataset,
                                normalized=normalized))
     return rows

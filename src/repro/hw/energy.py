@@ -23,6 +23,8 @@ DEFAULT_ENERGY_PJ = {
     "tlb_sa_lookup": 4.0,      # set-associative TLB lookup
     "sram_lookup": 2.0,        # PWC / AVC / bitmap-cache access (4-way, 1 KB)
     "dram_access": 150.0,      # one 64 B DRAM access
+    "fault_service": 4000.0,   # one PRI round trip: request + host IRQ +
+    #                            OS handler + response message
 }
 
 

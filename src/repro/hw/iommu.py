@@ -88,6 +88,10 @@ class TimingStats:
     identity_accesses: int = 0
     fallback_accesses: int = 0
     squashed_preloads: int = 0
+    faults: int = 0                  # recoverable guest faults serviced
+    major_faults: int = 0            # serviced by demand page-in
+    swap_faults: int = 0             # serviced by reclaimer swap-in
+    fault_stall_cycles: int = 0      # engine stall across all services
     energy: EnergyAccount = field(default_factory=EnergyAccount)
 
     @property
@@ -105,6 +109,9 @@ class IOMMU:
         self.page_table = page_table
         self.dram = dram
         self.perm_bitmap = perm_bitmap
+        # Recoverable-fault plumbing (attach_fault_path).  Without one the
+        # IOMMU keeps the legacy raise-on-fault behaviour.
+        self.fault_path = None
         mech = config.mech
         self.tlb: TLB | None = None
         self.tlb_l2: TLB | None = None
@@ -127,6 +134,19 @@ class IOMMU:
         if mech == "dvm_bm" and perm_bitmap is None:
             raise ValueError("DVM-BM requires the process's permission bitmap")
 
+    def attach_fault_path(self, fault_path) -> None:
+        """Enable recoverable guest faults via a :class:`FaultPath`.
+
+        With a path attached, the per-mechanism loops stop raising bare
+        :class:`PageFault`/:class:`ProtectionFault` mid-stream: the fault
+        is delivered to the kernel handler, the engine stall is charged
+        to the trace's :class:`TimingStats`, and the access resumes (or a
+        structured :class:`~repro.common.errors.AccessViolation`
+        escapes).  Fault-free traces never hit this machinery, so timing
+        stays bit-identical with or without a path.
+        """
+        self.fault_path = fault_path
+
     # -- context switching -------------------------------------------------------
 
     def switch_context(self, page_table: PageTable,
@@ -141,6 +161,11 @@ class IOMMU:
         refill cheap — measured by ``experiments/multiplexing.py``.
         """
         self.page_table = page_table
+        # The fault path's kernel handler is bound to the previous
+        # process; servicing the new tenant's faults through it would
+        # touch the wrong address space.  Detach — the caller re-attaches
+        # a path for the new process if it wants recoverable faults.
+        self.fault_path = None
         if self.config.mech == "dvm_bm":
             if perm_bitmap is None:
                 raise ValueError("DVM-BM context switches need the new "
@@ -208,7 +233,9 @@ class IOMMU:
                       else list(writes))
         if len(addr_list) != len(write_list):
             raise ValueError("addrs and writes must have equal length")
-        return self._run_scalar(addr_list, write_list)
+        stats = TimingStats()
+        self._maybe_inject_fault(addr_list, write_list, stats)
+        return self._run_scalar(addr_list, write_list, stats)
 
     def run_batch(self, batch) -> TimingStats:
         """Simulate a pre-compressed :class:`~repro.sim.fastpath.PageRunBatch`.
@@ -220,14 +247,23 @@ class IOMMU:
         """
         from repro.sim import fastpath
         stats = TimingStats()
+        self._maybe_inject_fault(batch.addrs, batch.writes, stats)
         if fastpath.run_batch(self, batch, stats):
             self._finalize_energy(stats)
             return stats
-        return self._run_scalar(batch.addrs.tolist(), batch.writes.tolist())
+        return self._run_scalar(batch.addrs.tolist(), batch.writes.tolist(),
+                                stats)
 
-    def _run_scalar(self, addr_list: list, write_list: list) -> TimingStats:
-        """Dispatch to the per-access loops (the ground-truth engine)."""
-        stats = TimingStats()
+    def _run_scalar(self, addr_list: list, write_list: list,
+                    stats: TimingStats | None = None) -> TimingStats:
+        """Dispatch to the per-access loops (the ground-truth engine).
+
+        ``stats`` lets an entry point that already charged fault-injection
+        stall pass its accumulator through; the loops assign (not add) the
+        trace-wide counters, so pre-charged fault fields survive.
+        """
+        if stats is None:
+            stats = TimingStats()
         mech = self.config.mech
         if mech == "ideal":
             self._run_ideal(addr_list, write_list, stats)
@@ -288,9 +324,9 @@ class IOMMU:
                 perm = entry[1]
                 if w:
                     if perm != 2:
-                        raise ProtectionFault(va, "w")
+                        self._tlb_hit_fault(va, w, stats, vpn, tshift)
                 elif not perm:
-                    raise ProtectionFault(va, "r")
+                    self._tlb_hit_fault(va, w, stats, vpn, tshift)
                 continue
             if tlb_l2 is not None:
                 # Second-level probe: one exposed SRAM cycle; a hit refills
@@ -311,14 +347,14 @@ class IOMMU:
                     perm = entry[1]
                     if w:
                         if perm != 2:
-                            raise ProtectionFault(va, "w")
+                            self._tlb_hit_fault(va, w, stats, vpn, tshift)
                     elif not perm:
-                        raise ProtectionFault(va, "r")
+                        self._tlb_hit_fault(va, w, stats, vpn, tshift)
                     continue
             page = va >> 12
             info = memo.get(page) or info_for(page)
             if not info[0]:
-                raise PageFault(va)
+                info = self._page_fault(va, w, stats)
             fixed = info[5]
             mem = fixed
             blocks = info[4]
@@ -343,9 +379,11 @@ class IOMMU:
             perm = info[1]
             if w:
                 if perm != 2:
-                    raise ProtectionFault(va, "w")
+                    info = self._perm_fault(va, w, stats)
+                    perm = info[1]
             elif not perm:
-                raise ProtectionFault(va, "r")
+                info = self._perm_fault(va, w, stats)
+                perm = info[1]
             if len(tlb_set) >= tways:
                 for lru in tlb_set:
                     break
@@ -434,7 +472,7 @@ class IOMMU:
                 perm = int(perm)
                 if w:
                     if perm != 2:
-                        raise ProtectionFault(va, "w")
+                        self._perm_fault(va, w, stats)
                 continue
             # Not identity mapped: conventional translation fallback.
             tlb_lookups += 1
@@ -447,14 +485,14 @@ class IOMMU:
                 perm = entry[1]
                 if w:
                     if perm != 2:
-                        raise ProtectionFault(va, "w")
+                        self._tlb_hit_fault(va, w, stats, vpn, tshift)
                 elif not perm:
-                    raise ProtectionFault(va, "r")
+                    self._tlb_hit_fault(va, w, stats, vpn, tshift)
                 continue
             tlb_misses += 1
             info = memo.get(page) or info_for(page)
             if not info[0]:
-                raise PageFault(va)
+                info = self._page_fault(va, w, stats)
             mem = info[5]
             blocks = info[4]
             sram = len(blocks)
@@ -477,9 +515,11 @@ class IOMMU:
             perm = info[1]
             if w:
                 if perm != 2:
-                    raise ProtectionFault(va, "w")
+                    info = self._perm_fault(va, w, stats)
+                    perm = info[1]
             elif not perm:
-                raise ProtectionFault(va, "r")
+                info = self._perm_fault(va, w, stats)
+                perm = info[1]
             if len(tlb_set) >= tways:
                 for lru in tlb_set:
                     break
@@ -528,13 +568,13 @@ class IOMMU:
             page = va >> 12
             info = memo.get(page) or info_for(page)
             if not info[0]:
-                raise PageFault(va)
+                info = self._page_fault(va, w, stats)
             perm = info[1]
             if w:
                 if perm != 2:
-                    raise ProtectionFault(va, "w")
+                    info = self._perm_fault(va, w, stats)
             elif not perm:
-                raise ProtectionFault(va, "r")
+                info = self._perm_fault(va, w, stats)
             mem = info[5]
             blocks = info[4]
             sram = len(blocks)
@@ -585,6 +625,97 @@ class IOMMU:
         stats.fallback_accesses = n - identity
         stats.squashed_preloads = squashes
 
+    # -- recoverable faults (cold paths) ---------------------------------------
+
+    def _page_fault(self, va: int, w: int, stats: TimingStats):
+        """Cold path: an access touched an unmapped page.
+
+        Legacy raise without a fault path; otherwise the fault is
+        delivered, serviced and the fresh post-service WalkInfo returned
+        so the access resumes.
+        """
+        if self.fault_path is None:
+            raise PageFault(va)
+        return self._deliver_fault(va, "w" if w else "r", stats)
+
+    def _perm_fault(self, va: int, w: int, stats: TimingStats):
+        """Cold path: an access was denied by the permission check."""
+        if self.fault_path is None:
+            raise ProtectionFault(va, "w" if w else "r")
+        return self._deliver_fault(va, "w" if w else "r", stats)
+
+    def _tlb_hit_fault(self, va: int, w: int, stats: TimingStats,
+                       vpn: int, tshift: int) -> None:
+        """Cold path: permission fault on a TLB hit.
+
+        After a successful service the stale entries (popped by
+        :meth:`_deliver_fault`) are refilled from the fresh walk, so
+        later accesses see the corrected permission.
+        """
+        info = self._perm_fault(va, w, stats)
+        filled = (info[2] - ((va & ~0xFFF) - (vpn << tshift)), info[1])
+        for tlb in (self.tlb, self.tlb_l2):
+            if tlb is not None:
+                tlb._sets[vpn % tlb.num_sets][vpn] = filled
+
+    def _deliver_fault(self, va: int, access: str, stats: TimingStats):
+        """Deliver one guest fault through the fault path.
+
+        Charges the engine stall, drops the page's stale cached state
+        (TLB entries, walker memo) and re-walks authoritatively.  Raises
+        :class:`~repro.common.errors.AccessViolation` — from the handler,
+        or here if the fault persists after service — otherwise returns
+        the fresh WalkInfo.
+        """
+        path = self.fault_path
+        kind, stall = path.deliver(va, access)
+        stats.faults += 1
+        if kind == "major":
+            stats.major_faults += 1
+        elif kind == "swap":
+            stats.swap_faults += 1
+        stats.fault_stall_cycles += stall
+        for tlb in (self.tlb, self.tlb_l2):
+            if tlb is not None:
+                vpn = va >> tlb.page_shift
+                tlb._sets[vpn % tlb.num_sets].pop(vpn, None)
+        walker = self.walker
+        if walker is None:
+            return None
+        walker._memo.pop(va >> 12, None)
+        info = walker.info_for(va >> 12)
+        perm = info[1]
+        if not info[0] or (perm != 2 if access == "w" else not perm):
+            path.escalate(va, access,
+                          reason=f"fault persists after {kind} service")
+        return info
+
+    def _maybe_inject_fault(self, addrs, writes, stats: TimingStats) -> None:
+        """Chaos hook: synthesize one guest fault for this trace.
+
+        ``page_fault`` delivers a spurious-serviceable fault for the
+        middle access (the stall perturbs timing — the runner's barrier
+        discards and re-runs); ``perm_fault`` escalates an injected
+        violation (the pair is quarantined).  Only fires on IOMMUs with a
+        fault path — raw IOMMUs keep chaos-free legacy semantics.
+        """
+        from repro.common import faults
+        if self.fault_path is None or not faults.active():
+            return
+        if self.config.mech == "ideal":
+            return      # no translation, no protection — nothing to fault
+        n = len(addrs)
+        if not n:
+            return
+        i = n // 2
+        va, w = int(addrs[i]), int(writes[i])
+        if faults.should_fire("page_fault"):
+            self._deliver_fault(va, "w" if w else "r", stats)
+        if faults.should_fire("perm_fault"):
+            self.fault_path.escalate(
+                va, "w" if w else "r", kind="injected", index=i,
+                reason="injected permission violation")
+
     # -- helpers -----------------------------------------------------------------
 
     def _finalize_energy(self, stats: TimingStats) -> None:
@@ -612,3 +743,5 @@ class IOMMU:
                + stats.squashed_preloads)
         if mem:
             energy.add("dram_access", mem)
+        if stats.faults:
+            energy.add("fault_service", stats.faults)

@@ -1,0 +1,77 @@
+"""Kernel-side guest fault handler (the OS half of the PRI round trip).
+
+The IOMMU's :class:`~repro.hw.fault_queue.FaultPath` delivers recoverable
+guest faults here.  The handler classifies each fault with a fresh
+page-table walk (the hardware walker's memo deliberately drops the
+``swapped`` flag, so only an authoritative walk can tell a swapped page
+from an unmapped one) and services it:
+
+* **major** — an unmapped page inside a demand allocation: back the
+  containing policy-size chunk via
+  :meth:`~repro.kernel.vm_syscalls.VMM.populate_for_fault` (only reached
+  with ``MemPolicy(demand_faulting=True)``; eager policies never leave
+  such holes).
+* **swap** — a page the reclaimer swapped out: bring it back through
+  :meth:`~repro.kernel.reclaim.Reclaimer.swap_in`, mirroring the CPU-side
+  path in :meth:`repro.kernel.process.Process.access`.
+* **spurious** — the page is mapped with sufficient permission by the
+  time the walk runs (e.g. a chaos-injected fault, or a fault raced by a
+  coalesced service): nothing to do, the access retries.
+* **violation** — anything else (permission denied, no backing
+  allocation, swapped page but no reclaimer): the handler returns
+  ``None`` and the fault path escalates to a structured
+  :class:`~repro.common.errors.AccessViolation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.perms import allows
+
+
+@dataclass
+class FaultHandlerStats:
+    """Counters for one fault handler's lifetime."""
+
+    major: int = 0        # demand page-ins
+    swap: int = 0         # swap-ins via the reclaimer
+    spurious: int = 0     # already serviceable on arrival
+    violations: int = 0   # refused (escalated by the fault path)
+
+
+@dataclass
+class FaultHandler:
+    """Services guest faults for one process; see the module docstring."""
+
+    kernel: object
+    process: object
+    stats: FaultHandlerStats = field(default_factory=FaultHandlerStats)
+
+    def service(self, va: int, access: str) -> str | None:
+        """Service one fault; returns its kind, or None for a violation."""
+        result = self.process.page_table.walk(va)
+        if result.ok:
+            if allows(result.perm, access):
+                self.stats.spurious += 1
+                return "spurious"
+            self.stats.violations += 1
+            return None
+        if result.swapped:
+            reclaimer = getattr(self.kernel, "reclaimer", None)
+            if reclaimer is not None:
+                reclaimer.swap_in(self.process, va)
+                if allows(result.perm, access):
+                    self.stats.swap += 1
+                    return "swap"
+            self.stats.violations += 1
+            return None
+        if self.process.vmm.populate_for_fault(va):
+            # Re-walk: the chunk is mapped now, but the access must still
+            # be permitted by the VMA's protection.
+            fresh = self.process.page_table.walk(va)
+            if fresh.ok and allows(fresh.perm, access):
+                self.stats.major += 1
+                return "major"
+        self.stats.violations += 1
+        return None

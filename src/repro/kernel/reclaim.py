@@ -73,6 +73,11 @@ class Reclaimer:
                 perm=perm, was_identity=was_identity)
             self.kernel.phys.free_frame(old_pa)
             freed += PAGE_SIZE
+        if process.vmm.perm_bitmap is not None:
+            # DVM-BM validates identity accesses against the flat bitmap
+            # alone; a stale grant here would let the IOMMU sail past a
+            # swapped-out page without faulting.
+            process.vmm.perm_bitmap.clear_range(alloc.va, alloc.size)
         self._demote_bookkeeping(process, alloc)
         self.stats.pages_swapped_out += len(pages)
         self.stats.bytes_reclaimed += freed
@@ -171,9 +176,10 @@ class Reclaimer:
         # Migrate (data copy not modelled): drop the old mapping, re-install
         # the identity range with PEs, release the scattered frames.
         table.unmap_range(alloc.va, alloc.size)
-        table.map_identity_range(
-            alloc.va, alloc.size,
-            perm if perm is not None else Perm.READ_WRITE)
+        restored = perm if perm is not None else Perm.READ_WRITE
+        table.map_identity_range(alloc.va, alloc.size, restored)
+        if process.vmm.perm_bitmap is not None:
+            process.vmm.perm_bitmap.set_range(alloc.va, alloc.size, restored)
         for frame in to_free:
             phys.free_frame(frame)
         self._promote_bookkeeping(process, alloc)

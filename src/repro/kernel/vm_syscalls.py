@@ -19,6 +19,12 @@ measures steady-state MMU behaviour, as the paper's gem5 runs do.  Frames
 for a demand mapping are allocated per page-size chunk, so PA != VA and
 physical contiguity matches the page size — exactly what a first-touch
 allocator converges to.
+
+With ``MemPolicy(demand_faulting=True)`` the eager pre-fault is disabled:
+mmap only reserves the VMA, and frames are allocated one policy-size chunk
+at a time by :meth:`VMM.populate_for_fault` when the kernel fault handler
+(:mod:`repro.kernel.fault`) services a major fault.  This makes the cost
+DVM's eager identity mapping avoids (paper Section 4.3) measurable.
 """
 
 from __future__ import annotations
@@ -54,6 +60,7 @@ class MemPolicy:
     page_size: int = PAGE_SIZE      # demand-paging page size (THP-style)
     use_pes: bool = True            # install Permission Entries (dvm mode)
     pe_format: str = "pe16"         # "pe16" | "spare_bits" (Section 4.1.1)
+    demand_faulting: bool = False   # lazy backing: populate on major fault
 
     def __post_init__(self):
         if self.mode not in ("conventional", "dvm", "dvm_bitmap"):
@@ -96,6 +103,7 @@ class VMMStats:
     demand_allocs: int = 0
     identity_bytes: int = 0
     demand_bytes: int = 0
+    faulted_chunks: int = 0         # chunks populated by the fault handler
 
     @property
     def total_bytes(self) -> int:
@@ -169,6 +177,44 @@ class VMM:
         """Live allocations, ordered by VA."""
         return [self._allocations[va] for va in sorted(self._allocations)]
 
+    def allocation_at(self, va: int) -> Allocation | None:
+        """The live allocation containing ``va``, if any."""
+        for alloc in self._allocations.values():
+            if alloc.va <= va < alloc.va + alloc.size:
+                return alloc
+        return None
+
+    def populate_for_fault(self, va: int) -> bool:
+        """Back the policy-size chunk containing ``va`` (major fault).
+
+        Returns True when a chunk was allocated and mapped, False when
+        ``va`` has no demand allocation to back (a true violation — the
+        fault handler escalates).  Chunk boundaries match the eager
+        :meth:`_populate` walk: demand VMAs are reserved aligned to the
+        policy page size, so every chunk is a whole, naturally aligned
+        (analog) huge page and a fault maps all of it at once.
+        """
+        alloc = self.allocation_at(va)
+        if alloc is None or alloc.identity:
+            return False
+        page_size = self.policy.page_size
+        chunk_start = max(va & ~(page_size - 1), alloc.va)
+        chunk = min(page_size, alloc.va + alloc.size - chunk_start)
+        if not is_aligned(chunk_start, page_size) or chunk < page_size:
+            chunk = PAGE_SIZE
+            chunk_start = va & ~(PAGE_SIZE - 1)
+        pa = self.phys.alloc_contiguous(chunk)
+        perm = alloc.vma.perm
+        if chunk >= SIZE_2M:
+            self.page_table.map_range_best_effort(
+                chunk_start, pa, chunk, perm, preferred_page_size=SIZE_2M)
+        else:
+            self.page_table.map_range(chunk_start, pa, chunk, perm,
+                                      page_size=PAGE_SIZE)
+        alloc.phys_chunks.append((pa, chunk))
+        self.stats.faulted_chunks += 1
+        return True
+
     # -- internals ---------------------------------------------------------------
 
     def _register(self, alloc: Allocation) -> None:
@@ -189,6 +235,10 @@ class VMM:
         vma = self.aspace.reserve_anywhere(
             usable, perm, kind=kind, name=name,
             alignment=max(self.policy.page_size, alignment or 0))
+        if self.policy.demand_faulting:
+            # Lazy backing: frames arrive chunk-by-chunk when the fault
+            # handler calls populate_for_fault on first touch.
+            return Allocation(vma=vma, phys_chunks=[], identity=False)
         try:
             chunks = self._populate(vma, perm)
         except OutOfMemoryError:

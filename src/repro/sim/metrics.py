@@ -4,12 +4,13 @@ The timing model (DESIGN.md "Key design decisions") composes the IOMMU's
 stall aggregates into execution cycles::
 
     ideal  = N * issue + N * data_latency / MLP
-    cycles = ideal + mem_stall + sram_stall / MLP
+    cycles = ideal + mem_stall + sram_stall / MLP + fault_stall
 
 where ``MLP`` is the accelerator's memory-level parallelism (eight
 processing engines, Table 2): demand data accesses and SRAM validation
 cycles overlap across engines, while the walker's memory accesses serialize
-behind its single state machine.  Because every configuration consumes the
+behind its single state machine.  ``fault_stall`` is the fully serialized
+PRI fault-service time (``hw/fault_queue.py``) — zero on fault-free runs.  Because every configuration consumes the
 identical trace, ``cycles / ideal`` isolates the MMU exactly as the paper's
 Figure 8 normalization does.
 """
@@ -45,6 +46,10 @@ class Metrics:
     squashed_preloads: int
     heap_bytes: int = 0
     page_table_bytes: int = 0
+    # Recoverable guest faults (defaults keep pre-fault-model cached
+    # records loadable through from_dict).
+    faults: int = 0
+    fault_stall_cycles: int = 0
 
     @property
     def normalized_time(self) -> float:
@@ -72,7 +77,8 @@ def execution_cycles(timing: TimingStats, dram: DRAMModel,
     n = timing.accesses
     ideal = n * ISSUE_CYCLES + n * dram.data_latency / mlp
     cycles = (ideal + timing.mem_stall_cycles
-              + timing.sram_stall_cycles / mlp)
+              + timing.sram_stall_cycles / mlp
+              + timing.fault_stall_cycles)
     return cycles, ideal
 
 
@@ -96,4 +102,6 @@ def metrics_from(timing: TimingStats, dram: DRAMModel, *, config: str,
         squashed_preloads=timing.squashed_preloads,
         heap_bytes=heap_bytes,
         page_table_bytes=page_table_bytes,
+        faults=timing.faults,
+        fault_stall_cycles=timing.fault_stall_cycles,
     )

@@ -171,10 +171,15 @@ class ResilienceReport:
     #                                  attempts ran out (breaks the
     #                                  bit-identical guarantee; reported
     #                                  loudly, never silent)
+    guest_violations: int = 0        # pairs quarantined on AccessViolation
+    interrupts: int = 0              # KeyboardInterrupt graceful shutdowns
+    #: Structured per-pair violation details (workload, dataset, config,
+    #: va, access, kind, trace index, message) for quarantined pairs.
+    violations: list = field(default_factory=list)
 
     def events(self) -> int:
         """Total resilience actions taken (0 == nothing went wrong)."""
-        return sum(asdict(self).values())
+        return sum(v for v in asdict(self).values() if isinstance(v, int))
 
     def to_dict(self) -> dict:
         """JSON-friendly form, including injected-fault counters."""
@@ -186,12 +191,18 @@ class ResilienceReport:
 
     def render(self) -> str:
         """One-paragraph human summary for the figure entry points."""
-        fields = [(k, v) for k, v in asdict(self).items() if v]
+        fields = [(k, v) for k, v in asdict(self).items()
+                  if v and isinstance(v, int)]
         lines = ["Resilience report:"]
-        if not fields:
+        if not fields and not self.violations:
             lines.append("  clean run (no faults, retries, or repairs)")
         for key, value in fields:
             lines.append(f"  {key.replace('_', ' ')}: {value}")
+        for detail in self.violations:
+            lines.append(
+                f"  quarantined {detail.get('workload')}/"
+                f"{detail.get('dataset')} [{detail.get('config')}]: "
+                f"{detail.get('message')}")
         inj = faults.injector()
         if inj is not None:
             fired = inj.fire_counts()

@@ -51,8 +51,9 @@ from repro.accel.algorithms import prop_bytes_for, run_workload
 from repro.accel.graphicionado import ExecutionResult
 from repro.accel.trace import SymbolicTrace
 from repro.common import faults, integrity
-from repro.common.errors import (CacheIntegrityError, ConfigError,
-                                 TransientError, WorkerCrashError)
+from repro.common.errors import (CacheIntegrityError, ConfigError, PageFault,
+                                 ProtectionFault, TransientError,
+                                 WorkerCrashError)
 from repro.core.config import HardwareScale, MMUConfig, standard_configs
 from repro.graphs import datasets
 from repro.sim.metrics import Metrics
@@ -276,6 +277,24 @@ class ExperimentRunner:
                                         METRICS_KIND)
         return metrics
 
+    def run_pair_configs(self, workload: str, dataset: str,
+                         configs: dict[str, MMUConfig]
+                         ) -> dict[str, Metrics] | None:
+        """Run one pair under several configurations, or quarantine it.
+
+        The serial figure entry points use this instead of bare
+        :meth:`run` loops so a guest access violation quarantines the
+        pair into the resilience report (exactly as ``run_pairs`` does)
+        rather than aborting the whole figure.  Returns ``None`` for a
+        quarantined pair.
+        """
+        try:
+            return {name: self.run(workload, dataset, config)
+                    for name, config in configs.items()}
+        except (PageFault, ProtectionFault) as exc:
+            self._quarantine_pair((workload, dataset), exc)
+            return None
+
     def _compute_metrics(self, workload: str, dataset: str,
                          config: MMUConfig) -> Metrics:
         """One timing simulation, shielded from injected perturbation.
@@ -351,6 +370,14 @@ class ExperimentRunner:
         ``resume=False`` disables the journal.  However executed, the
         merge iterates the pair list in order, so the returned dict is
         bit-identical to a fault-free serial run.
+
+        A pair whose guest faults unrecoverably (a structured
+        :class:`~repro.common.errors.AccessViolation`, or a legacy
+        ``PageFault``/``ProtectionFault`` raise) is quarantined: its
+        violation is recorded in :attr:`resilience` and the pair is
+        excluded from the merged result — no bare exception escapes.  A
+        ``KeyboardInterrupt`` shuts worker pools down cleanly (workers
+        terminated, journal already flushed) so the sweep resumes.
         """
         raw = pairs if pairs is not None else datasets.WORKLOAD_PAIRS
         pairs = list(dict.fromkeys(tuple(p) for p in raw))
@@ -384,15 +411,31 @@ class ExperimentRunner:
             faults.maybe_raise("sweep_abort")
 
         pending = [pair for pair in pairs if pair not in completed]
-        if workers > 1 and len(pending) > 1:
-            self._run_pairs_parallel(pending, names, workers, finish_pair)
-        else:
-            for pair in pending:
-                finish_pair(pair, self._run_pair_resilient(pair, configs))
+        try:
+            if workers > 1 and len(pending) > 1:
+                self._run_pairs_parallel(pending, names, workers, finish_pair)
+            else:
+                for pair in pending:
+                    try:
+                        finish_pair(pair,
+                                    self._run_pair_resilient(pair, configs))
+                    except (PageFault, ProtectionFault) as exc:
+                        self._quarantine_pair(pair, exc)
+        except KeyboardInterrupt:
+            # Graceful shutdown: every completed pair is already journaled
+            # (finish_pair records atomically), so re-running this sweep
+            # resumes from the checkpoint instead of starting over.
+            self.resilience.interrupts += 1
+            raise
 
         out: dict[tuple[str, str, str], Metrics] = {}
         for workload, dataset in pairs:
-            for name, payload in completed[(workload, dataset)]:
+            entries = completed.get((workload, dataset))
+            if entries is None:
+                # Quarantined pair (guest access violation): reported in
+                # the ResilienceReport, excluded from the merged result.
+                continue
+            for name, payload in entries:
                 metrics = Metrics.from_dict(payload)
                 out[(workload, dataset, name)] = metrics
                 self._metrics[(workload, dataset,
@@ -400,6 +443,27 @@ class ExperimentRunner:
         if ckpt is not None:
             ckpt.complete()
         return out
+
+    def _quarantine_pair(self, pair: tuple, exc) -> None:
+        """Contain a pair whose guest faulted unrecoverably.
+
+        An :class:`~repro.common.errors.AccessViolation` (or legacy
+        ``PageFault``/``ProtectionFault``) is deterministic — retrying
+        cannot help — so the pair is excluded from the merged result and
+        reported with full structured context instead of poisoning the
+        sweep.
+        """
+        workload, dataset = pair
+        record = getattr(exc, "record", None)
+        self.resilience.guest_violations += 1
+        self.resilience.violations.append(dict(
+            workload=workload, dataset=dataset,
+            config=getattr(record, "config", None),
+            va=getattr(exc, "va", None),
+            access=getattr(exc, "access", None),
+            kind=getattr(record, "kind", None),
+            index=getattr(record, "index", None),
+            message=str(exc)))
 
     def _run_pair_serial(self, pair: tuple, configs: dict) -> list:
         """One pair's configurations, in-process; returns journal entries."""
@@ -475,7 +539,10 @@ class ExperimentRunner:
         selected = {name: configs[name] for name in names}
         for pair in remaining:
             self.resilience.serial_degradations += 1
-            finish_pair(pair, self._run_pair_resilient(pair, selected))
+            try:
+                finish_pair(pair, self._run_pair_resilient(pair, selected))
+            except (PageFault, ProtectionFault) as exc:
+                self._quarantine_pair(pair, exc)
 
     def _pool_tier(self, pairs, names, workers, finish_pair
                    ) -> tuple[list, bool]:
@@ -521,6 +588,12 @@ class ExperimentRunner:
                     self.resilience.pair_timeouts += 1
                     hung = True
                     continue
+                except (PageFault, ProtectionFault) as exc:
+                    # Deterministic guest violation: quarantine the pair —
+                    # no retry, and no later tier (drop it from attempts).
+                    del futures[pair]
+                    del attempts[pair]
+                    self._quarantine_pair(pair, exc)
                 except TransientError:
                     del futures[pair]
                     self.resilience.worker_crashes += 1
@@ -544,6 +617,18 @@ class ExperimentRunner:
             return list(attempts), False
         except BrokenProcessPool:
             return list(attempts), True
+        except KeyboardInterrupt:
+            # Graceful shutdown: in-flight workers cannot finish useful
+            # work for an abandoned sweep, so terminate them outright
+            # rather than waiting (or leaking them past interpreter
+            # exit); queued futures are cancelled by the shutdown below.
+            hung = True
+            for proc in getattr(pool, "_processes", None) or {}:
+                try:
+                    pool._processes[proc].terminate()
+                except (KeyError, ProcessLookupError):
+                    pass
+            raise
         finally:
             pool.shutdown(wait=not hung, cancel_futures=True)
 

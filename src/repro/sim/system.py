@@ -17,8 +17,12 @@ from repro.core.config import MMUConfig
 from repro.graphs.csr import CSRGraph
 from repro.hw.bitmap import PermissionBitmap
 from repro.hw.dram import DRAMModel
+from repro.hw.fault_queue import (DEFAULT_CAPACITY, DEFAULT_SERVICE_CYCLES,
+                                  FaultPath, FaultQueue)
 from repro.hw.iommu import IOMMU, TimingStats
+from repro.kernel.fault import FaultHandler
 from repro.kernel.kernel import Kernel
+from repro.kernel.reclaim import Reclaimer
 from repro.sim.metrics import DEFAULT_MLP, Metrics, metrics_from
 
 #: Default physical memory for accelerator experiments.  The paper's box
@@ -35,6 +39,10 @@ class SystemParams:
     data_latency: int = 100
     walk_latency: int = 70
     seed: int = 0
+    # Recoverable guest faults (hw/fault_queue.py): queue depth and the
+    # OS-handler leg of the PRI round trip.
+    fault_queue_capacity: int = DEFAULT_CAPACITY
+    fault_service_cycles: int = DEFAULT_SERVICE_CYCLES
 
 
 class HeterogeneousSystem:
@@ -60,6 +68,12 @@ class HeterogeneousSystem:
                               walk_latency=self.params.walk_latency)
         self.iommu = IOMMU(config, self.process.page_table, self.dram,
                            perm_bitmap=self.perm_bitmap)
+        self.fault_queue = FaultQueue(
+            capacity=self.params.fault_queue_capacity,
+            service_cycles=self.params.fault_service_cycles)
+        self.fault_handler = FaultHandler(self.kernel, self.process)
+        self.iommu.attach_fault_path(FaultPath(
+            self.fault_queue, self.fault_handler, config=config.name))
         self.layout: GraphLayout | None = None
 
     # -- workload placement ------------------------------------------------------
@@ -71,6 +85,35 @@ class HeterogeneousSystem:
         if self.iommu.walker is not None:
             self.iommu.walker.invalidate()
         return self.layout
+
+    # -- memory pressure ---------------------------------------------------------
+
+    def apply_reclaim_pressure(self, fraction: float) -> int:
+        """Swap out ``fraction`` of the process's mapped heap bytes.
+
+        Installs the kernel's :class:`~repro.kernel.reclaim.Reclaimer` if
+        absent, reclaims identity allocations largest-first, and performs
+        the IOTLB shootdown the OS would issue (TLBs, walker memo, walk
+        and bitmap caches).  Subsequent accelerator accesses to the
+        swapped pages fault and are serviced through the recoverable
+        fault path — the experiment behind the paper's Section 4.3
+        argument.  Returns the bytes actually reclaimed.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if self.kernel.reclaimer is None:
+            self.kernel.reclaimer = Reclaimer(self.kernel)
+        target = int(self.process.vmm.stats.total_bytes * fraction)
+        freed = self.kernel.reclaimer.reclaim(self.process, target)
+        for tlb in (self.iommu.tlb, self.iommu.tlb_l2):
+            if tlb is not None:
+                tlb.invalidate_all()
+        if self.iommu.walker is not None:
+            self.iommu.walker.invalidate()
+            self.iommu.walker.cache.invalidate_all()
+        if self.perm_bitmap is not None:
+            self.perm_bitmap.cache.invalidate_all()
+        return freed
 
     # -- simulation -------------------------------------------------------------
 

@@ -1,0 +1,109 @@
+"""Guest-fault chaos: injected page faults perturb without corrupting,
+injected permission violations quarantine without crashing the sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import faults
+from repro.core.config import HardwareScale
+from repro.sim.resilience import RetryPolicy
+from repro.sim.runner import ExperimentRunner
+
+PAIRS = [("bfs", "FR"), ("pagerank", "FR"), ("sssp", "FR")]
+
+FAST_RETRY = RetryPolicy(base_delay=0.0, max_delay=0.0)
+
+
+def bench_runner(**kw):
+    kw.setdefault("retry", FAST_RETRY)
+    return ExperimentRunner(profile="bench", scale=HardwareScale.bench(),
+                            **kw)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """Fault-free serial reference for the bit-identical comparisons."""
+    faults.reset()
+    out = ExperimentRunner(profile="bench",
+                           scale=HardwareScale.bench()).run_pairs(pairs=PAIRS)
+    return {key: m.to_dict() for key, m in out.items()}
+
+
+def assert_identical(out, baseline):
+    assert list(out) == list(baseline)
+    for key in baseline:
+        assert out[key].to_dict() == baseline[key], key
+
+
+class TestInjectedPageFaults:
+    """page_fault is perturbing: serviced faults change timing, so the
+    harness discards and re-runs until a fault-free computation lands."""
+
+    def test_serial_sweep_bit_identical(self, baseline):
+        faults.configure("page_fault:1.0:3", seed=0)
+        runner = bench_runner()
+        out = runner.run_pairs(pairs=PAIRS)
+        assert_identical(out, baseline)
+        assert runner.resilience.perturbed_reruns >= 1
+        assert runner.resilience.perturbed_accepted == 0
+        assert faults.injector().fire_counts().get("page_fault", 0) > 0
+
+    def test_parallel_sweep_bit_identical(self, baseline):
+        faults.configure("page_fault:0.05:6", seed=1)
+        runner = bench_runner()
+        out = runner.run_pairs(pairs=PAIRS, workers=2)
+        assert_identical(out, baseline)
+        assert runner.resilience.guest_violations == 0
+
+
+class TestInjectedViolations:
+    """perm_fault escalates a structured AccessViolation mid-trace; the
+    runner must quarantine the pair, never leak the exception."""
+
+    def test_serial_quarantine_contains_the_pair(self, baseline):
+        faults.configure("perm_fault:1.0:1", seed=0)
+        runner = bench_runner()
+        out = runner.run_pairs(pairs=PAIRS)  # must not raise
+        report = runner.resilience
+        assert report.guest_violations == 1
+        # A quarantined pair drops every per-config entry it would have
+        # produced; the surviving entries stay bit-identical.
+        per_pair = len(baseline) // len(PAIRS)
+        assert len(out) == len(baseline) - per_pair
+        for key, metrics in out.items():
+            assert metrics.to_dict() == baseline[key], key
+        detail = report.violations[0]
+        assert (detail["workload"], detail["dataset"]) not in \
+            {(k[0], k[1]) for k in out}
+        assert detail["kind"] == "injected"
+        assert "violation" in detail["message"]
+
+    def test_parallel_quarantine_contains_every_pair(self):
+        # Per-pair fault scoping means each pair attempt fires once:
+        # every pair quarantines, the sweep still completes cleanly.
+        faults.configure("perm_fault:1.0:1", seed=0)
+        runner = bench_runner()
+        out = runner.run_pairs(pairs=PAIRS, workers=2)  # must not raise
+        assert runner.resilience.guest_violations == len(PAIRS)
+        assert out == {}
+
+    def test_figure_entry_point_quarantines_and_renders(self):
+        # The serial figure path must skip a violating pair's row, not
+        # abort the figure.
+        from repro.experiments import figure8
+        faults.configure("perm_fault:1.0:1", seed=0)
+        runner = bench_runner()
+        rows = figure8.figure8(runner, pairs=PAIRS)  # must not raise
+        assert len(rows) == len(PAIRS) - 1
+        assert runner.resilience.guest_violations == 1
+        assert "quarantined" in runner.resilience.render()
+        figure8.render(rows)  # remaining rows still render
+
+    def test_report_renders_quarantined_pairs(self):
+        faults.configure("perm_fault:1.0:1", seed=0)
+        runner = bench_runner()
+        runner.run_pairs(pairs=PAIRS)
+        text = runner.resilience.render()
+        assert "quarantined" in text
+        assert "guest violations: 1" in text
