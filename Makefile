@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench bench-figures lint experiments examples clean
+.PHONY: install test chaos bench bench-smoke bench-figures lint experiments examples clean
 
 # Seed matrix for the chaos battery (comma-separated injector seeds).
 REPRO_CHAOS_SEEDS ?= 0,1,2,3
@@ -25,6 +25,12 @@ chaos:
 # recorded in BENCH_timing.json at the repo root.
 bench:
 	$(PYTHON) benchmarks/perf_timing.py
+
+# Perf smoke: time the first full-profile pair under both engines and
+# fail if the fastpath speedup regresses >30% against BENCH_timing.json.
+bench-smoke:
+	$(PYTHON) benchmarks/perf_timing.py --pairs 1 \
+		--check BENCH_timing.json --output build/bench_smoke.json
 
 bench-figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -16,6 +16,13 @@ Usage::
     python benchmarks/perf_timing.py               # full profile (~minutes)
     python benchmarks/perf_timing.py --quick       # bench profile smoke
     python benchmarks/perf_timing.py --pairs 4     # first N pairs only
+
+``--check [BASELINE]`` turns a run into a perf smoke test: each timed
+pair's fastpath speedup is compared against the matching pair in the
+baseline report (default ``BENCH_timing.json``) and the run fails when
+any speedup regresses more than ``--tolerance`` (default 30%).  The
+speedup is a same-machine scalar/fast ratio, so it transfers across
+hosts far better than absolute wall times do.
 """
 
 from __future__ import annotations
@@ -44,6 +51,34 @@ def time_pair(workload: str, dataset: str, profile: str, engine: str):
     wall = time.perf_counter() - start
     accesses = runner.prepare(workload, dataset).trace_length
     return wall, accesses, metrics
+
+
+def check_regression(report: dict, baseline: dict,
+                     tolerance: float) -> list[str]:
+    """Per-pair fastpath speedup vs a baseline report; returns failures.
+
+    A pair fails when its current speedup is more than ``tolerance``
+    (fractional) below the baseline's recorded speedup for the same
+    (workload, dataset).  Pairs absent from the baseline are skipped, so
+    a ``--pairs N`` smoke run checks only what it timed.
+    """
+    if baseline.get("profile") != report.get("profile"):
+        print(f"note: baseline profile {baseline.get('profile')!r} != "
+              f"current {report.get('profile')!r}; speedups compared anyway")
+    base_rows = {(r["workload"], r["dataset"]): r
+                 for r in baseline.get("pairs", [])}
+    failures = []
+    for row in report["pairs"]:
+        base = base_rows.get((row["workload"], row["dataset"]))
+        if base is None or not base.get("speedup") or not row.get("speedup"):
+            continue
+        floor = base["speedup"] * (1.0 - tolerance)
+        if row["speedup"] < floor:
+            failures.append(
+                f"{row['workload']}:{row['dataset']} speedup "
+                f"{row['speedup']:.2f}x < floor {floor:.2f}x "
+                f"(baseline {base['speedup']:.2f}x - {tolerance:.0%})")
+    return failures
 
 
 def bench(profile: str, pairs, output: pathlib.Path) -> dict:
@@ -86,6 +121,7 @@ def bench(profile: str, pairs, output: pathlib.Path) -> dict:
         },
         "native_kernel": _native.available(),
     }
+    output.parent.mkdir(parents=True, exist_ok=True)
     output.write_text(json.dumps(report, indent=1) + "\n")
     t = report["totals"]
     print(f"\ntotal: scalar {t['scalar_s']:.1f}s  fast {t['fast_s']:.1f}s  "
@@ -105,6 +141,14 @@ def main(argv=None) -> int:
                         help="limit to the first N workload pairs")
     parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
                         help=f"report path (default: {DEFAULT_OUTPUT})")
+    parser.add_argument("--check", nargs="?", type=pathlib.Path,
+                        const=DEFAULT_OUTPUT, default=None, metavar="BASELINE",
+                        help="fail if any timed pair's fastpath speedup "
+                             "regresses vs this baseline report "
+                             f"(default baseline: {DEFAULT_OUTPUT})")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional speedup regression for "
+                             "--check (default: 0.30)")
     args = parser.parse_args(argv)
     profile = "bench" if args.quick else args.profile
     pairs = list(WORKLOAD_PAIRS)
@@ -112,7 +156,20 @@ def main(argv=None) -> int:
         pairs = pairs[:args.pairs]
     if not pairs:
         parser.error("--pairs must select at least one workload pair")
-    bench(profile, pairs, args.output)
+    baseline = None
+    if args.check is not None:
+        # Read before bench() runs: --output may point at the baseline.
+        baseline = json.loads(args.check.read_text())
+    report = bench(profile, pairs, args.output)
+    if baseline is not None:
+        failures = check_regression(report, baseline, args.tolerance)
+        if failures:
+            print("\nperf smoke FAILED:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"\nperf smoke passed (tolerance {args.tolerance:.0%} vs "
+              f"{args.check})")
     return 0
 
 

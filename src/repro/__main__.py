@@ -6,12 +6,19 @@ Usage::
     python -m repro figure8              # one artifact, full profile
     python -m repro figure8 --bench      # quick bench-scale version
     python -m repro all                  # everything (minutes)
+    python -m repro obs <dir>            # render observability artifacts
+
+With ``REPRO_OBS=1`` each artifact's observations (metrics registry,
+Chrome/Perfetto trace, NDJSON event stream) are flushed into
+``REPRO_OBS_DIR`` after it completes; ``python -m repro obs <dir>``
+renders them as text.
 """
 
 from __future__ import annotations
 
 import sys
 
+from repro import obs
 from repro.experiments import (
     ablations,
     fault_model,
@@ -51,6 +58,9 @@ def main(argv: list[str]) -> int:
         print(__doc__)
         print("artifacts:", ", ".join(sorted(ARTIFACTS)), "or 'all'")
         return 0
+    if args[0] == "obs":
+        from repro.obs import report
+        return report.main(argv[1:])
     names = sorted(ARTIFACTS) if args[0] == "all" else args
     for name in names:
         if name not in ARTIFACTS:
@@ -62,6 +72,7 @@ def main(argv: list[str]) -> int:
             runner(profile)
         else:
             runner()
+        obs.flush(tag=name)
         print()
     return 0
 

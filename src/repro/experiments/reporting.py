@@ -46,6 +46,40 @@ def render_bars(series: dict[str, float], *, width: int = 50,
     return "\n".join(lines)
 
 
+def render_histogram(hist: dict, *, title: str = "", width: int = 40) -> str:
+    """Render a power-of-two-binned histogram dict as labelled bars.
+
+    ``hist`` is the JSON form produced by
+    :meth:`repro.obs.core.Histogram.to_dict` (sparse ``bins`` keyed by
+    bin index, plus exact ``count``/``total``/``min``/``max``).  Empty
+    bins between populated ones are shown so the shape reads correctly;
+    the exact mean survives the binning.  Emitters accept these
+    histogram payloads without perturbing any existing table output —
+    the round-trip test in ``tests/experiments`` pins both properties.
+    """
+    bins = {int(k): int(v) for k, v in (hist.get("bins") or {}).items()}
+    count = int(hist.get("count", 0))
+    header = title or "histogram"
+    if not bins or not count:
+        return f"{header}\n  (empty)"
+    lo_bin, hi_bin = min(bins), max(bins)
+    peak = max(bins.values())
+    lines = [header]
+    for i in range(lo_bin, hi_bin + 1):
+        n = bins.get(i, 0)
+        lo = 0 if i == 0 else 1 << (i - 1)
+        hi = 1 if i == 0 else 1 << i
+        label = f"[{lo}, {hi})"
+        bar = "#" * max(0, round(width * n / peak))
+        share = 100.0 * n / count
+        lines.append(f"  {label.rjust(24)} | {bar.ljust(width)} "
+                     f"{n} ({share:.1f}%)")
+    mean = hist.get("total", 0) / count
+    lines.append(f"  count {count}, mean {mean:.1f}, "
+                 f"min {hist.get('min')}, max {hist.get('max')}")
+    return "\n".join(lines)
+
+
 def geometric_mean(values: list[float]) -> float:
     """Geometric mean (for normalized-time averaging)."""
     if not values:

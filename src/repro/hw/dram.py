@@ -36,6 +36,12 @@ class DRAMStats:
         """All DRAM accesses including squashed preloads."""
         return self.data_accesses + self.walk_accesses + self.squashed_preloads
 
+    def to_dict(self) -> dict[str, int]:
+        """Counter snapshot (observability reporting, ``repro.obs``)."""
+        return {"data_accesses": self.data_accesses,
+                "walk_accesses": self.walk_accesses,
+                "squashed_preloads": self.squashed_preloads}
+
 
 @dataclass
 class DRAMModel:

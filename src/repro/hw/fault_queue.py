@@ -32,6 +32,8 @@ from dataclasses import dataclass
 
 from repro.common.consts import PAGE_SHIFT
 from repro.common.errors import AccessViolation
+from repro.obs import core as obs_core
+from repro.obs import record as obs_record
 
 #: Default bounded capacity of the page-request queue (PRI queues are
 #: small; SMMU/VT-d event queues hold a few hundred records).
@@ -174,15 +176,27 @@ class FaultPath:
         if kind is None:
             self.queue.stats.violations += 1
             record.kind = "perm"
+            if obs_core.ENABLED:
+                obs_core.REGISTRY.counter("fault.violations",
+                                          config=self.config).inc()
             raise AccessViolation(record)
         record.kind = kind
         stall = admit_stall + self.queue.retire(record, coalesced=coalesced)
+        if obs_core.ENABLED:
+            obs_record.record_fault_service(self.config, kind, stall,
+                                            va, access)
+            if coalesced:
+                obs_core.REGISTRY.counter("fault.coalesced",
+                                          config=self.config).inc()
         return kind, stall
 
     def escalate(self, va: int, access: str, *, kind: str = "perm",
                  index: int = -1, reason: str = ""):
         """Raise a structured violation for an unserviceable fault."""
         self.queue.stats.violations += 1
+        if obs_core.ENABLED:
+            obs_core.REGISTRY.counter("fault.violations",
+                                      config=self.config).inc()
         record = FaultRecord(va=va, access=access, kind=kind,
                              config=self.config, index=index)
         message = None

@@ -56,6 +56,8 @@ from typing import TYPE_CHECKING
 
 from repro.common.errors import PageFault, ProtectionFault
 from repro.hw.bitmap import PermissionBitmap
+from repro.obs import core as obs_core
+from repro.obs import record as obs_record
 from repro.hw.dram import DRAMModel
 from repro.hw.energy import EnergyAccount
 from repro.hw.tlb import TLB
@@ -250,7 +252,12 @@ class IOMMU:
         self._maybe_inject_fault(batch.addrs, batch.writes, stats)
         if fastpath.run_batch(self, batch, stats):
             self._finalize_energy(stats)
+            if obs_core.ENABLED:
+                obs_record.record_fastpath(self.config.mech, accepted=True)
+                obs_record.record_trace_run(self, stats)
             return stats
+        if obs_core.ENABLED:
+            obs_record.record_fastpath(self.config.mech, accepted=False)
         return self._run_scalar(batch.addrs.tolist(), batch.writes.tolist(),
                                 stats)
 
@@ -275,6 +282,10 @@ class IOMMU:
             self._run_dav(addr_list, write_list, stats,
                           preload=(mech == "dvm_pe_plus"))
         self._finalize_energy(stats)
+        if obs_core.ENABLED:
+            # Derived, read-only instrumentation — runs after the loops,
+            # so the per-access hot path carries zero observability code.
+            obs_record.record_trace_run(self, stats)
         return stats
 
     def access(self, va: int, is_write: bool = False) -> TimingStats:

@@ -25,6 +25,7 @@ from repro.common import faults
 from repro.common.consts import PAGE_SHIFT, PAGE_SIZE
 from repro.common.errors import InjectedOutOfMemoryError, OutOfMemoryError
 from repro.common.util import align_up, is_aligned, size_to_order
+from repro.obs import core as obs_core
 
 
 @dataclass
@@ -154,6 +155,8 @@ class BuddyAllocator:
                 f"injected alloc_oom fault ({size} bytes)")
         usable = align_up(size, PAGE_SIZE)
         order = size_to_order(size, PAGE_SIZE)
+        if obs_core.ENABLED:
+            obs_core.REGISTRY.histogram("kernel.buddy.alloc_order").observe(order)
         if (PAGE_SIZE << order) == usable:
             return self.alloc_block(order)
         try:
@@ -161,6 +164,8 @@ class BuddyAllocator:
         except OutOfMemoryError:
             # No exact run: fall back to carving a rounded buddy block and
             # returning the slack immediately (the paper's description).
+            if obs_core.ENABLED:
+                obs_core.REGISTRY.counter("kernel.buddy.slack_fallbacks").inc()
             addr = self.alloc_block(order)
             self.free_range(addr + usable, (PAGE_SIZE << order) - usable)
             return addr

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.perms import allows
+from repro.obs import core as obs_core
 
 
 @dataclass
@@ -50,6 +51,13 @@ class FaultHandler:
 
     def service(self, va: int, access: str) -> str | None:
         """Service one fault; returns its kind, or None for a violation."""
+        kind = self._classify_and_service(va, access)
+        if obs_core.ENABLED:
+            obs_core.REGISTRY.counter("kernel.fault.serviced",
+                                      kind=kind or "violation").inc()
+        return kind
+
+    def _classify_and_service(self, va: int, access: str) -> str | None:
         result = self.process.page_table.walk(va)
         if result.ok:
             if allows(result.perm, access):

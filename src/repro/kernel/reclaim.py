@@ -26,6 +26,7 @@ from repro.common.perms import Perm
 from repro.common.errors import ReproError
 from repro.kernel.process import Process
 from repro.kernel.vm_syscalls import Allocation
+from repro.obs import core as obs_core
 
 
 class ReclaimError(ReproError):
@@ -81,6 +82,11 @@ class Reclaimer:
         self._demote_bookkeeping(process, alloc)
         self.stats.pages_swapped_out += len(pages)
         self.stats.bytes_reclaimed += freed
+        if obs_core.ENABLED:
+            obs_core.REGISTRY.counter(
+                "kernel.reclaim.pages_swapped_out").inc(len(pages))
+            obs_core.REGISTRY.counter(
+                "kernel.reclaim.bytes_reclaimed").inc(freed)
         return freed
 
     def reclaim(self, process: Process, target_bytes: int) -> int:
@@ -119,6 +125,8 @@ class Reclaimer:
         if alloc is not None:
             alloc.phys_chunks.append((frame, PAGE_SIZE))
         self.stats.pages_swapped_in += 1
+        if obs_core.ENABLED:
+            obs_core.REGISTRY.counter("kernel.reclaim.pages_swapped_in").inc()
         return frame + (va - page_va)
 
     def swap_in_allocation(self, process: Process,
@@ -184,6 +192,9 @@ class Reclaimer:
             phys.free_frame(frame)
         self._promote_bookkeeping(process, alloc)
         self.stats.identity_reestablished += 1
+        if obs_core.ENABLED:
+            obs_core.REGISTRY.counter(
+                "kernel.reclaim.identity_reestablished").inc()
         return True
 
     # -- internals --------------------------------------------------------------------

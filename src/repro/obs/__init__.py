@@ -1,0 +1,73 @@
+"""Observability for the DVM simulator: metrics, tracing, telemetry.
+
+Layers (bottom up):
+
+* :mod:`repro.obs.core` — lock-free counters / power-of-two histograms /
+  the process-wide :data:`~repro.obs.core.REGISTRY`, zero-overhead when
+  disabled (``REPRO_OBS`` unset);
+* :mod:`repro.obs.trace` — hierarchical spans (sweep → pair → attempt →
+  phase) exported as Chrome-trace/Perfetto JSON and NDJSON;
+* :mod:`repro.obs.record` — derived per-run instrumentation (walk
+  depth, AVC hit rate, fault latency) computed *after* each trace run so
+  the timing loops stay untouched;
+* :mod:`repro.obs.progress` — live heartbeat lines during sweeps;
+* :mod:`repro.obs.log` — structured degradation diagnostics
+  (``log.ndjson``), superseding ad-hoc ``REPRO_DEBUG`` prints;
+* :mod:`repro.obs.report` — the ``python -m repro obs <dir>`` CLI that
+  renders histograms and span summaries from flushed artifacts.
+
+See ``docs/observability.md`` for the user-facing story.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import core, log, progress, record, trace  # noqa: F401
+from repro.obs.core import (REGISTRY, configure, counter, enabled,  # noqa: F401
+                            histogram, out_dir, refresh_from_env)
+from repro.obs.log import debug  # noqa: F401
+from repro.obs.trace import COLLECTOR, instant, span  # noqa: F401
+
+
+def reset() -> None:
+    """Clear all collected observations (worker entry, test isolation)."""
+    core.REGISTRY.reset()
+    trace.COLLECTOR.reset()
+
+
+def snapshot() -> dict:
+    """Non-destructive view of the registry plus pending trace events."""
+    return {"registry": core.REGISTRY.to_dict(),
+            "events": list(trace.COLLECTOR.events)}
+
+
+def flush(tag: str = "run", run_id: str = "") -> dict | None:
+    """Write (and drain) all collected observations to the obs directory.
+
+    Produces three artifacts per flush under ``REPRO_OBS_DIR``:
+    ``metrics-<tag>-<seq>.json`` (the registry snapshot),
+    ``trace-<tag>-<seq>.json`` (Perfetto-loadable Chrome trace) and
+    ``trace-<tag>-<seq>.ndjson`` (the same events line-delimited).
+    Returns ``{"metrics": path, "trace": path, "ndjson": path}`` or
+    ``None`` when observability is disabled.  The registry and collector
+    are drained, so consecutive flushes (e.g. ``python -m repro all``)
+    partition their observations instead of double counting.
+    """
+    if not core.ENABLED:
+        return None
+    directory = core.ensure_out_dir()
+    stem = f"{tag}-{core.next_flush_seq():03d}"
+    registry_payload = core.REGISTRY.to_dict()
+    core.REGISTRY.reset()
+    events = trace.COLLECTOR.drain()
+    metrics_path = directory / f"metrics-{stem}.json"
+    metrics_path.write_text(
+        json.dumps({"tag": tag, "run_id": run_id, **registry_payload},
+                   indent=1, sort_keys=True) + "\n")
+    trace_path = directory / f"trace-{stem}.json"
+    trace.write_chrome(trace_path, events, run_id=run_id)
+    ndjson_path = directory / f"trace-{stem}.ndjson"
+    trace.write_ndjson(ndjson_path, events)
+    return {"metrics": metrics_path, "trace": trace_path,
+            "ndjson": ndjson_path}

@@ -1,0 +1,71 @@
+"""Structured diagnostic logging for degradation paths.
+
+Subsystems that degrade gracefully (the compiled-kernel loader in
+:mod:`repro.sim._native`, cache quarantine, …) used to print ad-hoc
+``REPRO_DEBUG`` lines to stderr.  :func:`debug` keeps that behaviour as
+the fallback but, when observability is enabled, lands each diagnostic
+as one JSON object per line in ``log.ndjson`` inside the observability
+directory instead — so a sweep's degradation history ships with its
+trace and metrics artifacts rather than scrolling away.
+
+Records carry a monotonically increasing per-process sequence number (so
+merged logs from several processes stay ordered per producer), the
+producing pid, the subsystem tag and free-form structured fields.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import sys
+import time
+
+from repro.obs import core
+
+#: Legacy switch: log degradation diagnostics to stderr when obs is off.
+DEBUG_ENV_VAR = "REPRO_DEBUG"
+
+#: Log file name inside the observability directory.
+LOG_FILENAME = "log.ndjson"
+
+_seq = itertools.count(1)
+
+
+def debug_enabled() -> bool:
+    """Whether stderr debug diagnostics are requested (``REPRO_DEBUG``)."""
+    return bool(os.environ.get(DEBUG_ENV_VAR))
+
+
+def debug(subsystem: str, message: str, **fields) -> dict | None:
+    """Emit one structured diagnostic record.
+
+    With observability enabled the record is appended to ``log.ndjson``
+    in the observability directory (created on first use).  Otherwise,
+    with ``REPRO_DEBUG`` set, a human-readable line goes to stderr —
+    exactly the legacy behaviour.  Returns the record when anything was
+    emitted, else ``None``.
+    """
+    if not core.ENABLED and not debug_enabled():
+        return None
+    record = {
+        "seq": next(_seq),
+        "pid": os.getpid(),
+        "unix_time": round(time.time(), 3),
+        "subsystem": subsystem,
+        "message": message,
+    }
+    if fields:
+        record.update(fields)
+    if core.ENABLED:
+        try:
+            path = core.ensure_out_dir() / LOG_FILENAME
+            with open(path, "a") as fh:
+                fh.write(json.dumps(record, sort_keys=True, default=str)
+                         + "\n")
+            return record
+        except OSError:
+            pass        # fall through to stderr: never lose a diagnostic
+    detail = "".join(f" {key}={value}" for key, value in fields.items())
+    print(f"[repro.{subsystem}] {message}{detail}", file=sys.stderr)
+    return record

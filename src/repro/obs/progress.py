@@ -1,0 +1,87 @@
+"""Live sweep telemetry: heartbeat lines from the experiment runner.
+
+A multi-minute Figure 8 sweep is silent between figures; with
+``REPRO_OBS=1`` the runner emits one heartbeat line per completed pair
+(rate-limited by ``REPRO_OBS_HEARTBEAT`` seconds)::
+
+    [obs] sweep 7/15 pairs | cache 42h/7m | retries 1 | faults 0 | eta 93s
+
+Lines go to stderr (never stdout: the figure tables are golden output)
+and are appended to ``heartbeat.log`` in the observability directory, so
+a sweep's liveness is inspectable after the fact.  The final update
+(done == total) is always emitted regardless of the rate limit.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.obs import core
+
+#: Minimum seconds between heartbeat lines (float; 0 = every update).
+HEARTBEAT_ENV_VAR = "REPRO_OBS_HEARTBEAT"
+
+
+def heartbeat_interval() -> float:
+    """The configured minimum interval between heartbeat lines."""
+    raw = os.environ.get(HEARTBEAT_ENV_VAR, "") or ""
+    try:
+        return max(0.0, float(raw)) if raw else 0.0
+    except ValueError:
+        raise SystemExit(f"{HEARTBEAT_ENV_VAR} must be a number, "
+                         f"got {raw!r}") from None
+
+
+class Heartbeat:
+    """Periodic progress reporter for one sweep."""
+
+    def __init__(self, total: int, label: str = "sweep", *,
+                 stream=None, clock=time.monotonic,
+                 interval: float | None = None, log_dir=None):
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.clock = clock
+        self.interval = (heartbeat_interval() if interval is None
+                         else interval)
+        self.log_dir = log_dir
+        self.start = clock()
+        self._last_emit: float | None = None
+
+    def update(self, done: int, *, cache_hits: int = 0,
+               cache_misses: int = 0, retries: int = 0,
+               faults: int = 0) -> str | None:
+        """Emit one heartbeat line; returns it, or None when throttled."""
+        now = self.clock()
+        final = done >= self.total
+        if (not final and self._last_emit is not None
+                and now - self._last_emit < self.interval):
+            return None
+        self._last_emit = now
+        elapsed = now - self.start
+        if 0 < done < self.total and elapsed > 0:
+            eta = f"{elapsed / done * (self.total - done):.0f}s"
+        else:
+            eta = "done" if final else "?"
+        line = (f"[obs] {self.label} {done}/{self.total} pairs"
+                f" | cache {cache_hits}h/{cache_misses}m"
+                f" | retries {retries} | faults {faults}"
+                f" | elapsed {elapsed:.0f}s | eta {eta}")
+        print(line, file=self.stream, flush=True)
+        self._log(line)
+        return line
+
+    def _log(self, line: str) -> None:
+        directory = self.log_dir
+        if directory is None:
+            if not core.ENABLED:
+                return
+            directory = core.ensure_out_dir()
+        try:
+            with open(os.path.join(str(directory), "heartbeat.log"),
+                      "a") as fh:
+                fh.write(line + "\n")
+        except OSError:
+            pass        # telemetry must never take a sweep down

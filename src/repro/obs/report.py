@@ -1,0 +1,176 @@
+"""Reporting CLI: render flushed observability artifacts as text.
+
+``python -m repro obs <dir>`` reads everything a sweep flushed into its
+observability directory — ``metrics-*.json`` registry snapshots,
+``trace-*.ndjson`` event streams, ``heartbeat.log`` and ``log.ndjson`` —
+and renders:
+
+* translation-behaviour histograms (AVC hit rate / miss-rate
+  distribution, walk-depth distribution, fault-service latency) per
+  configuration, through the same table/bar helpers the figures use
+  (:mod:`repro.experiments.reporting`);
+* a span "flamegraph summary": wall time and call counts aggregated per
+  span name, from the merged Chrome-trace events;
+* the raw counter table, for everything else.
+
+Multiple flushes merge: counters add, histograms add bin-wise, event
+streams concatenate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.reporting import (render_histogram, render_table)
+from repro.obs import trace as trace_mod
+from repro.obs.core import Histogram, Registry
+
+
+def load_registry(directory: Path) -> Registry:
+    """Merge every ``metrics-*.json`` snapshot in ``directory``."""
+    registry = Registry()
+    for path in sorted(directory.glob("metrics-*.json")):
+        payload = json.loads(path.read_text())
+        registry.merge(payload)
+    return registry
+
+
+def load_events(directory: Path) -> list[dict]:
+    """Concatenate every ``trace-*.ndjson`` stream in ``directory``."""
+    events: list[dict] = []
+    for path in sorted(directory.glob("trace-*.ndjson")):
+        events.extend(trace_mod.read_ndjson(path))
+    return events
+
+
+def _by_config(instruments: dict, prefix: str) -> dict[str, object]:
+    """``{config: instrument}`` for keys ``prefix|config=<name>``."""
+    out = {}
+    want = prefix + "|config="
+    for key, value in instruments.items():
+        if key.startswith(want):
+            out[key[len(want):]] = value
+    return out
+
+
+def hit_rate_table(registry: Registry) -> str:
+    """AVC / TLB hit rates per configuration, from exact counters."""
+    rows = []
+    avc_hits = _by_config(registry.counters, "avc.hits")
+    avc_misses = _by_config(registry.counters, "avc.misses")
+    for config in sorted(avc_hits):
+        hits = avc_hits[config].value
+        misses = avc_misses.get(config, None)
+        misses = misses.value if misses is not None else 0
+        total = hits + misses
+        rate = 100.0 * hits / total if total else 0.0
+        rows.append([config, "AVC", f"{hits:,}", f"{misses:,}",
+                     f"{rate:.2f}%"])
+    tlb_lookups = _by_config(registry.counters, "tlb.lookups")
+    tlb_misses = _by_config(registry.counters, "tlb.misses")
+    for config in sorted(tlb_lookups):
+        lookups = tlb_lookups[config].value
+        misses = tlb_misses.get(config)
+        misses = misses.value if misses is not None else 0
+        rate = 100.0 * (lookups - misses) / lookups if lookups else 0.0
+        rows.append([config, "TLB", f"{lookups - misses:,}", f"{misses:,}",
+                     f"{rate:.2f}%"])
+    if not rows:
+        return "(no AVC/TLB activity recorded)"
+    return render_table(["Config", "Structure", "Hits", "Misses",
+                         "Hit rate"], rows,
+                        title="Translation hit rates (exact counters)")
+
+
+def histogram_sections(registry: Registry) -> str:
+    """Render every recorded histogram, grouped by base name."""
+    titles = {
+        "walk.depth": "Walk-depth distribution (memory refs per walked "
+                      "page)",
+        "avc.miss_permille": "AVC per-run miss rate (permille)",
+        "fault.latency_cycles": "Fault-service latency (engine stall "
+                                "cycles per fault)",
+    }
+    blocks = []
+    for key in sorted(registry.histograms):
+        base, _, labels = key.partition("|")
+        title = titles.get(base, base)
+        blocks.append(render_histogram(registry.histograms[key].to_dict(),
+                                       title=f"{title} [{labels or 'all'}]"))
+    return "\n\n".join(blocks) if blocks else "(no histograms recorded)"
+
+
+def span_summary(events: list[dict]) -> str:
+    """Flamegraph-style aggregation: wall time per span name."""
+    agg: dict[str, list] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        name = event.get("name", "?")
+        entry = agg.setdefault(name, [0, 0.0, 1 << 62])
+        entry[0] += 1
+        entry[1] += float(event.get("dur", 0.0))
+        depth = event.get("args", {}).get("depth", 0)
+        entry[2] = min(entry[2], depth)
+    if not agg:
+        return "(no spans recorded)"
+    rows = []
+    for name, (count, total_us, depth) in sorted(
+            agg.items(), key=lambda item: -item[1][1]):
+        rows.append(["  " * depth + name, str(count),
+                     f"{total_us / 1e3:.1f}", f"{total_us / count / 1e3:.2f}"])
+    return render_table(["Span", "Count", "Total ms", "Mean ms"], rows,
+                        title="Span summary (per-process wall time)")
+
+
+def counters_table(registry: Registry) -> str:
+    """All counters, sorted by name."""
+    if not registry.counters:
+        return "(no counters recorded)"
+    rows = [[key, f"{counter.value:,}"]
+            for key, counter in sorted(registry.counters.items())]
+    return render_table(["Counter", "Value"], rows, title="Counters")
+
+
+def render_report(directory: Path | str) -> str:
+    """The full report for one observability directory."""
+    directory = Path(directory)
+    registry = load_registry(directory)
+    events = load_events(directory)
+    sections = [
+        f"Observability report: {directory}",
+        hit_rate_table(registry),
+        histogram_sections(registry),
+        span_summary(events),
+        counters_table(registry),
+    ]
+    heartbeat = directory / "heartbeat.log"
+    if heartbeat.exists():
+        lines = heartbeat.read_text().splitlines()
+        sections.append(f"Heartbeat ({len(lines)} lines; last): "
+                        + (lines[-1] if lines else ""))
+    log_path = directory / "log.ndjson"
+    if log_path.exists():
+        entries = [line for line in log_path.read_text().splitlines()
+                   if line.strip()]
+        sections.append(f"Diagnostics: {len(entries)} structured log "
+                        f"entries in {log_path}")
+    return "\n\n".join(sections)
+
+
+def main(argv: list[str]) -> int:
+    """Entry point for ``python -m repro obs <dir>``."""
+    args = [a for a in argv if not a.startswith("-")]
+    if not args:
+        print("usage: python -m repro obs <obs-dir>")
+        return 1
+    directory = Path(args[0])
+    if not directory.is_dir():
+        print(f"not a directory: {directory}")
+        return 1
+    try:
+        print(render_report(directory))
+    except BrokenPipeError:      # e.g. `python -m repro obs dir | head`
+        pass
+    return 0

@@ -23,13 +23,13 @@ import hashlib
 import os
 import shutil
 import subprocess
-import sys
 import tempfile
 from pathlib import Path
 
 import numpy as np
 
 from repro.common import faults, integrity
+from repro.obs import log as obs_log
 
 #: Set to ``0`` to force the pure-numpy engine (used by equivalence tests).
 NATIVE_ENV_VAR = "REPRO_NATIVE"
@@ -38,9 +38,11 @@ NATIVE_ENV_VAR = "REPRO_NATIVE"
 DEBUG_ENV_VAR = "REPRO_DEBUG"
 
 
-def _debug(message: str) -> None:
-    if os.environ.get(DEBUG_ENV_VAR):
-        print(f"[repro._native] {message}", file=sys.stderr)
+def _debug(message: str, **fields) -> None:
+    # Routed through the structured logger: with observability enabled the
+    # diagnostic lands in the obs directory's ``log.ndjson``; otherwise
+    # ``REPRO_DEBUG=1`` keeps the legacy stderr line.
+    obs_log.debug("native", message, **fields)
 
 _SOURCE = Path(__file__).with_name("_lru_kernel.c")
 
@@ -82,9 +84,11 @@ def _compile() -> ctypes.CDLL | None:
             return ctypes.CDLL(str(lib_path))
         except subprocess.CalledProcessError as exc:
             stderr = (exc.stderr or b"").decode(errors="replace").strip()
-            _debug(f"compile failed in {cache}: {stderr or exc}")
+            _debug("compile failed", cache=str(cache),
+                   compiler_stderr=stderr or str(exc))
         except (OSError, subprocess.SubprocessError) as exc:
-            _debug(f"native kernel unavailable via {cache}: {exc}")
+            _debug("native kernel unavailable", cache=str(cache),
+                   error=str(exc))
         tmp.unlink(missing_ok=True)     # never leave our own droppings
     _debug("all native cache directories failed; using the numpy engine")
     return None

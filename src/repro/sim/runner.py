@@ -56,6 +56,10 @@ from repro.common.errors import (CacheIntegrityError, ConfigError, PageFault,
                                  WorkerCrashError)
 from repro.core.config import HardwareScale, MMUConfig, standard_configs
 from repro.graphs import datasets
+from repro import obs
+from repro.obs import core as obs_core
+from repro.obs import progress as obs_progress
+from repro.obs import trace as obs_trace
 from repro.sim.metrics import Metrics
 from repro.sim.resilience import (ResilienceReport, RetryPolicy,
                                   SweepCheckpoint, retry_call)
@@ -231,15 +235,22 @@ class ExperimentRunner:
                 result = ExecutionResult(
                     trace=trace, prop=np.empty(0), iterations=0,
                     converged=True, aux={"restored_from": str(trace_path)})
+                self.resilience.cache_hits += 1
+                obs_core.counter("cache.trace.hits").inc()
             except CacheIntegrityError:
                 self._quarantine(trace_path)
         if result is None:
-            result = run_workload(
-                workload, graph, shape=shape,
-                pagerank_iters=self.pagerank_iters,
-                sssp_max_iters=self.sssp_max_iters,
-                cf_passes=self.cf_passes,
-            )
+            if trace_path is not None:
+                self.resilience.cache_misses += 1
+                obs_core.counter("cache.trace.misses").inc()
+            with obs_trace.span("trace-gen", cat="phase",
+                                workload=workload, dataset=dataset):
+                result = run_workload(
+                    workload, graph, shape=shape,
+                    pagerank_iters=self.pagerank_iters,
+                    sssp_max_iters=self.sssp_max_iters,
+                    cf_passes=self.cf_passes,
+                )
             if trace_path is not None:
                 tmp = integrity.tmp_path(trace_path, suffix=".npz")
                 result.trace.save(tmp)
@@ -267,9 +278,14 @@ class ExperimentRunner:
                                                        METRICS_KIND)
                 metrics = Metrics.from_dict(payload)
                 self._metrics[key] = metrics
+                self.resilience.cache_hits += 1
+                obs_core.counter("cache.metrics.hits").inc()
                 return metrics
             except CacheIntegrityError:
                 self._quarantine(metrics_path)
+        if metrics_path is not None:
+            self.resilience.cache_misses += 1
+            obs_core.counter("cache.metrics.misses").inc()
         metrics = self._compute_metrics(workload, dataset, config)
         self._metrics[key] = metrics
         if metrics_path is not None:
@@ -289,8 +305,10 @@ class ExperimentRunner:
         quarantined pair.
         """
         try:
-            return {name: self.run(workload, dataset, config)
-                    for name, config in configs.items()}
+            with obs_trace.span("pair", cat="pair", workload=workload,
+                                dataset=dataset):
+                return {name: self.run(workload, dataset, config)
+                        for name, config in configs.items()}
         except (PageFault, ProtectionFault) as exc:
             self._quarantine_pair((workload, dataset), exc)
             return None
@@ -404,23 +422,42 @@ class ExperimentRunner:
                                        for name, payload in entries]
             self.resilience.resumed_pairs += len(completed)
 
+        run_id = self._content_key(dict(profile=self.profile, pairs=pairs,
+                                        configs=names))[:12]
+        heartbeat = obs_progress.Heartbeat(len(pairs)) \
+            if obs_core.ENABLED else None
+
         def finish_pair(pair, entries):
             completed[pair] = entries
             if ckpt is not None:
                 ckpt.record(pair[0], pair[1], entries)
+            if heartbeat is not None:
+                heartbeat.update(
+                    len(completed),
+                    cache_hits=self.resilience.cache_hits,
+                    cache_misses=self.resilience.cache_misses,
+                    retries=self.resilience.retries,
+                    faults=sum(m.get("faults", 0)
+                               for done in completed.values()
+                               for _name, m in done))
             faults.maybe_raise("sweep_abort")
 
         pending = [pair for pair in pairs if pair not in completed]
         try:
-            if workers > 1 and len(pending) > 1:
-                self._run_pairs_parallel(pending, names, workers, finish_pair)
-            else:
-                for pair in pending:
-                    try:
-                        finish_pair(pair,
-                                    self._run_pair_resilient(pair, configs))
-                    except (PageFault, ProtectionFault) as exc:
-                        self._quarantine_pair(pair, exc)
+            with obs_trace.span("sweep", cat="sweep", run_id=run_id,
+                                pairs=len(pairs), pending=len(pending),
+                                workers=workers):
+                if workers > 1 and len(pending) > 1:
+                    self._run_pairs_parallel(pending, names, workers,
+                                             finish_pair)
+                else:
+                    for pair in pending:
+                        try:
+                            finish_pair(
+                                pair,
+                                self._run_pair_resilient(pair, configs))
+                        except (PageFault, ProtectionFault) as exc:
+                            self._quarantine_pair(pair, exc)
         except KeyboardInterrupt:
             # Graceful shutdown: every completed pair is already journaled
             # (finish_pair records atomically), so re-running this sweep
@@ -468,8 +505,15 @@ class ExperimentRunner:
     def _run_pair_serial(self, pair: tuple, configs: dict) -> list:
         """One pair's configurations, in-process; returns journal entries."""
         workload, dataset = pair
-        return [(name, self.run(workload, dataset, config).to_dict())
-                for name, config in configs.items()]
+        entries = []
+        with obs_trace.span("pair", cat="pair", workload=workload,
+                            dataset=dataset):
+            for name, config in configs.items():
+                with obs_trace.span("attempt", cat="attempt", config=name,
+                                    workload=workload, dataset=dataset):
+                    entries.append(
+                        (name, self.run(workload, dataset, config).to_dict()))
+        return entries
 
     def _run_pair_resilient(self, pair: tuple, configs: dict) -> list:
         """Serial-tier pair execution, retrying transient escapes.
@@ -485,6 +529,28 @@ class ExperimentRunner:
                           policy=self.retry,
                           tag=SweepCheckpoint.pair_key(*pair),
                           sleep=self._sleep, on_retry=on_retry)
+
+    def _absorb_worker_payload(self, payload) -> list:
+        """Unpack one pool worker's result, folding its observations in.
+
+        Workers return ``{"entries", "report", "obs"}``: the pair's
+        journal entries, the worker-side resilience counters (cache
+        hits/misses, quarantines, perturbation reruns, ...) and — when
+        observability is enabled — the worker's registry snapshot and
+        drained trace events.  The counters are added to this runner's
+        :class:`~repro.sim.resilience.ResilienceReport` and the
+        observations merged into the process-wide registry/collector, so
+        a flushed sweep trace covers every process.
+        """
+        for key, value in (payload.get("report") or {}).items():
+            if isinstance(value, int) and hasattr(self.resilience, key):
+                setattr(self.resilience, key,
+                        getattr(self.resilience, key) + value)
+        shipped = payload.get("obs")
+        if shipped:
+            obs_core.REGISTRY.merge(shipped.get("registry") or {})
+            obs_trace.COLLECTOR.absorb(shipped.get("events") or [])
+        return payload["entries"]
 
     def _sweep_checkpoint(self, checkpoint, pairs, names
                           ) -> SweepCheckpoint | None:
@@ -579,7 +645,7 @@ class ExperimentRunner:
                 if self.pair_timeout is not None:
                     timeout = max(0.0, deadlines[pair] - time.monotonic())
                 try:
-                    entries = future.result(timeout=timeout)
+                    payload = future.result(timeout=timeout)
                 except FutureTimeoutError:
                     # The worker is wedged and cannot be killed through
                     # the executor API; abandon the pair to a later tier
@@ -613,7 +679,7 @@ class ExperimentRunner:
                 else:
                     del futures[pair]
                     del attempts[pair]
-                    finish_pair(pair, entries)
+                    finish_pair(pair, self._absorb_worker_payload(payload))
             return list(attempts), False
         except BrokenProcessPool:
             return list(attempts), True
@@ -634,15 +700,25 @@ class ExperimentRunner:
 
 
 def _pair_worker(spec: dict, workload: str, dataset: str,
-                 config_names: list, fault_scope: str | None = None) -> list:
+                 config_names: list, fault_scope: str | None = None) -> dict:
     """Process-pool entry: run one pair's configurations in a child.
 
     ``fault_scope`` re-keys the fault injector deterministically per pair
     *attempt*, so chaos patterns do not depend on which pool process the
     task landed in, and a retried attempt sees a fresh pattern.
+
+    Returns a payload dict — the pair's journal entries plus the
+    worker-side resilience counters and (with observability enabled) the
+    worker's registry snapshot and drained trace events — which the
+    parent unpacks with :meth:`ExperimentRunner._absorb_worker_payload`.
+    Observability state is re-read from the environment and reset at
+    entry: a forked worker inherits the parent's collected observations
+    and must never ship them back a second time.
     """
     if fault_scope is not None:
         faults.rescope(fault_scope)
+    obs_core.refresh_from_env()
+    obs.reset()
     if faults.should_fire("worker_exit"):
         os._exit(13)        # simulate a hard worker death (chaos testing)
     if faults.should_fire("worker_hang"):
@@ -656,4 +732,12 @@ def _pair_worker(spec: dict, workload: str, dataset: str,
     runner = ExperimentRunner(**spec)
     configs = runner.configs()
     selected = {name: configs[name] for name in config_names}
-    return runner._run_pair_serial((workload, dataset), selected)
+    entries = runner._run_pair_serial((workload, dataset), selected)
+    report = {key: value
+              for key, value in asdict(runner.resilience).items()
+              if isinstance(value, int) and value}
+    shipped = None
+    if obs_core.ENABLED:
+        shipped = {"registry": obs_core.REGISTRY.to_dict(),
+                   "events": obs_trace.COLLECTOR.drain()}
+    return {"entries": entries, "report": report, "obs": shipped}

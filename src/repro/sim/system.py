@@ -23,6 +23,9 @@ from repro.hw.iommu import IOMMU, TimingStats
 from repro.kernel.fault import FaultHandler
 from repro.kernel.kernel import Kernel
 from repro.kernel.reclaim import Reclaimer
+from repro.obs import core as obs_core
+from repro.obs import record as obs_record
+from repro.obs import trace as obs_trace
 from repro.sim.metrics import DEFAULT_MLP, Metrics, metrics_from
 
 #: Default physical memory for accelerator experiments.  The paper's box
@@ -144,12 +147,18 @@ class HeterogeneousSystem:
             graph: str = "", engine: str | None = None,
             batch_cache: dict | None = None) -> Metrics:
         """Run a trace and assemble the experiment metrics."""
-        timing = self.run_trace(trace, engine=engine, batch_cache=batch_cache)
+        with obs_trace.span("timing", cat="phase", config=self.config.name,
+                            workload=workload, graph=graph):
+            timing = self.run_trace(trace, engine=engine,
+                                    batch_cache=batch_cache)
         ident = identity_fraction(self.process, self.layout)
-        return metrics_from(
+        metrics = metrics_from(
             timing, self.dram,
             config=self.config.name, workload=workload, graph=graph,
             mlp=self.params.mlp, identity_fraction=ident,
             heap_bytes=self.layout.heap_bytes,
             page_table_bytes=self.process.page_table.table_bytes(),
         )
+        if obs_core.ENABLED:
+            obs_record.record_system_run(self, metrics)
+        return metrics

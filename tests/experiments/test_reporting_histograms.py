@@ -1,0 +1,64 @@
+"""Histogram payloads through the table emitters (observability round trip).
+
+The satellite requirement: :mod:`repro.experiments.reporting` accepts the
+observability subsystem's power-of-two histogram payloads without
+perturbing any existing (golden) table output.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.reporting import (render_bars, render_histogram,
+                                         render_table)
+from repro.obs.core import Histogram
+
+
+def _hist(*values):
+    hist = Histogram()
+    for v in values:
+        hist.observe(v)
+    return hist
+
+
+class TestRenderHistogram:
+    def test_renders_pow2_bins_with_shares(self):
+        text = render_histogram(_hist(1, 5, 5, 5).to_dict(), title="t")
+        assert text.startswith("t\n")
+        assert "[1, 1)" not in text          # bin labels are real ranges
+        assert "[4, 8)" in text and "(75.0%)" in text
+        assert "count 4, mean 4.0, min 1, max 5" in text
+
+    def test_interior_empty_bins_shown(self):
+        # values 1 and 64: bins 1 and 7; bins 2..6 render as zero bars.
+        text = render_histogram(_hist(1, 64).to_dict())
+        assert "[2, 4)" in text and "0 (0.0%)" in text
+
+    def test_empty_histogram(self):
+        assert render_histogram(Histogram().to_dict(), title="x") \
+            == "x\n  (empty)"
+
+    def test_round_trip_stable(self):
+        hist = _hist(0, 3, 9, 4096)
+        once = render_histogram(hist.to_dict(), title="rt")
+        clone = Histogram.from_dict(json.loads(json.dumps(hist.to_dict())))
+        assert render_histogram(clone.to_dict(), title="rt") == once
+
+
+class TestExistingEmittersUnperturbed:
+    """Golden-output safety: the old emitters render exactly as before."""
+
+    def test_render_table_unchanged(self):
+        text = render_table(["A", "Bee"], [["1", "2"], ["333", "4"]],
+                            title="T")
+        assert text == ("T\n"
+                        "A   | Bee\n"
+                        "----+----\n"
+                        "1   | 2  \n"
+                        "333 | 4  ")
+
+    def test_render_bars_unchanged(self):
+        text = render_bars({"x": 2.0, "yy": 1.0}, width=4, title="B")
+        assert text == ("B\n"
+                        "x  | #### 2.000\n"
+                        "yy | ## 1.000")

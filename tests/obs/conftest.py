@@ -1,0 +1,27 @@
+"""Observability test isolation: never leak obs state between tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs import core
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    """Snapshot and restore the obs switch, out dir, and collected state."""
+    enabled = core.ENABLED
+    override = core._out_dir_override
+    obs.reset()
+    yield
+    core.ENABLED = enabled
+    core._out_dir_override = override
+    obs.reset()
+
+
+@pytest.fixture
+def obs_enabled(tmp_path):
+    """Observability on, writing into a throwaway directory."""
+    core.configure(enabled=True, out_dir=str(tmp_path))
+    return tmp_path

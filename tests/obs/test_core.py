@@ -1,0 +1,128 @@
+"""Unit tests for the instrumentation primitives (repro.obs.core)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import core
+from repro.obs.core import Histogram, Registry
+
+
+class TestLabels:
+    def test_bare_name(self):
+        assert core.label("iommu.walks") == "iommu.walks"
+
+    def test_labels_sorted(self):
+        assert core.label("x", b="2", a="1") == "x|a=1|b=2"
+
+
+class TestCounter:
+    def test_inc(self):
+        counter = core.Counter()
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+
+class TestHistogramBinning:
+    def test_power_of_two_bin_edges(self):
+        hist = Histogram()
+        # bin 0: v <= 0; bin i >= 1: [2**(i-1), 2**i)
+        for value, expected_bin in [(0, 0), (-3, 0), (1, 1), (2, 2), (3, 2),
+                                    (4, 3), (7, 3), (8, 4), (1023, 10),
+                                    (1024, 11)]:
+            hist = Histogram()
+            hist.observe(value)
+            assert hist.bins[expected_bin] == 1, value
+
+    def test_exact_stats_survive_binning(self):
+        hist = Histogram()
+        for v in (3, 5, 100):
+            hist.observe(v)
+        assert hist.count == 3
+        assert hist.total == 108
+        assert hist.min == 3
+        assert hist.max == 100
+        assert hist.mean == 36.0
+
+    def test_nonzero_bins_ranges(self):
+        hist = Histogram()
+        hist.observe(0)
+        hist.observe(5, n=2)
+        assert hist.nonzero_bins() == [(0, 1, 1), (4, 8, 2)]
+
+    def test_merge(self):
+        a, b = Histogram(), Histogram()
+        a.observe(2)
+        b.observe(200)
+        a.merge(b)
+        assert a.count == 2
+        assert a.min == 2 and a.max == 200
+        assert a.bins[2] == 1 and a.bins[8] == 1
+
+    def test_dict_round_trip(self):
+        hist = Histogram()
+        for v in (0, 1, 7, 4096):
+            hist.observe(v)
+        clone = Histogram.from_dict(json.loads(json.dumps(hist.to_dict())))
+        assert clone.to_dict() == hist.to_dict()
+        assert clone.bins == hist.bins
+
+    def test_empty_round_trip(self):
+        assert Histogram.from_dict(Histogram().to_dict()).count == 0
+
+
+class TestRegistry:
+    def test_lookup_creates_and_reuses(self):
+        reg = Registry()
+        assert reg.counter("a", config="x") is reg.counter("a", config="x")
+        assert reg.counter("a", config="x") is not reg.counter("a")
+
+    def test_to_dict_sorted_and_merge(self):
+        reg = Registry()
+        reg.counter("b").inc(2)
+        reg.counter("a").inc(1)
+        reg.histogram("h", config="c").observe(9)
+        snap = reg.to_dict()
+        assert list(snap["counters"]) == ["a", "b"]
+        other = Registry()
+        other.merge(snap)
+        other.merge(snap)
+        assert other.counter("b").value == 4
+        assert other.histogram("h", config="c").count == 2
+
+    def test_merge_tolerates_empty_payload(self):
+        reg = Registry()
+        reg.merge({})
+        assert reg.to_dict() == {"counters": {}, "histograms": {}}
+
+
+class TestEnableSwitch:
+    def test_disabled_returns_null_objects(self):
+        core.configure(enabled=False)
+        assert core.counter("x") is core.NULL_COUNTER
+        assert core.histogram("x") is core.NULL_HISTOGRAM
+        core.counter("x").inc()            # must be a silent no-op
+        core.histogram("x").observe(5)
+        assert "x" not in core.REGISTRY.counters
+
+    def test_enabled_records_into_registry(self):
+        core.configure(enabled=True)
+        core.counter("y").inc(3)
+        assert core.REGISTRY.counters["y"].value == 3
+
+    def test_refresh_from_env(self, monkeypatch):
+        monkeypatch.setenv(core.OBS_ENV_VAR, "1")
+        monkeypatch.setenv(core.OBS_DIR_ENV_VAR, "/tmp/somewhere")
+        core.refresh_from_env()
+        assert core.ENABLED
+        assert str(core.out_dir()) == "/tmp/somewhere"
+        monkeypatch.setenv(core.OBS_ENV_VAR, "0")
+        core.refresh_from_env()
+        assert not core.ENABLED
+
+    def test_falsy_env_spellings(self):
+        for raw in ("", "0", "false", "no", "off", "False"):
+            assert not core._env_truthy(raw)
+        for raw in ("1", "true", "yes", "on"):
+            assert core._env_truthy(raw)

@@ -1,0 +1,146 @@
+"""The hard constraint: enabling observability changes no simulated cycle.
+
+Fault-free sweeps — and sweeps that exercise the recoverable guest-fault
+path — must produce bit-identical metrics with the subsystem on and off,
+and the structured-logger routing must keep the legacy ``REPRO_DEBUG``
+stderr behaviour intact.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.accel.algorithms import prop_bytes_for
+from repro.core.config import HardwareScale
+from repro.obs import core
+from repro.obs import log as obs_log
+from repro.sim.resilience import ResilienceReport
+from repro.sim.runner import ExperimentRunner
+from repro.sim.system import HeterogeneousSystem
+
+PAIRS = [("bfs", "FR")]
+
+
+def _sweep_metrics():
+    runner = ExperimentRunner(profile="bench", scale=HardwareScale.bench())
+    out = runner.run_pairs(pairs=PAIRS)
+    return {"/".join(k): v.to_dict() for k, v in out.items()}
+
+
+def _faulting_metrics():
+    """One run that services recoverable guest faults (swapped pages)."""
+    runner = ExperimentRunner(profile="bench", scale=HardwareScale.bench())
+    prepared = runner.prepare("bfs", "FR")
+    config = runner.configs()["dvm_pe"]
+    system = HeterogeneousSystem(config, runner.params)
+    system.load_graph(prepared.graph, prop_bytes=prop_bytes_for("bfs"))
+    system.apply_reclaim_pressure(0.3)
+    metrics = system.run(prepared.result.trace, workload="bfs", graph="FR")
+    return metrics.to_dict()
+
+
+class TestBitIdentical:
+    def test_fault_free_sweep(self, tmp_path):
+        core.configure(enabled=False)
+        off = _sweep_metrics()
+        core.configure(enabled=True, out_dir=str(tmp_path))
+        obs.reset()
+        on = _sweep_metrics()
+        assert json.dumps(on, sort_keys=True) \
+            == json.dumps(off, sort_keys=True)
+        # ... and the enabled run actually observed something.
+        assert core.REGISTRY.counters
+
+    def test_faulting_run(self, tmp_path):
+        core.configure(enabled=False)
+        off = _faulting_metrics()
+        assert off["faults"] > 0, "reclaim pressure must cause guest faults"
+        core.configure(enabled=True, out_dir=str(tmp_path))
+        obs.reset()
+        on = _faulting_metrics()
+        assert json.dumps(on, sort_keys=True) \
+            == json.dumps(off, sort_keys=True)
+        latency = [k for k in core.REGISTRY.histograms
+                   if k.startswith("fault.latency_cycles")]
+        assert latency, "serviced faults must land in the latency histogram"
+        assert core.REGISTRY.histograms[latency[0]].count == on["faults"]
+
+    def test_parallel_sweep_with_workers_observed(self, tmp_path,
+                                                  monkeypatch):
+        core.configure(enabled=False)
+        serial_off = _sweep_metrics()
+        monkeypatch.setenv(core.OBS_ENV_VAR, "1")
+        monkeypatch.setenv(core.OBS_DIR_ENV_VAR, str(tmp_path))
+        core.refresh_from_env()
+        obs.reset()
+        runner = ExperimentRunner(profile="bench",
+                                  scale=HardwareScale.bench())
+        out = runner.run_pairs(pairs=[("bfs", "FR"), ("pagerank", "FR")],
+                               workers=2)
+        parallel_on = {"/".join(k): v.to_dict() for k, v in out.items()
+                       if k[:2] == ("bfs", "FR")}
+        assert json.dumps(parallel_on, sort_keys=True) \
+            == json.dumps(serial_off, sort_keys=True)
+        # Worker observations were shipped back and merged.
+        pids = {e["pid"] for e in obs.snapshot()["events"]}
+        assert len(pids) >= 2
+
+
+class TestTelemetryOutputHygiene:
+    def test_heartbeat_goes_to_stderr_not_stdout(self, obs_enabled, capsys):
+        _sweep_metrics()
+        captured = capsys.readouterr()
+        assert "[obs] sweep" in captured.err
+        assert "[obs]" not in captured.out    # golden tables stay clean
+
+    def test_no_heartbeat_when_disabled(self, capsys):
+        core.configure(enabled=False)
+        _sweep_metrics()
+        assert "[obs]" not in capsys.readouterr().err
+
+
+class TestStructuredDebugRouting:
+    def test_debug_lands_in_obs_dir(self, obs_enabled, capsys):
+        record = obs_log.debug("native", "compile failed", cache="/x")
+        assert record["subsystem"] == "native"
+        lines = (obs_enabled / "log.ndjson").read_text().splitlines()
+        assert json.loads(lines[0])["message"] == "compile failed"
+        assert capsys.readouterr().err == ""   # no stderr when routed
+
+    def test_stderr_fallback_with_repro_debug(self, monkeypatch, capsys):
+        core.configure(enabled=False)
+        monkeypatch.setenv(obs_log.DEBUG_ENV_VAR, "1")
+        obs_log.debug("native", "compile failed", error="boom")
+        err = capsys.readouterr().err
+        assert "[repro.native] compile failed" in err
+        assert "error=boom" in err
+
+    def test_silent_without_either_switch(self, monkeypatch, capsys):
+        core.configure(enabled=False)
+        monkeypatch.delenv(obs_log.DEBUG_ENV_VAR, raising=False)
+        assert obs_log.debug("native", "nothing") is None
+        assert capsys.readouterr().err == ""
+
+    def test_native_debug_routes_through_logger(self, obs_enabled,
+                                                monkeypatch):
+        from repro.sim import _native
+        _native._debug("no C compiler or kernel source")
+        payload = json.loads(
+            (obs_enabled / "log.ndjson").read_text().splitlines()[-1])
+        assert payload["subsystem"] == "native"
+
+
+class TestResilienceReportCacheCounters:
+    def test_cache_counts_are_informational(self):
+        report = ResilienceReport()
+        report.cache_hits = 10
+        report.cache_misses = 3
+        assert report.events() == 0
+        report.retries = 1
+        assert report.events() == 1
+
+    def test_render_mentions_cache_activity(self):
+        report = ResilienceReport(retries=1)
+        report.cache_hits = 5
+        assert "cache hits: 5" in report.render()

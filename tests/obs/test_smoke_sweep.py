@@ -1,0 +1,67 @@
+"""CI smoke sweep: produce, flush, validate, and render obs artifacts.
+
+The ``obs-trace`` CI job runs exactly this module with ``REPRO_OBS=1``
+and ``REPRO_OBS_DIR=obs-trace`` in the environment, then uploads the
+flushed directory as a workflow artifact.  Run locally without those
+variables, the test writes into a throwaway directory instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro import obs
+from repro.core.config import HardwareScale
+from repro.obs import core, report, trace
+from repro.sim.runner import ExperimentRunner
+
+
+def test_smoke_sweep_produces_loadable_artifacts(tmp_path):
+    if os.environ.get(core.OBS_ENV_VAR):
+        core.refresh_from_env()     # honor the CI job's ambient obs dir
+    else:
+        core.configure(enabled=True, out_dir=str(tmp_path))
+    obs.reset()
+    runner = ExperimentRunner(profile="bench", scale=HardwareScale.bench())
+    out = runner.run_pairs(pairs=[("bfs", "FR")])
+    assert len(out) == 7
+
+    paths = obs.flush(tag="smoke", run_id="ci-smoke")
+    assert paths is not None
+    for path in paths.values():
+        assert Path(path).stat().st_size > 0
+
+    chrome = json.loads(Path(paths["trace"]).read_text())
+    assert trace.validate_chrome(chrome) == []
+    assert chrome["otherData"]["run_id"] == "ci-smoke"
+
+    registry = json.loads(Path(paths["metrics"]).read_text())
+    assert registry["counters"], "the sweep must record counters"
+    assert registry["histograms"], "the sweep must record histograms"
+
+    rendered = report.render_report(core.out_dir())
+    assert "Translation hit rates" in rendered
+    assert "Span summary" in rendered
+    assert "Walk-depth distribution" in rendered
+
+
+def test_consecutive_flushes_partition(tmp_path):
+    core.configure(enabled=True, out_dir=str(tmp_path))
+    obs.reset()
+    core.REGISTRY.counter("first").inc()
+    first = obs.flush(tag="a")
+    core.REGISTRY.counter("second").inc()
+    second = obs.flush(tag="b")
+    assert first["metrics"] != second["metrics"]
+    payload_a = json.loads(Path(first["metrics"]).read_text())
+    payload_b = json.loads(Path(second["metrics"]).read_text())
+    assert "first" in payload_a["counters"]
+    assert "first" not in payload_b["counters"]
+    assert "second" in payload_b["counters"]
+
+
+def test_flush_disabled_returns_none():
+    core.configure(enabled=False)
+    assert obs.flush() is None

@@ -83,3 +83,39 @@ class TestDiskCache:
         full = ExperimentRunner(profile="bench", cache_dir=str(tmp_path))
         c = full._metrics_path("bfs", "FR", full.configs()["conv_4k"])
         assert c != a  # different HardwareScale -> different key
+
+
+class TestCacheCounters:
+    """Disk-cache hit/miss accounting in the resilience report."""
+
+    def test_cold_run_counts_misses(self, tmp_path):
+        runner = bench_runner(cache_dir=str(tmp_path))
+        runner.run_pairs(pairs=PAIRS)
+        assert runner.resilience.cache_hits == 0
+        # per pair: one trace artifact plus seven metrics artifacts
+        assert runner.resilience.cache_misses == len(PAIRS) * 8
+
+    def test_warm_run_counts_hits(self, tmp_path):
+        bench_runner(cache_dir=str(tmp_path)).run_pairs(pairs=PAIRS)
+        warm = bench_runner(cache_dir=str(tmp_path))
+        warm.run_pairs(pairs=PAIRS)
+        # warm metrics reads never touch the trace cache
+        assert warm.resilience.cache_hits == len(PAIRS) * 7
+        assert warm.resilience.cache_misses == 0
+        # informational counters: a fully cached sweep is still clean
+        assert warm.resilience.events() == 0
+
+    def test_no_cache_dir_counts_nothing(self):
+        runner = bench_runner()
+        runner.run_pairs(pairs=PAIRS)
+        assert runner.resilience.cache_hits == 0
+        assert runner.resilience.cache_misses == 0
+
+    def test_parallel_workers_ship_counts_back(self, tmp_path):
+        bench_runner(cache_dir=str(tmp_path)).run_pairs(pairs=PAIRS)
+        warm = bench_runner(cache_dir=str(tmp_path))
+        # force re-execution of the pairs in pool workers: delete the
+        # checkpoint-resume shortcut by disabling resume
+        warm.run_pairs(pairs=PAIRS, workers=2, resume=False)
+        assert warm.resilience.cache_hits == len(PAIRS) * 7
+        assert warm.resilience.cache_misses == 0

@@ -30,6 +30,29 @@ class TestCLI:
                          "table1", "table4", "table5"):
             assert artifact in ARTIFACTS
 
+    def test_obs_subcommand_usage(self, capsys):
+        from repro.__main__ import main
+        assert main(["obs"]) == 1
+        assert "usage" in capsys.readouterr().out
+
+    def test_obs_subcommand_renders_report(self, tmp_path, capsys):
+        from repro import obs
+        from repro.obs import core
+        from repro.__main__ import main
+        enabled, override = core.ENABLED, core._out_dir_override
+        try:
+            core.configure(enabled=True, out_dir=str(tmp_path))
+            obs.reset()
+            core.REGISTRY.counter("iommu.walks", config="dvm_pe").inc(7)
+            obs.flush(tag="clitest")
+            assert main(["obs", str(tmp_path)]) == 0
+        finally:
+            core.ENABLED, core._out_dir_override = enabled, override
+            obs.reset()
+        out = capsys.readouterr().out
+        assert "Observability report" in out
+        assert "iommu.walks|config=dvm_pe" in out
+
 
 class TestExamples:
     def test_all_examples_exist(self):
