@@ -1,0 +1,71 @@
+"""Baseline file: grandfathered findings, reviewable in diffs.
+
+The baseline is a checked-in JSON file mapping finding *fingerprints*
+(rule + path + normalized source line — no line numbers, so unrelated
+edits don't invalidate entries) to allowed occurrence counts.  Findings
+matched by the baseline are demoted to informational; new findings fail
+the run.  ``--baseline-update`` rewrites the file from the current
+findings so an intentional new violation shows up as a reviewable
+baseline diff rather than an opaque override.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.core import Finding
+
+VERSION = 1
+
+
+def load(path: Path) -> Counter:
+    """Fingerprint -> allowed count.  A missing file is an empty baseline."""
+    if not path.is_file():
+        return Counter()
+    doc = json.loads(path.read_text())
+    if doc.get("version") != VERSION:
+        raise ValueError(
+            f"unsupported baseline version {doc.get('version')!r} in {path}")
+    allowed: Counter = Counter()
+    for entry in doc.get("findings", ()):
+        allowed[entry["fingerprint"]] += int(entry.get("count", 1))
+    return allowed
+
+
+def partition(findings: list[Finding], allowed: Counter
+              ) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (new, baselined), consuming baseline budget."""
+    budget = Counter(allowed)
+    fresh: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in findings:
+        if budget[finding.fingerprint] > 0:
+            budget[finding.fingerprint] -= 1
+            grandfathered.append(finding)
+        else:
+            fresh.append(finding)
+    return fresh, grandfathered
+
+
+def save(path: Path, findings: list[Finding]) -> None:
+    """Write a baseline covering exactly ``findings`` (sorted, counted)."""
+    counts: Counter = Counter()
+    meta: dict[str, Finding] = {}
+    for finding in findings:
+        counts[finding.fingerprint] += 1
+        meta.setdefault(finding.fingerprint, finding)
+    entries = [
+        {
+            "rule": meta[fp].rule,
+            "path": meta[fp].path,
+            "snippet": meta[fp].snippet.strip(),
+            "fingerprint": fp,
+            "count": counts[fp],
+        }
+        for fp in sorted(counts, key=lambda fp: (meta[fp].path, meta[fp].rule,
+                                                 fp))
+    ]
+    path.write_text(json.dumps({"version": VERSION, "findings": entries},
+                               indent=1) + "\n")

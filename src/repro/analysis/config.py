@@ -1,0 +1,124 @@
+"""Repo-aware configuration: scopes, hot modules, protocol anchors.
+
+Everything dvmlint knows about *this* repository lives here, so the
+framework (:mod:`repro.analysis.core`, :mod:`repro.analysis.engine`)
+stays generic and the rules read like a statement of the invariants:
+
+* which directories hold *simulated* state (determinism rules apply),
+* which modules are on the per-access hot path (obs guard contract),
+* which package owns environment access (``common/``),
+* where the configuration reference lives, and
+* which functions are process-pool worker entries.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import Scope
+
+#: Directories whose code computes simulated state: everything here must
+#: be a pure function of its inputs and seeds.  ``sim/runner.py`` and
+#: ``sim/resilience.py`` are the *control plane* (wall-clock budgets,
+#: retry backoff) and are exempted from the wall-clock rule only.
+SIMULATION_SCOPE = (
+    "src/repro/sim/",
+    "src/repro/hw/",
+    "src/repro/kernel/",
+    "src/repro/core/",
+    "src/repro/virt/",
+    "src/repro/accel/",
+    "src/repro/graphs/",
+    "examples/",
+)
+
+#: Control-plane modules allowed to read wall clocks (deadlines, backoff
+#: pacing — never simulated state).
+WALL_CLOCK_EXEMPT = (
+    "src/repro/sim/runner.py",
+    "src/repro/sim/resilience.py",
+)
+
+#: Modules on (or adjacent to) the per-access hot path, where PR 4's
+#: zero-overhead-when-disabled contract requires every observability
+#: recording call to sit behind the module-level ``ENABLED`` guard.
+HOT_MODULES = (
+    "src/repro/hw/",
+    "src/repro/kernel/",
+    "src/repro/sim/system.py",
+    "src/repro/sim/fastpath.py",
+    "src/repro/sim/runner.py",
+)
+
+#: The observability core module and its recording entry points.  Calls
+#: resolving to these dotted paths must be ``ENABLED``-guarded in hot
+#: modules; administrative calls (``merge``, ``to_dict``, ``reset``,
+#: ``refresh_from_env``) are exempt.
+OBS_CORE_MODULE = "repro.obs.core"
+OBS_RECORDING_CALLS = (
+    "repro.obs.core.counter",
+    "repro.obs.core.histogram",
+    "repro.obs.core.REGISTRY.counter",
+    "repro.obs.core.REGISTRY.histogram",
+)
+OBS_RECORDING_PREFIXES = (
+    "repro.obs.record.",
+)
+
+#: The one package allowed to touch ``os.environ`` directly; everything
+#: else goes through ``repro.common.env`` so knobs stay enumerable.
+ENV_OWNER = "src/repro/common/"
+
+#: The configuration reference every ``REPRO_*`` knob must appear in.
+CONFIG_DOC = "docs/configuration.md"
+
+#: Environment-variable naming convention for runtime knobs.
+ENV_VAR_PATTERN = r"REPRO_[A-Z0-9]+(?:_[A-Z0-9]+)*"
+
+#: The IOMMU layer, where the recoverable-fault delivery protocol lives.
+IOMMU_SCOPE = ("src/repro/hw/",)
+
+#: Known process-pool worker entry functions (in addition to functions
+#: detected as ``pool.submit(fn, ...)`` targets within a module).
+WORKER_ENTRY_NAMES = frozenset({"_pair_worker"})
+
+#: The module sanctioned to create process pools (retry/rebuild/merge
+#: determinism lives there).
+POOL_OWNER = "src/repro/sim/runner.py"
+
+#: Paths never scanned, relative to the analysis root.  The fixture tree
+#: under ``tests/analysis/fixtures`` is a corpus of *intentional*
+#: violations (each rule's positive/negative test vectors) and is
+#: analyzed by the test suite with the fixture directory as its own
+#: root.
+EXCLUDE = (
+    "tests/analysis/fixtures/",
+    "build/",
+)
+
+#: Directory names skipped during file discovery.
+SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".pytest_cache", ".hypothesis", ".ruff_cache",
+    "node_modules", ".benchmarks",
+})
+
+#: Default analysis targets, relative to the root.
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
+
+#: Default baseline location, relative to the root.
+BASELINE_FILE = ".dvmlint-baseline.json"
+
+#: Per-rule severity overrides (rule id -> "error" | "warning").  Rules
+#: default to the severity declared on their class; entries here let the
+#: repo soften or harden a rule without touching its implementation.
+SEVERITY_OVERRIDES: dict[str, str] = {}
+
+# -- scope helpers used by the rule modules ---------------------------------
+
+DETERMINISM = Scope(include=SIMULATION_SCOPE)
+WALL_CLOCK = Scope(include=SIMULATION_SCOPE, exclude=WALL_CLOCK_EXEMPT)
+ALL_SOURCE = Scope(include=("src/", "examples/"))
+SRC_ONLY = Scope(include=("src/",))
+LIBRARY_AND_DRIVERS = Scope(include=("src/", "examples/", "benchmarks/"))
+HOT_PATH = Scope(include=HOT_MODULES, exclude=("src/repro/obs/",))
+ENV_READS = Scope(include=("src/",), exclude=(ENV_OWNER,))
+IOMMU = Scope(include=IOMMU_SCOPE)
+POOLS = Scope(include=("src/",), exclude=(POOL_OWNER,))

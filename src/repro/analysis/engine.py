@@ -1,0 +1,162 @@
+"""Analysis driver: discover files, run rules, fold suppressions/baseline.
+
+The engine is deliberately dependency-free and deterministic: files are
+discovered in sorted order, rules run in id order, and findings are
+sorted by location, so two runs over the same tree produce byte-equal
+reports — the same property the simulator itself guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis import config
+from repro.analysis.core import (ERROR, Finding, ModuleContext,
+                                 ProjectContext, ProjectRule, Rule,
+                                 all_rules)
+from repro.analysis.suppress import Suppressions
+
+
+@dataclass
+class Result:
+    """Outcome of one analysis run."""
+
+    root: Path
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    files: int = 0
+    rules: list[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    def exit_code(self, strict: bool = False) -> int:
+        if self.errors:
+            return 1
+        if strict and self.findings:
+            return 1
+        return 0
+
+
+def discover_files(root: Path, paths: tuple[str, ...]) -> list[Path]:
+    """Python files under ``paths`` (repo-relative), sorted, exclusions
+    applied."""
+    exclude = config.EXCLUDE
+    found: set[Path] = set()
+    for entry in paths:
+        target = (root / entry).resolve()
+        if target.is_file() and target.suffix == ".py":
+            found.add(target)
+            continue
+        if not target.is_dir():
+            raise FileNotFoundError(f"no such analysis target: {entry}")
+        for candidate in target.rglob("*.py"):
+            if any(part in config.SKIP_DIRS for part in candidate.parts):
+                continue
+            found.add(candidate)
+    kept = []
+    for path in found:
+        rel = _relpath(root, path)
+        if any(rel.startswith(e) if e.endswith("/") else rel == e
+               for e in exclude):
+            continue
+        kept.append(path)
+    return sorted(kept)
+
+
+def _relpath(root: Path, path: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _select_rules(select: tuple[str, ...] | None,
+                  ignore: tuple[str, ...] | None) -> list[Rule]:
+    """Registered rules filtered by id or family prefix (``DET``)."""
+
+    def hits(rule: Rule, names: tuple[str, ...]) -> bool:
+        return any(rule.id == n or rule.id.startswith(n) for n in names)
+
+    rules = all_rules()
+    if select:
+        rules = [r for r in rules if hits(r, select)]
+    if ignore:
+        rules = [r for r in rules if not hits(r, ignore)]
+    for rule in rules:
+        override = config.SEVERITY_OVERRIDES.get(rule.id)
+        if override is not None:
+            rule.severity = override
+    return rules
+
+
+def run_analysis(root: Path | str,
+                 paths: tuple[str, ...] = config.DEFAULT_PATHS,
+                 *,
+                 select: tuple[str, ...] | None = None,
+                 ignore: tuple[str, ...] | None = None,
+                 baseline_path: Path | str | None = None,
+                 use_baseline: bool = True,
+                 update_baseline: bool = False) -> Result:
+    """Run every selected rule over ``paths`` beneath ``root``.
+
+    ``baseline_path`` defaults to ``<root>/.dvmlint-baseline.json``.
+    With ``update_baseline`` the current findings *become* the baseline
+    (written to that path) and the run reports them as baselined.
+    """
+    root = Path(root)
+    rules = _select_rules(select, ignore)
+    module_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+
+    result = Result(root=root, rules=[r.id for r in rules])
+    project = ProjectContext(root=root)
+    raw: list[Finding] = []
+
+    for path in discover_files(root, tuple(paths)):
+        rel = _relpath(root, path)
+        try:
+            ctx = ModuleContext(path, rel, path.read_text())
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            raw.append(Finding(
+                rule="PARSE", severity=ERROR, path=rel,
+                line=getattr(exc, "lineno", 1) or 1, col=1,
+                message=f"unparseable module: {exc}"))
+            continue
+        result.files += 1
+        project.modules.append(ctx)
+        for rule in module_rules:
+            if rule.scope.matches(rel):
+                raw.extend(rule.check_module(ctx))
+
+    for rule in project_rules:
+        raw.extend(rule.check_project(project))
+
+    raw.sort(key=Finding.sort_key)
+
+    # Inline suppressions (per-module directive tables, built lazily).
+    tables = {ctx.relpath: Suppressions(ctx) for ctx in project.modules}
+    active: list[Finding] = []
+    for finding in raw:
+        table = tables.get(finding.path)
+        if table is not None and table.covers(finding):
+            result.suppressed.append(finding)
+        else:
+            active.append(finding)
+
+    # Baseline.
+    bpath = Path(baseline_path) if baseline_path is not None \
+        else root / config.BASELINE_FILE
+    if update_baseline:
+        baseline_mod.save(bpath, active)
+        result.baselined = active
+        return result
+    if use_baseline:
+        allowed = baseline_mod.load(bpath)
+        active, result.baselined = baseline_mod.partition(active, allowed)
+    result.findings = active
+    return result

@@ -1,0 +1,68 @@
+"""Finding reporters: human text, machine JSON, GitHub annotations."""
+
+from __future__ import annotations
+
+import json
+from typing import TextIO
+
+FORMATS = ("text", "json", "github")
+
+
+def summary_counts(result) -> dict:
+    return {
+        "files": result.files,
+        "errors": sum(1 for f in result.findings if f.severity == "error"),
+        "warnings": sum(1 for f in result.findings
+                        if f.severity == "warning"),
+        "suppressed": len(result.suppressed),
+        "baselined": len(result.baselined),
+    }
+
+
+def render_text(result, stream: TextIO) -> None:
+    for finding in result.findings:
+        stream.write(f"{finding.path}:{finding.line}:{finding.col}: "
+                     f"{finding.rule} {finding.severity}: "
+                     f"{finding.message}\n")
+    counts = summary_counts(result)
+    parts = [f"{counts['files']} files",
+             f"{counts['errors']} errors",
+             f"{counts['warnings']} warnings"]
+    if counts["suppressed"]:
+        parts.append(f"{counts['suppressed']} suppressed")
+    if counts["baselined"]:
+        parts.append(f"{counts['baselined']} baselined")
+    stream.write(f"dvmlint: {', '.join(parts)}\n")
+
+
+def render_json(result, stream: TextIO) -> None:
+    doc = {
+        "version": 1,
+        "findings": [f.to_dict() for f in result.findings],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "baselined": [f.to_dict() for f in result.baselined],
+        "summary": summary_counts(result),
+    }
+    json.dump(doc, stream, indent=1, sort_keys=True)
+    stream.write("\n")
+
+
+def render_github(result, stream: TextIO) -> None:
+    """GitHub Actions workflow-command annotations, one per finding."""
+    for finding in result.findings:
+        level = "error" if finding.severity == "error" else "warning"
+        message = finding.message.replace("%", "%25") \
+            .replace("\r", "%0D").replace("\n", "%0A")
+        stream.write(f"::{level} file={finding.path},line={finding.line},"
+                     f"col={finding.col},title={finding.rule}::{message}\n")
+    counts = summary_counts(result)
+    stream.write(f"dvmlint: {counts['errors']} errors, "
+                 f"{counts['warnings']} warnings across "
+                 f"{counts['files']} files\n")
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "github": render_github,
+}

@@ -1,0 +1,61 @@
+"""OBS: zero-overhead-when-disabled is a contract, not a convention.
+
+PR 4's observability subsystem guarantees that a disabled run executes
+*zero* additional per-access work: every recording call in a hot module
+sits behind one module-level boolean load (``if obs_core.ENABLED:``).
+The recording helpers are null-safe, so an unguarded call *works* — it
+just silently costs a function call and a registry lookup per event,
+eroding the contract one call site at a time.  This rule keeps the
+guard mandatory where it matters.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis import config
+from repro.analysis.core import ModuleContext, Rule, register
+from repro.analysis.rules._ast_util import attr_access, call_name, guarded_by
+
+
+@register
+class UnguardedObsCall(Rule):
+    """OBS001: recording call in a hot module without the ENABLED guard."""
+
+    id = "OBS001"
+    title = "unguarded observability recording call in a hot module"
+    rationale = ("hot modules must pay exactly one boolean load when "
+                 "observability is off; unguarded recording calls erode "
+                 "the zero-overhead-when-disabled contract")
+    scope = config.HOT_PATH
+
+    def check_module(self, ctx: ModuleContext):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(ctx, node)
+            if name is None or not self._recording(name):
+                continue
+            if guarded_by(ctx, node, lambda test: self._guard(ctx, test)):
+                continue
+            yield ctx.finding(self, node,
+                              f"{name}() records without an `if "
+                              "obs_core.ENABLED:` guard; wrap it so "
+                              "disabled runs pay one boolean load")
+
+    @staticmethod
+    def _recording(name: str) -> bool:
+        return name in config.OBS_RECORDING_CALLS \
+            or name.startswith(config.OBS_RECORDING_PREFIXES)
+
+    @staticmethod
+    def _guard(ctx: ModuleContext, test: ast.AST) -> bool:
+        if attr_access(test, config.OBS_CORE_MODULE, "ENABLED", ctx):
+            return True
+        # `if obs_core.enabled():` is an acceptable (slightly slower) guard.
+        for sub in ast.walk(test):
+            if isinstance(sub, ast.Call) \
+                    and call_name(ctx, sub) == \
+                    f"{config.OBS_CORE_MODULE}.enabled":
+                return True
+        return False

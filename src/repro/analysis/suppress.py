@@ -1,0 +1,49 @@
+"""Inline suppressions: ``# dvmlint: disable=RULE[,RULE...]``.
+
+A suppression comment on the violating line — or on a comment-only line
+immediately above it — silences the named rules for that line.  A
+``# dvmlint: disable-file=RULE[,RULE...]`` comment anywhere in the file
+silences the named rules for the whole file.  ``all`` matches every
+rule.  Suppressed findings are still counted and reported in the
+summary, so a suppression is visible in review rather than silent.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis.core import Finding, ModuleContext
+
+_DIRECTIVE = re.compile(
+    r"#\s*dvmlint:\s*(?P<kind>disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
+
+
+class Suppressions:
+    """Parsed suppression directives for one module."""
+
+    def __init__(self, ctx: ModuleContext):
+        self.by_line: dict[int, set[str]] = {}
+        self.file_wide: set[str] = set()
+        for lineno, text in enumerate(ctx.lines, start=1):
+            match = _DIRECTIVE.search(text)
+            if match is None:
+                continue
+            rules = {r.strip() for r in match.group("rules").split(",")}
+            if match.group("kind") == "disable-file":
+                self.file_wide |= rules
+            else:
+                self.by_line.setdefault(lineno, set()).update(rules)
+                # A standalone comment line suppresses the line below it.
+                if text.lstrip().startswith("#"):
+                    self.by_line.setdefault(lineno + 1, set()).update(rules)
+
+    @staticmethod
+    def _hits(rules: set[str], rule_id: str) -> bool:
+        return "all" in rules or rule_id in rules
+
+    def covers(self, finding: Finding) -> bool:
+        if self._hits(self.file_wide, finding.rule):
+            return True
+        rules = self.by_line.get(finding.line)
+        return rules is not None and self._hits(rules, finding.rule)
