@@ -50,7 +50,7 @@ import numpy as np
 from repro.accel.algorithms import prop_bytes_for, run_workload
 from repro.accel.graphicionado import ExecutionResult
 from repro.accel.trace import SymbolicTrace
-from repro.common import faults, integrity
+from repro.common import env, faults, integrity
 from repro.common.errors import (CacheIntegrityError, ConfigError, PageFault,
                                  ProtectionFault, TransientError,
                                  WorkerCrashError)
@@ -76,7 +76,7 @@ METRICS_KIND = "metrics"
 
 def workers_from_env() -> int:
     """The ``REPRO_WORKERS`` setting as a validated worker count."""
-    raw = os.environ.get(WORKERS_ENV_VAR, "1") or "1"
+    raw = env.raw(WORKERS_ENV_VAR, "1") or "1"
     try:
         workers = int(raw)
     except ValueError:
@@ -87,7 +87,7 @@ def workers_from_env() -> int:
 
 def pair_timeout_from_env() -> float | None:
     """The ``REPRO_PAIR_TIMEOUT`` setting (seconds), if any."""
-    raw = os.environ.get(PAIR_TIMEOUT_ENV_VAR, "") or ""
+    raw = env.raw(PAIR_TIMEOUT_ENV_VAR, "") or ""
     if not raw:
         return None
     try:
@@ -152,7 +152,7 @@ class ExperimentRunner:
         ``REPRO_TIMING_ENGINE`` override.  Keyword overrides win.
         """
         overrides.setdefault("cache_dir",
-                             os.environ.get(CACHE_DIR_ENV_VAR) or None)
+                             env.raw(CACHE_DIR_ENV_VAR) or None)
         overrides.setdefault("pair_timeout", pair_timeout_from_env())
         return cls(**overrides)
 
@@ -236,13 +236,15 @@ class ExperimentRunner:
                     trace=trace, prop=np.empty(0), iterations=0,
                     converged=True, aux={"restored_from": str(trace_path)})
                 self.resilience.cache_hits += 1
-                obs_core.counter("cache.trace.hits").inc()
+                if obs_core.ENABLED:
+                    obs_core.counter("cache.trace.hits").inc()
             except CacheIntegrityError:
                 self._quarantine(trace_path)
         if result is None:
             if trace_path is not None:
                 self.resilience.cache_misses += 1
-                obs_core.counter("cache.trace.misses").inc()
+                if obs_core.ENABLED:
+                    obs_core.counter("cache.trace.misses").inc()
             with obs_trace.span("trace-gen", cat="phase",
                                 workload=workload, dataset=dataset):
                 result = run_workload(
@@ -279,13 +281,15 @@ class ExperimentRunner:
                 metrics = Metrics.from_dict(payload)
                 self._metrics[key] = metrics
                 self.resilience.cache_hits += 1
-                obs_core.counter("cache.metrics.hits").inc()
+                if obs_core.ENABLED:
+                    obs_core.counter("cache.metrics.hits").inc()
                 return metrics
             except CacheIntegrityError:
                 self._quarantine(metrics_path)
         if metrics_path is not None:
             self.resilience.cache_misses += 1
-            obs_core.counter("cache.metrics.misses").inc()
+            if obs_core.ENABLED:
+                obs_core.counter("cache.metrics.misses").inc()
         metrics = self._compute_metrics(workload, dataset, config)
         self._metrics[key] = metrics
         if metrics_path is not None:
@@ -724,7 +728,7 @@ def _pair_worker(spec: dict, workload: str, dataset: str,
     if faults.should_fire("worker_hang"):
         # Simulate a wedged worker; the parent abandons the pair once its
         # wall-clock budget expires and finishes it in a later tier.
-        time.sleep(float(os.environ.get("REPRO_HANG_SECONDS", "30")))
+        time.sleep(env.floating("REPRO_HANG_SECONDS", 30.0))
     faults.maybe_raise(
         "worker_crash",
         lambda: WorkerCrashError(
