@@ -16,6 +16,7 @@ edge-offset array, the edge list, and the active-vertex (frontier) list.
 
 from __future__ import annotations
 
+import hashlib
 import zipfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -100,6 +101,24 @@ class SymbolicTrace:
             raise KeyError(f"no base address for streams {sorted(missing)}")
         addrs = bases[self.streams] + self.offsets
         return addrs, self.writes
+
+    def content_token(self) -> str:
+        """A digest of the trace columns, stable across processes.
+
+        Cache keys derived from it (e.g. the runner's shared page-run
+        batches, :func:`repro.sim.fastpath.batch_for`) are identical in
+        every worker and every run, unlike ``id()``-based keys, which
+        are memory addresses.  Computed once per instance and memoized;
+        traces are immutable after construction.
+        """
+        token = self.__dict__.get("_content_token")
+        if token is None:
+            digest = hashlib.sha1()
+            for column in (self.streams, self.offsets, self.writes):
+                digest.update(np.ascontiguousarray(column).tobytes())
+            token = digest.hexdigest()
+            self.__dict__["_content_token"] = token
+        return token
 
     def write_fraction(self) -> float:
         """Fraction of accesses that are stores."""

@@ -48,10 +48,9 @@ state.
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 
+from repro.common import env
 from repro.common.consts import PAGE_SHIFT
 from repro.sim import _native
 
@@ -63,7 +62,7 @@ _ENGINES = ("fast", "scalar")
 
 def default_engine() -> str:
     """The engine :meth:`IOMMU.run_trace` uses when none is requested."""
-    engine = os.environ.get(ENGINE_ENV_VAR, "fast")
+    engine = env.raw(ENGINE_ENV_VAR, "fast")
     if engine not in _ENGINES:
         raise ValueError(
             f"{ENGINE_ENV_VAR} must be one of {_ENGINES}, got {engine!r}")
@@ -347,10 +346,11 @@ def batch_for(trace, layout, cache: dict | None = None) -> PageRunBatch:
     exactly fall back to eager concretization.
     """
     bases = layout.stream_bases
-    key = (id(trace), tuple(sorted(bases.items())))
+    token = trace.content_token()
+    key = (token, tuple(sorted(bases.items())))
     if cache is not None and key in cache:
         return cache[key]
-    skel_key = ("skeleton", id(trace))
+    skel_key = ("skeleton", token)
     skel = cache.get(skel_key) if cache is not None else None
     if skel is None:
         skel = TraceRunSkeleton(trace)
