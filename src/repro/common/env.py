@@ -1,0 +1,48 @@
+"""Central environment access for every ``REPRO_*`` runtime knob.
+
+All environment reads in the library go through this module (enforced
+by dvmlint rule ENV001): one choke point means the knob inventory stays
+enumerable and cross-checkable against ``docs/configuration.md`` (rules
+ENV002/ENV003), truthiness parses one way everywhere, and pool workers
+re-reading their configuration at entry hit the same code path the
+parent used.
+
+The helpers deliberately return raw strings by default — call sites own
+their parse-and-validate behaviour (several exit with a usage message on
+bad values, e.g. ``REPRO_WORKERS``) — with small typed conveniences for
+the common truthy/float cases.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["raw", "truthy", "truthy_str", "floating"]
+
+
+def raw(name: str, default: str | None = None) -> str | None:
+    """The variable's raw string value, or ``default`` when unset."""
+    return os.environ.get(name, default)
+
+
+def truthy_str(value: str | None) -> bool:
+    """Shared truthiness parse: unset/empty/0/false/no/off are false."""
+    return (value or "").strip().lower() not in ("", "0", "false", "no",
+                                                 "off")
+
+
+def truthy(name: str) -> bool:
+    """Whether the variable is set to a truthy value."""
+    return truthy_str(raw(name))
+
+
+def floating(name: str, default: float) -> float:
+    """The variable as a float; unset, empty or unparseable gives
+    ``default``."""
+    value = raw(name)
+    if value is None or not value.strip():
+        return default
+    try:
+        return float(value)
+    except ValueError:
+        return default

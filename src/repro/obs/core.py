@@ -33,6 +33,8 @@ import itertools
 import os
 from pathlib import Path
 
+from repro.common import env
+
 #: Master switch: set ``REPRO_OBS=1`` to enable the subsystem.
 OBS_ENV_VAR = "REPRO_OBS"
 
@@ -46,13 +48,12 @@ DEFAULT_OBS_DIR = "repro-obs"
 NUM_BINS = 64
 
 
-def _env_truthy(raw: str | None) -> bool:
-    return (raw or "").strip().lower() not in ("", "0", "false", "no", "off")
-
+#: Truthiness parse for the obs switches (now the repo-wide one).
+_env_truthy = env.truthy_str
 
 #: The hot-path guard.  Call sites read this attribute directly
 #: (``if core.ENABLED:``) so the disabled cost is one load + branch.
-ENABLED: bool = _env_truthy(os.environ.get(OBS_ENV_VAR))
+ENABLED: bool = env.truthy(OBS_ENV_VAR)
 
 _out_dir_override: str | None = None
 _flush_seq = itertools.count(1)
@@ -81,7 +82,7 @@ def configure(enabled: bool | None = None,
 def refresh_from_env() -> None:
     """Re-read ``REPRO_OBS``/``REPRO_OBS_DIR`` (worker entry, tests)."""
     global ENABLED, _out_dir_override
-    ENABLED = _env_truthy(os.environ.get(OBS_ENV_VAR))
+    ENABLED = env.truthy(OBS_ENV_VAR)
     _out_dir_override = None
 
 
@@ -89,7 +90,7 @@ def out_dir() -> Path:
     """The observability output directory (not created here)."""
     if _out_dir_override is not None:
         return Path(_out_dir_override)
-    return Path(os.environ.get(OBS_DIR_ENV_VAR) or DEFAULT_OBS_DIR)
+    return Path(env.raw(OBS_DIR_ENV_VAR) or DEFAULT_OBS_DIR)
 
 
 def ensure_out_dir() -> Path:

@@ -21,6 +21,7 @@ import os
 import sys
 import time
 
+from repro.common import env
 from repro.obs import core
 
 #: Legacy switch: log degradation diagnostics to stderr when obs is off.
@@ -33,8 +34,12 @@ _seq = itertools.count(1)
 
 
 def debug_enabled() -> bool:
-    """Whether stderr debug diagnostics are requested (``REPRO_DEBUG``)."""
-    return bool(os.environ.get(DEBUG_ENV_VAR))
+    """Whether stderr debug diagnostics are requested (``REPRO_DEBUG``).
+
+    Uses the shared truthiness parse, so ``REPRO_DEBUG=0`` now disables
+    diagnostics (it used to count as set).
+    """
+    return env.truthy(DEBUG_ENV_VAR)
 
 
 def debug(subsystem: str, message: str, **fields) -> dict | None:

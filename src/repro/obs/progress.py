@@ -18,6 +18,7 @@ import os
 import sys
 import time
 
+from repro.common import env
 from repro.obs import core
 
 #: Minimum seconds between heartbeat lines (float; 0 = every update).
@@ -26,7 +27,7 @@ HEARTBEAT_ENV_VAR = "REPRO_OBS_HEARTBEAT"
 
 def heartbeat_interval() -> float:
     """The configured minimum interval between heartbeat lines."""
-    raw = os.environ.get(HEARTBEAT_ENV_VAR, "") or ""
+    raw = env.raw(HEARTBEAT_ENV_VAR, "") or ""
     try:
         return max(0.0, float(raw)) if raw else 0.0
     except ValueError:

@@ -28,7 +28,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.common import faults, integrity
+from repro.common import env, faults, integrity
 from repro.obs import log as obs_log
 
 #: Set to ``0`` to force the pure-numpy engine (used by equivalence tests).
@@ -99,7 +99,7 @@ def _load() -> ctypes.CDLL | None:
     if _tried:
         return _lib
     _tried = True
-    if os.environ.get(NATIVE_ENV_VAR, "1") == "0":
+    if env.raw(NATIVE_ENV_VAR, "1") == "0":
         return None
     lib = _compile()
     if lib is not None:
