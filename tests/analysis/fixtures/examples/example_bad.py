@@ -1,0 +1,7 @@
+"""Examples assert the determinism story to users, so DET applies."""
+
+import random
+
+
+def demo_jitter():
+    return random.random()  # dvmlint-expect: DET001

@@ -1,0 +1,11 @@
+"""ENV001 negative: common/ is the sanctioned environment owner."""
+
+import os
+
+
+def raw(name, default=None):
+    return os.environ.get(name, default)
+
+
+def workers_default():
+    return os.getenv("REPRO_WORKERS", "1")

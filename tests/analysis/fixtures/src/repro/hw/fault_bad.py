@@ -1,0 +1,31 @@
+"""FAULT vectors: bare protocol raises and taxonomy-swallowing excepts."""
+
+from repro.common.errors import PageFault, ProtectionFault
+
+
+class BadWalker:
+    def translate(self, va):
+        if va < 0:
+            raise ProtectionFault(va)  # dvmlint-expect: FAULT001
+        raise PageFault(va)  # dvmlint-expect: FAULT001
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except Exception:  # dvmlint-expect: FAULT002
+        return None
+
+
+def bare_except(fn):
+    try:
+        return fn()
+    except:  # noqa: E722  # dvmlint-expect: FAULT002
+        return None
+
+
+def tuple_broad(fn):
+    try:
+        return fn()
+    except (ValueError, Exception):  # dvmlint-expect: FAULT002
+        return None

@@ -1,0 +1,29 @@
+"""FAULT negatives: guarded legacy raises and disciplined handlers."""
+
+from repro.common.errors import PageFault, TransientError
+
+
+class GuardedWalker:
+    fault_path = None
+
+    def translate(self, va):
+        if self.fault_path is None:
+            raise PageFault(va)
+        return self.deliver(va)
+
+    def deliver(self, va):
+        return va
+
+
+def narrow_handler(fn):
+    try:
+        return fn()
+    except TransientError:
+        return None
+
+
+def broad_but_reraises(fn):
+    try:
+        return fn()
+    except Exception:
+        raise

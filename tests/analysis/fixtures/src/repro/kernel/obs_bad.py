@@ -1,0 +1,11 @@
+"""OBS001 vectors: unguarded recording calls on the hot path."""
+
+from repro.obs import core as obs_core
+from repro.obs import record as obs_record
+
+
+def service_fault(entry):
+    obs_core.counter("kernel.faults").inc()  # dvmlint-expect: OBS001
+    obs_core.histogram("kernel.depth").observe(entry)  # dvmlint-expect: OBS001
+    obs_record.walk_depth(entry)  # dvmlint-expect: OBS001
+    return entry

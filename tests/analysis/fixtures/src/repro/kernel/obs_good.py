@@ -1,0 +1,26 @@
+"""OBS001 negatives: every acceptable guard form, plus admin calls."""
+
+from repro.obs import core as obs_core
+
+
+def guarded_block(n):
+    if obs_core.ENABLED:
+        obs_core.counter("kernel.block").inc(n)
+
+
+def guarded_expression(n):
+    return obs_core.counter("kernel.expr").inc(n) if obs_core.ENABLED \
+        else None
+
+
+def guarded_short_circuit(n):
+    return obs_core.ENABLED and obs_core.counter("kernel.and").inc(n)
+
+
+def guarded_call_form(n):
+    if obs_core.enabled():
+        obs_core.histogram("kernel.call").observe(n)
+
+
+def administrative(other):
+    obs_core.REGISTRY.merge(other)

@@ -1,0 +1,39 @@
+"""DET positives: the determinism family's core violation vectors.
+
+Each expect marker comment names the finding the harness requires on
+exactly that line.
+"""
+
+import random
+import time
+
+import numpy as np
+
+
+def global_rng_draw():
+    return random.random()  # dvmlint-expect: DET001
+
+
+def unseeded_instance():
+    return random.Random()  # dvmlint-expect: DET001
+
+
+def seeded_instance_ok():
+    return random.Random(1234)
+
+
+def numpy_global_draw(n):
+    return np.random.rand(n)  # dvmlint-expect: DET001
+
+
+def numpy_unseeded_rng():
+    return np.random.default_rng()  # dvmlint-expect: DET001
+
+
+def wall_clock_in_sim():
+    return time.perf_counter()  # dvmlint-expect: DET002
+
+
+def id_key(trace, cache):
+    cache[id(trace)] = 1  # dvmlint-expect: DET005
+    return cache

@@ -1,0 +1,21 @@
+"""DET negatives: seeded and derived randomness passes untouched."""
+
+import random
+
+import numpy as np
+
+
+def seeded_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def seeded_stdlib(seed):
+    return random.Random(seed)
+
+
+def generator_wrap(bitgen):
+    return np.random.Generator(bitgen)
+
+
+def local_method_named_random(rng):
+    return rng.random()

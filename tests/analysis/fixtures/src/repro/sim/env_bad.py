@@ -1,0 +1,11 @@
+"""ENV vectors: direct environment reads and an undocumented knob."""
+
+import os
+
+
+def undocumented_knob():
+    return os.environ.get("REPRO_UNDOCUMENTED")  # dvmlint-expect: ENV001,ENV002
+
+
+def getenv_read():
+    return os.getenv("REPRO_WORKERS")  # dvmlint-expect: ENV001

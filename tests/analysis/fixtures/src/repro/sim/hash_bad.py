@@ -1,0 +1,34 @@
+"""DET003/DET004 vectors: ambient entropy and unordered digest inputs."""
+
+import hashlib
+import json
+import os
+import uuid
+
+
+def ambient_entropy():
+    return os.urandom(8)  # dvmlint-expect: DET003
+
+
+def ambient_uuid():
+    return uuid.uuid4()  # dvmlint-expect: DET003
+
+
+def digest_unsorted(payload):
+    blob = json.dumps(payload)  # dvmlint-expect: DET004
+    return hashlib.sha1(blob.encode()).hexdigest()
+
+
+def digest_set_iteration(values):
+    digest = hashlib.sha256()
+    for value in {v for v in values}:  # dvmlint-expect: DET004
+        digest.update(str(value).encode())
+    return digest.hexdigest()
+
+
+def digest_sorted_ok(payload, keys):
+    blob = json.dumps(payload, sort_keys=True)
+    digest = hashlib.sha1(blob.encode())
+    for key in sorted(keys):
+        digest.update(key.encode())
+    return digest.hexdigest()

@@ -1,0 +1,21 @@
+"""MP vectors: worker-entry state loss and ad-hoc process pools."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.sim import metrics as sim_metrics
+
+_TRACE_CACHE = {}
+_COUNTERS = {"pairs": 0}
+
+
+def _pair_worker(pair):
+    global _COUNTERS  # dvmlint-expect: MP001
+    _COUNTERS = {"pairs": 1}
+    _TRACE_CACHE[pair] = object()  # dvmlint-expect: MP001
+    sim_metrics.REGISTRY.update({"pair": pair})  # dvmlint-expect: MP001
+    return pair
+
+
+def run_pairs(pairs):
+    with ProcessPoolExecutor() as pool:  # dvmlint-expect: MP002
+        return list(pool.map(_pair_worker, pairs))

@@ -1,0 +1,21 @@
+"""Control-plane negatives: the runner owns pools and wall clocks,
+and its worker entry ships mutated state back in its return value."""
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+_RESULTS = {}
+
+
+def _pair_worker(pair):
+    entries = {}
+    entries[pair] = 1
+    return entries
+
+
+def run_pairs(pairs):
+    deadline = time.monotonic() + 60.0
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(_pair_worker, p) for p in pairs]
+        results = [f.result() for f in futures]
+    return results, deadline

@@ -1,0 +1,19 @@
+"""Suppression directives: same-line, line-above, and file-wide."""
+
+# dvmlint: disable-file=DET003
+
+import random
+import uuid
+
+
+def suppressed_same_line():
+    return random.random()  # dvmlint: disable=DET001
+
+
+def suppressed_line_above(obj):
+    # dvmlint: disable=DET005
+    return id(obj)
+
+
+def suppressed_file_wide():
+    return uuid.uuid4()

@@ -1,0 +1,87 @@
+"""Baseline round-trips: grandfathering, budgets, fingerprint stability."""
+
+import json
+from collections import Counter
+
+import pytest
+
+from repro.analysis import baseline
+from repro.analysis.core import ERROR, Finding
+
+from tests.analysis.conftest import analyze_fixtures
+
+
+def make_finding(line=10, snippet="x = id(y)", path="src/a.py",
+                 rule="DET005"):
+    return Finding(rule=rule, severity=ERROR, path=path, line=line,
+                   col=1, message="m", snippet=snippet)
+
+
+class TestFingerprint:
+    def test_line_number_independent(self):
+        """Unrelated edits that shift a file must not invalidate entries."""
+        assert make_finding(line=10).fingerprint \
+            == make_finding(line=99).fingerprint
+
+    def test_sensitive_to_rule_path_and_snippet(self):
+        base = make_finding().fingerprint
+        assert make_finding(rule="DET001").fingerprint != base
+        assert make_finding(path="src/b.py").fingerprint != base
+        assert make_finding(snippet="x = id(z)").fingerprint != base
+
+    def test_snippet_whitespace_normalized(self):
+        assert make_finding(snippet="  x = id(y)  ").fingerprint \
+            == make_finding(snippet="x = id(y)").fingerprint
+
+
+class TestPartition:
+    def test_budget_consumed_per_occurrence(self):
+        findings = [make_finding(line=n) for n in (1, 2, 3)]
+        allowed = Counter({findings[0].fingerprint: 2})
+        fresh, grandfathered = baseline.partition(findings, allowed)
+        assert len(grandfathered) == 2
+        assert len(fresh) == 1
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert baseline.load(tmp_path / "absent.json") == Counter()
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 999, "findings": []}))
+        with pytest.raises(ValueError):
+            baseline.load(path)
+
+
+class TestRoundTrip:
+    def test_update_then_rerun_is_clean(self, tmp_path):
+        bpath = tmp_path / "baseline.json"
+        first = analyze_fixtures(baseline_path=bpath,
+                                 update_baseline=True)
+        assert bpath.is_file()
+        assert first.baselined and not first.findings
+
+        second = analyze_fixtures(baseline_path=bpath, use_baseline=True)
+        assert second.findings == []
+        assert len(second.baselined) == len(first.baselined)
+        assert second.exit_code() == 0
+
+    def test_baseline_entries_reviewable(self, tmp_path):
+        """Entries carry rule/path/snippet so diffs read in review."""
+        bpath = tmp_path / "baseline.json"
+        analyze_fixtures(baseline_path=bpath, update_baseline=True)
+        doc = json.loads(bpath.read_text())
+        assert doc["version"] == baseline.VERSION
+        for entry in doc["findings"]:
+            assert set(entry) == {"rule", "path", "snippet",
+                                  "fingerprint", "count"}
+            assert entry["count"] >= 1
+
+    def test_new_finding_not_covered_by_old_baseline(self, tmp_path):
+        bpath = tmp_path / "baseline.json"
+        analyze_fixtures(baseline_path=bpath, update_baseline=True,
+                         select=("FAULT",))
+        result = analyze_fixtures(baseline_path=bpath, use_baseline=True)
+        rules = {f.rule for f in result.findings}
+        assert not any(r.startswith("FAULT") for r in rules)
+        assert any(r.startswith("DET") for r in rules)
+        assert result.exit_code() == 1

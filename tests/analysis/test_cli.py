@@ -1,0 +1,71 @@
+"""The ``python -m repro.analysis`` command line, end to end."""
+
+import json
+
+from repro.analysis.cli import main
+
+from tests.analysis.conftest import FIXTURE_ROOT, REPO_ROOT
+
+FIXTURE_ARGS = ["--root", str(FIXTURE_ROOT), "src", "examples"]
+
+
+class TestCli:
+    def test_corpus_fails(self, capsys):
+        assert main([*FIXTURE_ARGS, "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out and "\ndvmlint: " in out
+
+    def test_select_family(self, capsys):
+        assert main([*FIXTURE_ARGS, "--no-baseline",
+                     "--select", "FAULT"]) == 1
+        out = capsys.readouterr().out
+        assert "FAULT001" in out and "DET001" not in out
+
+    def test_warning_only_passes_unless_strict(self, capsys):
+        args = [*FIXTURE_ARGS, "--no-baseline", "--select", "MP002"]
+        assert main(args) == 0
+        assert main([*args, "--strict"]) == 1
+
+    def test_ignore_everything_passes(self, capsys):
+        assert main([*FIXTURE_ARGS, "--no-baseline", "--ignore",
+                     "DET,FAULT,OBS,ENV,MP,PARSE"]) == 0
+
+    def test_json_format(self, capsys):
+        main([*FIXTURE_ARGS, "--no-baseline", "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1 and doc["findings"]
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "DET005", "FAULT001", "FAULT002",
+                        "OBS001", "ENV001", "ENV002", "ENV003",
+                        "MP001", "MP002"):
+            assert rule_id in out
+
+    def test_baseline_update_round_trip(self, tmp_path, capsys):
+        bpath = tmp_path / "baseline.json"
+        assert main([*FIXTURE_ARGS, "--baseline", str(bpath),
+                     "--baseline-update"]) == 0
+        assert main([*FIXTURE_ARGS, "--baseline", str(bpath)]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+
+    def test_missing_target_exits_2(self, capsys):
+        assert main(["--root", str(FIXTURE_ROOT), "no-such-dir"]) == 2
+
+
+class TestRealRepository:
+    def test_repo_is_clean(self, capsys):
+        """`make analyze` exits 0: the tree satisfies its own invariants."""
+        assert main(["--root", str(REPO_ROOT)]) == 0
+
+    def test_checked_in_baseline_is_empty_or_justified(self):
+        baseline = REPO_ROOT / ".dvmlint-baseline.json"
+        assert baseline.is_file(), "the baseline file is checked in"
+        doc = json.loads(baseline.read_text())
+        assert doc["version"] == 1
+        for entry in doc["findings"]:
+            # A grandfathered entry must stay reviewable.
+            assert entry.get("rule") and entry.get("path") \
+                and entry.get("fingerprint")

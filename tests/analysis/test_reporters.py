@@ -1,0 +1,75 @@
+"""Reporter formats: text lines, JSON schema, GitHub annotations."""
+
+import io
+import json
+import re
+
+from repro.analysis.reporters import (render_github, render_json,
+                                      render_text)
+
+from tests.analysis.conftest import analyze_fixtures
+
+_TEXT_LINE = re.compile(
+    r"^[\w/.-]+:\d+:\d+: [A-Z]+\d+ (error|warning): .+$")
+_GITHUB_LINE = re.compile(
+    r"^::(error|warning) file=[\w/.-]+,line=\d+,col=\d+,"
+    r"title=[A-Z]+\d+::.+$")
+
+_FINDING_KEYS = {"rule", "severity", "path", "line", "col", "message",
+                 "snippet", "fingerprint"}
+
+
+def render(renderer, result) -> str:
+    stream = io.StringIO()
+    renderer(result, stream)
+    return stream.getvalue()
+
+
+class TestText:
+    def test_line_format_and_summary(self, fixture_result):
+        lines = render(render_text, fixture_result).splitlines()
+        assert lines, "expected findings in the fixture corpus"
+        for line in lines[:-1]:
+            assert _TEXT_LINE.match(line), line
+        assert lines[-1].startswith("dvmlint: ")
+        assert "suppressed" in lines[-1]
+
+
+class TestJson:
+    def test_document_schema(self, fixture_result):
+        doc = json.loads(render(render_json, fixture_result))
+        assert set(doc) == {"version", "findings", "suppressed",
+                            "baselined", "summary"}
+        assert doc["version"] == 1
+        for finding in (doc["findings"] + doc["suppressed"]
+                        + doc["baselined"]):
+            assert set(finding) == _FINDING_KEYS
+            assert re.fullmatch(r"[0-9a-f]{16}", finding["fingerprint"])
+        summary = doc["summary"]
+        assert set(summary) == {"files", "errors", "warnings",
+                                "suppressed", "baselined"}
+        assert summary["errors"] == sum(
+            1 for f in doc["findings"] if f["severity"] == "error")
+
+    def test_output_deterministic(self):
+        """Two runs over the same tree render byte-identical reports."""
+        first = render(render_json, analyze_fixtures())
+        second = render(render_json, analyze_fixtures())
+        assert first == second
+
+
+class TestGithub:
+    def test_annotation_format(self, fixture_result):
+        lines = render(render_github, fixture_result).splitlines()
+        for line in lines[:-1]:
+            assert _GITHUB_LINE.match(line), line
+        assert lines[-1].startswith("dvmlint: ")
+
+    def test_workflow_command_escaping(self, fixture_result):
+        from dataclasses import replace
+        noisy = replace(fixture_result.findings[0],
+                        message="100% broken\nsecond line")
+        result = type(fixture_result)(root=fixture_result.root,
+                                      findings=[noisy])
+        out = render(render_github, result)
+        assert "100%25 broken%0Asecond line" in out

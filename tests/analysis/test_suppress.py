@@ -1,0 +1,33 @@
+"""Inline suppression directives: same-line, line-above, file-wide."""
+
+from tests.analysis.conftest import analyze_fixtures
+
+DEMO = "src/repro/sim/suppress_demo.py"
+
+
+def demo_suppressed(result):
+    return [f for f in result.suppressed if f.path == DEMO]
+
+
+class TestSuppressions:
+    def test_all_three_directive_forms_suppress(self, fixture_result):
+        rules = sorted(f.rule for f in demo_suppressed(fixture_result))
+        assert rules == ["DET001", "DET003", "DET005"]
+
+    def test_suppressed_findings_leave_the_active_set(self, fixture_result):
+        assert not [f for f in fixture_result.findings if f.path == DEMO]
+
+    def test_suppression_is_rule_specific(self):
+        """Disabling only an unrelated rule leaves the findings active."""
+        result = analyze_fixtures(select=("DET001",),
+                                  paths=(DEMO,))
+        # The same-line disable=DET001 still applies; the file-wide
+        # directive names DET003 only, so selecting DET001 alone must
+        # not leak extra suppressions.
+        assert [f.rule for f in result.suppressed] == ["DET001"]
+        assert result.findings == []
+
+    def test_suppressed_counted_in_summary(self, fixture_result):
+        from repro.analysis.reporters import summary_counts
+        counts = summary_counts(fixture_result)
+        assert counts["suppressed"] == 3
