@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench bench-smoke bench-figures lint experiments examples clean
+.PHONY: install test chaos bench bench-smoke bench-figures lint analyze analyze-baseline experiments examples clean
 
 # Seed matrix for the chaos battery (comma-separated injector seeds).
 REPRO_CHAOS_SEEDS ?= 0,1,2,3
@@ -35,10 +35,23 @@ bench-smoke:
 bench-figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+# General Python hygiene (ruff, pinned in the dev extra).  A missing
+# ruff is a broken dev environment, not a pass: fail loudly.
 lint:
 	@command -v ruff >/dev/null 2>&1 \
-	&& ruff check src tests benchmarks examples \
-	|| echo "ruff not installed; skipping lint"
+	|| { echo "error: ruff not installed (pip install -e '.[dev]')" >&2; exit 1; }
+	ruff check src tests benchmarks examples
+
+# Repo-specific invariants (dvmlint): determinism, fault-path protocol,
+# obs guards, env discipline, worker-state shipping.  See
+# docs/static-analysis.md.
+analyze:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis
+
+# Rewrite the checked-in baseline from current findings; the baseline
+# diff is the review artifact for intentionally grandfathered findings.
+analyze-baseline:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis --baseline-update
 
 experiments:
 	$(PYTHON) -m repro all
