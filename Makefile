@@ -26,10 +26,14 @@ chaos:
 bench:
 	$(PYTHON) benchmarks/perf_timing.py
 
-# Perf smoke: time the first full-profile pair under both engines and
-# fail if the fastpath speedup regresses >30% against BENCH_timing.json.
+# Perf smoke: time the first full-profile pair under both engines —
+# fault-free and fault-enabled (demand faulting + reclaim swap-in) —
+# and fail if any fastpath speedup regresses >30% against
+# BENCH_timing.json or the aggregate fault-enabled speedup drops
+# below 8x.
 bench-smoke:
-	$(PYTHON) benchmarks/perf_timing.py --pairs 1 \
+	$(PYTHON) benchmarks/perf_timing.py --pairs 1 --fault-pairs 1 \
+		--min-fault-speedup 8 \
 		--check BENCH_timing.json --output build/bench_smoke.json
 
 bench-figures:

@@ -205,3 +205,41 @@ class IdDerivedKey(Rule):
                                   "id() yields a memory address; derive "
                                   "keys from content so caches and hashes "
                                   "are stable across processes")
+
+
+@register
+class HashDerivedCacheKey(Rule):
+    """DET006: builtin ``hash()`` feeding a cache key."""
+
+    id = "DET006"
+    title = "hash()-derived cache key"
+    rationale = ("str/bytes hash() is salted per process "
+                 "(PYTHONHASHSEED), so cache keys built from it differ "
+                 "between sweep workers; batch and kernel caches (the "
+                 "fastpath page-run batch, the native LRU kernel) must "
+                 "key on content tokens so a result computed in one "
+                 "process is found by every other")
+    scope = config.SRC_ONLY
+
+    def check_module(self, ctx: ModuleContext):
+        for _scope, nodes in function_contexts(ctx):
+            if not any(self._cache_ref(n) for n in nodes):
+                continue
+            for node in nodes:
+                if isinstance(node, ast.Call) \
+                        and isinstance(node.func, ast.Name) \
+                        and node.func.id == "hash" \
+                        and "hash" not in ctx.imports \
+                        and len(node.args) == 1:
+                    yield ctx.finding(self, node,
+                                      "hash() in a cache-handling function "
+                                      "is process-salted for str/bytes; key "
+                                      "the cache on a content token "
+                                      "(content_token(), fingerprints) "
+                                      "instead")
+
+    @staticmethod
+    def _cache_ref(node: ast.AST) -> bool:
+        return (isinstance(node, ast.Name) and "cache" in node.id.lower()) \
+            or (isinstance(node, ast.Attribute)
+                and "cache" in node.attr.lower())

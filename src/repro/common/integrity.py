@@ -147,7 +147,7 @@ def write_sidecar(path: Path, content_of: Path | None = None) -> None:
     if faults.should_fire("cache_corrupt"):
         digest = digest[::-1]
     sidecar = sidecar_path(path)
-    tmp = sidecar.with_name(f"{sidecar.name}.{os.getpid()}.tmp")
+    tmp = tmp_path(sidecar)
     tmp.write_text(f"repro-cache-v{SCHEMA_VERSION} sha256:{digest}\n")
     os.replace(tmp, sidecar)
 

@@ -19,9 +19,11 @@ argument end-to-end:
   way a CPU-style demand-paged OS would run an accelerator; every cold
   chunk costs one full fault service.
 
-Fault-bearing runs automatically take the scalar timing path (the fast
-engine refuses traces it cannot prove fault-free), so the fault-free rows
-stay bit-identical to every other experiment.
+Fault-bearing runs stay on the fast timing path: the engine delivers the
+predicted faults through the real fault queue and kernel handler (or
+stitches fault-free segments around them) and is bit-identical to the
+scalar loops either way, so every row here matches a scalar rerun and
+the fault-free rows stay bit-identical to every other experiment.
 """
 
 from __future__ import annotations

@@ -128,6 +128,25 @@ class SetAssocCache:
         """
         lru_put(self._sets[block % self.num_sets], block, True, self.ways)
 
+    def install_blocks(self, blocks) -> None:
+        """Bulk :meth:`install_block` in last-touch order (MRU last).
+
+        One call replaces the batched engine's per-block dispatch when it
+        rebuilds end-of-trace contents; stats are untouched.
+        """
+        sets, num_sets, ways = self._sets, self.num_sets, self.ways
+        for block in blocks:
+            lru_put(sets[block % num_sets], block, True, ways)
+
+    def resident_blocks(self) -> list[int]:
+        """Resident block ids, LRU-to-MRU within each set.
+
+        The batched engine primes its LRU replay with these so a warm
+        cache needs no scalar fallback: sets are independent, so any
+        global order whose per-set projection is recency order is exact.
+        """
+        return [block for cache_set in self._sets for block in cache_set]
+
     def invalidate_all(self) -> None:
         """Flush the cache contents (stats are preserved)."""
         for cache_set in self._sets:

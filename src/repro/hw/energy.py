@@ -52,6 +52,17 @@ class EnergyAccount:
             raise KeyError(f"unknown energy event {event!r}")
         self.events[event] = self.events.get(event, 0) + count
 
+    def add_batch(self, events: dict[str, int]) -> None:
+        """Record a whole counter snapshot at once (batched accounting).
+
+        Zero-count entries are dropped so a batched caller leaves the
+        same event set behind as an equivalent per-event caller that
+        guards each :meth:`add` behind ``if count:``.
+        """
+        for event, count in events.items():
+            if count:
+                self.add(event, count)
+
     def total_pj(self) -> float:
         """Total MMU dynamic energy in picojoules."""
         return sum(self.model.cost(event) * count

@@ -42,17 +42,24 @@ On top of the scalar loops sits a batched engine
 into page runs and resolves guaranteed LRU hits vectorially, replaying
 only the residual accesses through the same dict operations.  The fast
 engine produces bit-identical :class:`TimingStats` and final structure
-state (``tests/sim/test_fastpath_equivalence.py``); traces that could
-fault — and a few unsupported shapes, like a populated TLB or an L2 TLB —
-fall back to the scalar loops, which remain the ground truth.  Select the
-engine per call (``engine="scalar"``) or globally via the
-``REPRO_TIMING_ENGINE`` environment variable.
+state (``tests/sim/test_fastpath_equivalence.py``).  Traces that could
+fault are segmented at predicted fault sites: fault-free segments replay
+batched, while the fault-bearing spans run through the scalar loops —
+and the real fault-delivery machinery (:mod:`repro.hw.fault_queue`,
+:mod:`repro.kernel.fault`) — as scalar bridges.  Only a few shapes
+still refuse outright (an L2 TLB, vector-budget overruns, raw IOMMUs
+without a fault path on faulting traces); the scalar loops remain the
+ground truth either way.  Select the engine per call
+(``engine="scalar"``) or globally via the ``REPRO_TIMING_ENGINE``
+environment variable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.common.errors import PageFault, ProtectionFault
 from repro.hw.bitmap import PermissionBitmap
@@ -219,8 +226,10 @@ class IOMMU:
         selects ``"fast"`` (batched page-run engine, the default) or
         ``"scalar"`` (the per-access loops); unset, the
         ``REPRO_TIMING_ENGINE`` environment variable decides.  The fast
-        engine falls back to the scalar loops for traces it cannot prove
-        fault-free, so results are identical either way.
+        engine replays fault-bearing traces as fault-free segments
+        stitched by scalar bridges, and falls back to the scalar loops
+        entirely for the few shapes it refuses — results are identical
+        either way.
         """
         from repro.sim import fastpath
         if engine is None:
@@ -250,14 +259,17 @@ class IOMMU:
         from repro.sim import fastpath
         stats = TimingStats()
         self._maybe_inject_fault(batch.addrs, batch.writes, stats)
-        if fastpath.run_batch(self, batch, stats):
+        outcome = fastpath.run_batch(self, batch, stats)
+        if outcome:
             self._finalize_energy(stats)
             if obs_core.ENABLED:
-                obs_record.record_fastpath(self.config.mech, accepted=True)
+                obs_record.record_fastpath(self.config.mech, accepted=True,
+                                           segments=outcome.segments)
                 obs_record.record_trace_run(self, stats)
             return stats
         if obs_core.ENABLED:
-            obs_record.record_fastpath(self.config.mech, accepted=False)
+            obs_record.record_fastpath(self.config.mech, accepted=False,
+                                       reason=outcome.reason)
         return self._run_scalar(batch.addrs.tolist(), batch.writes.tolist(),
                                 stats)
 
@@ -300,6 +312,8 @@ class IOMMU:
         stats.writes = sum(writes)
         stats.reads = n - stats.writes
         self.dram.stats.data_accesses += n
+        if n:
+            self.dram.account_rows(np.asarray(addrs, np.int64) >> 12)
 
     def _run_conventional(self, addrs, writes, stats: TimingStats) -> None:
         tlb = self.tlb
@@ -413,6 +427,8 @@ class IOMMU:
         n = len(addrs)
         self.dram.stats.data_accesses += n
         self.dram.stats.walk_accesses += walk_mem
+        if n:
+            self.dram.account_rows(np.asarray(addrs, np.int64) >> 12)
         tlb.stats.hits += n - walks - l2_hits
         tlb.stats.misses += walks + l2_hits
         if tlb_l2 is not None:
@@ -541,6 +557,8 @@ class IOMMU:
         n = len(addrs)
         self.dram.stats.data_accesses += n
         self.dram.stats.walk_accesses += walk_mem + bm_mem
+        if n:
+            self.dram.account_rows(np.asarray(addrs, np.int64) >> 12)
         bm_cache.stats.hits += n - bm_mem
         bm_cache.stats.misses += bm_mem
         tlb.stats.hits += tlb_lookups - tlb_misses
@@ -621,6 +639,8 @@ class IOMMU:
         self.dram.stats.data_accesses += n
         self.dram.stats.walk_accesses += walk_mem
         self.dram.stats.squashed_preloads += squashes
+        if n:
+            self.dram.account_rows(np.asarray(addrs, np.int64) >> 12)
         walker.walks += n
         cache.stats.hits += walk_sram - walk_mem
         cache.stats.misses += walk_mem
@@ -730,29 +750,31 @@ class IOMMU:
     # -- helpers -----------------------------------------------------------------
 
     def _finalize_energy(self, stats: TimingStats) -> None:
-        """Fill the MMU dynamic-energy account (Figure 9's methodology)."""
-        energy = stats.energy
+        """Fill the MMU dynamic-energy account (Figure 9's methodology).
+
+        Finalization is additive over the trace-wide totals, so it runs
+        exactly once per trace — segment replay and scalar bridges defer
+        to the batch-level caller, which finalizes the summed stats.
+        """
         if self.config.mech == "ideal":
             return
         tlb_event = ("tlb_fa_lookup" if self.config.tlb_ways is None
                      else "tlb_sa_lookup")
-        if self.config.mech == "dvm_bm":
-            # DVM-BM probes its fallback FA TLB in parallel with the bitmap
-            # cache on every access (the latency model charges only the
-            # bitmap, but the energy is spent) — this parallel probe is why
-            # the paper's DVM-BM saves only ~15% energy over the baseline.
-            energy.add(tlb_event, stats.accesses)
-        elif stats.tlb_lookups:
-            energy.add(tlb_event, stats.tlb_lookups)
-        if stats.tlb_l2_lookups:
-            energy.add("tlb_sa_lookup", stats.tlb_l2_lookups)
-        if stats.walk_sram_accesses:
-            energy.add("sram_lookup", stats.walk_sram_accesses)
-        if stats.bitmap_lookups:
-            energy.add("sram_lookup", stats.bitmap_lookups)
-        mem = (stats.walk_mem_accesses + stats.bitmap_mem_accesses
-               + stats.squashed_preloads)
-        if mem:
-            energy.add("dram_access", mem)
-        if stats.faults:
-            energy.add("fault_service", stats.faults)
+        # DVM-BM probes its fallback FA TLB in parallel with the bitmap
+        # cache on every access (the latency model charges only the
+        # bitmap, but the energy is spent) — this parallel probe is why
+        # the paper's DVM-BM saves only ~15% energy over the baseline.
+        tlb_lookups = (stats.accesses if self.config.mech == "dvm_bm"
+                       else stats.tlb_lookups)
+        events = {tlb_event: tlb_lookups}
+        # An L2 TLB is always set-associative; fold into the same event
+        # when the L1 is too.
+        events["tlb_sa_lookup"] = (events.get("tlb_sa_lookup", 0)
+                                   + stats.tlb_l2_lookups)
+        events["sram_lookup"] = (stats.walk_sram_accesses
+                                 + stats.bitmap_lookups)
+        events["dram_access"] = (stats.walk_mem_accesses
+                                 + stats.bitmap_mem_accesses
+                                 + stats.squashed_preloads)
+        events["fault_service"] = stats.faults
+        stats.energy.add_batch(events)

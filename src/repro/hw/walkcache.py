@@ -44,6 +44,19 @@ class PageWalkCache(SetAssocCache):
         return level >= self.min_level
 
 
+    def fill_blocks(self, blocks) -> None:
+        """Block-fill for the batched engine's end-of-trace rebuild.
+
+        ``blocks`` are walker-cacheable block ids (already filtered by
+        :meth:`caches_level` when the walker built its walk info), in
+        last-touch order.  Contents are installed without touching the
+        hit/miss counters — those are accounted in bulk from the LRU
+        replay — so a scalar run and a segmented batched run leave the
+        cache bit-identical.
+        """
+        self.install_blocks(blocks)
+
+
 class AccessValidationCache(PageWalkCache):
     """The paper's AVC: caches every level, L1 PTEs and PEs included."""
 

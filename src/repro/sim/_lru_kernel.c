@@ -166,3 +166,25 @@ int repro_lru_sim_walk(const int32_t *page_idx, int64_t nevents,
     free(head); free(tail); free(size);
     return 0;
 }
+
+/* DRAM open-row accounting over a 4 KB page stream: bank = low 4 page
+ * bits, row = remaining high bits, one open row per bank.  An access
+ * hits iff its row equals the bank's open row; a miss opens its row.
+ * last_rows carries the 16-bank open-row state in and out so callers can
+ * split a stream into fault-bounded segments and account identically to
+ * one unsegmented pass.  Returns the number of row hits.
+ */
+int64_t repro_row_hits(const int64_t *pages, int64_t n, int64_t *last_rows)
+{
+    int64_t hits = 0;
+    for (int64_t i = 0; i < n; i++) {
+        int64_t page = pages[i];
+        int bank = (int)(page & 15);
+        int64_t row = page >> 4;
+        if (last_rows[bank] == row)
+            hits++;
+        else
+            last_rows[bank] = row;
+    }
+    return hits;
+}

@@ -117,6 +117,10 @@ def _load() -> ctypes.CDLL | None:
             ctypes.c_int32, ctypes.c_void_p, ctypes.c_void_p,
             ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,
         ]
+        lib.repro_row_hits.restype = ctypes.c_int64
+        lib.repro_row_hits.argtypes = [
+            ctypes.c_void_p, ctypes.c_int64, ctypes.c_void_p,
+        ]
     _lib = lib
     return _lib
 
@@ -188,3 +192,22 @@ def lru_walk(page_idx: np.ndarray, block_off: np.ndarray,
     if rc != 0:
         return None
     return event_miss, counts, last_occ, last_fill
+
+
+def row_hits(pages: np.ndarray, last_rows: list[int]):
+    """DRAM open-row accounting through the compiled kernel.
+
+    Counts row-buffer hits over an in-order 4 KB page stream and advances
+    the caller's per-bank open-row state ``last_rows`` in place.  Returns
+    the hit count, or ``None`` when the kernel is unavailable (the caller
+    falls back to the numpy per-bank comparison).
+    """
+    lib = _load()
+    if lib is None:
+        return None
+    pages64 = np.ascontiguousarray(pages, dtype=np.int64)
+    state = np.asarray(last_rows, dtype=np.int64)
+    hits = lib.repro_row_hits(pages64.ctypes.data, int(pages64.shape[0]),
+                              state.ctypes.data)
+    last_rows[:] = [int(row) for row in state]
+    return int(hits)

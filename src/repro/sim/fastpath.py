@@ -38,15 +38,43 @@ DESIGN.md, "Key design decisions"):
     reductions, so the end-of-trace dicts are rebuilt bit-identically
     without replaying the stream.
 
-The engine refuses (returns ``False``) whenever the trace could diverge
-from the pre-pass's assumptions — a possible ``ProtectionFault`` or
-``PageFault``, pre-populated lookup structures, an L2 TLB, or an analysis
-exceeding its vector-work budget — and the caller falls back to the
-scalar loops, which remain the ground truth for exceptions and partial
-state.
+Fault-bearing traces stay on the fast path.  A vectorized pre-screen
+predicts every position where the scalar loop could take a fault (demand
+page-in, swap-in, permission mosaics), then one of two strategies
+replays the trace:
+
+* **Pre-delivery** (the common case): when every predicted fault is
+  *site-exact* — demand page-ins and swap-ins at a page's first
+  TLB-miss walk or first DAV access, write-violations at a page's first
+  store — the engine services them all up front, in trace order,
+  through :class:`~repro.hw.fault_queue.FaultPath` and
+  :mod:`repro.kernel.fault` exactly as the scalar loop would, then
+  re-screens against the healed state and replays the whole trace as a
+  single clean batch.  Sound because fault delivery touches no replayed
+  LRU state, and the scalar loops charge a faulting access entirely
+  from its post-service walk info (see :func:`_run_predelivered`).
+* **Segment replay**: faults whose position depends on interleaving
+  (e.g. a TLB region holding a permission mosaic) cut the stream at the
+  candidate positions; each fault-free segment replays through the
+  batched kernels above (warm lookup structures are *primed* into the
+  LRU replay, so a mid-trace segment start is exact), and the candidate
+  positions themselves are bridged through the real scalar loops.
+
+Fault-stall cycles, major/swap fault counts and energy events are
+bit-identical to the scalar loop by construction either way.
+
+The engine refuses (an :class:`EngineOutcome` that is falsy) only when the
+trace needs machinery it cannot replay: a potential fault with no fault
+path attached (the legacy raise-on-fault contract), an L2 TLB, an
+analysis exceeding its vector-work budget, or fault segmentation disabled
+via ``REPRO_FASTPATH_FAULTS=0``.  The caller then falls back to the
+scalar loops, which remain the ground truth.
 """
 
 from __future__ import annotations
+
+import functools
+import time
 
 import numpy as np
 
@@ -67,6 +95,60 @@ def default_engine() -> str:
         raise ValueError(
             f"{ENGINE_ENV_VAR} must be one of {_ENGINES}, got {engine!r}")
     return engine
+
+
+#: Set to ``0`` to refuse fault-bearing traces instead of segmenting them
+#: (the pre-PR behaviour: any predicted fault falls back to scalar).
+FAULT_SEGMENTS_ENV_VAR = "REPRO_FASTPATH_FAULTS"
+
+
+def fault_segments_enabled() -> bool:
+    """Whether fault-bearing traces run segmented on the fast path."""
+    return env.raw(FAULT_SEGMENTS_ENV_VAR, "1") != "0"
+
+
+#: Minimum accesses for a fault-free stretch to be worth a batched
+#: segment; shorter stretches are absorbed into the neighbouring scalar
+#: bridge (per-segment analysis has fixed overhead).
+_MIN_SEGMENT = 256
+
+#: When a profiler (``benchmarks/perf_timing.py``) replaces this with a
+#: dict, segment replay accumulates wall seconds per phase into it:
+#: ``"replay"`` (batched fast-span kernels), ``"fault_service"`` (scalar
+#: bridges through the real fault machinery) and ``"accounting"``
+#: (screening, segment planning and state snapshots).  ``None`` — the
+#: default — keeps the engine free of timer calls.
+PHASE_PROFILE: dict | None = None
+
+
+def _charge_phase(key: str, seconds: float) -> None:
+    if PHASE_PROFILE is not None:
+        PHASE_PROFILE[key] = PHASE_PROFILE.get(key, 0.0) + seconds
+
+
+class EngineOutcome:
+    """Result of one fast-engine attempt on a batch.
+
+    Truthiness is acceptance.  ``reason`` names the refusal
+    (``"tlb_l2"``, ``"legacy_fault_path"``, ``"budget"``,
+    ``"fault_segments_disabled"``) and feeds the
+    ``fastpath.refused.<reason>`` observability counters; ``segments``
+    counts batched replay segments (1 for an unsegmented accept) and
+    ``bridged_accesses`` the accesses replayed through the scalar
+    bridges.
+    """
+
+    __slots__ = ("accepted", "reason", "segments", "bridged_accesses")
+
+    def __init__(self, accepted: bool, reason: str | None = None,
+                 segments: int = 0, bridged_accesses: int = 0):
+        self.accepted = accepted
+        self.reason = reason
+        self.segments = segments
+        self.bridged_accesses = bridged_accesses
+
+    def __bool__(self) -> bool:
+        return self.accepted
 
 
 # ---------------------------------------------------------------------------
@@ -306,7 +388,10 @@ class TraceRunSkeleton:
         self.head_streams = streams[starts].astype(np.intp)
         self.head_offsets = offsets[starts]
         head_opage = self.head_offsets >> PAGE_SHIFT
-        self.present = np.unique(self.head_streams).tolist()
+        # Stream ids are small; a bincount presence test beats sorting
+        # millions of heads.
+        counts = np.bincount(self.head_streams)
+        self.present = np.flatnonzero(counts).tolist()
         self.max_opage = {
             s: int(head_opage[self.head_streams == s].max())
             for s in self.present
@@ -395,6 +480,58 @@ class _WalkTable:
         self.blocks = blocks            # list of block-id tuples
         self.fixed = np.array(fixed, dtype=np.int64)
         self.counts = np.array([len(b) for b in blocks], dtype=np.int64)
+        if not self.ok.all():
+            # A chunk-granular fault service (demand page-in, swap-in)
+            # can heal a page after this eager memoization; drop not-ok
+            # outcomes so post-service accesses — and the walk tables of
+            # later replay segments — re-walk authoritatively instead of
+            # faulting on a stale memo entry the pure scalar engine
+            # would never have held.
+            memo = walker._memo
+            for page, page_ok in zip(upages.tolist(), self.ok.tolist()):
+                if not page_ok:
+                    memo.pop(page, None)
+
+    @classmethod
+    def narrowed(cls, base: "_WalkTable", base_upages: np.ndarray,
+                 walker, upages: np.ndarray) -> "_WalkTable":
+        """Rows of ``base`` gathered for a sub-batch's pages.
+
+        Segment re-screens narrow the trace-wide table instead of
+        re-walking every page: a page whose walk was ``ok`` at base-build
+        time keeps an immutable walk outcome for the rest of the trace
+        (fault services only *create* mappings — existing entries never
+        move), so only the not-ok rows — pages an intervening bridge may
+        have healed — are re-queried through the walker.  ``upages`` must
+        be a subset of ``base_upages`` (any slice of the base trace is).
+        """
+        self = object.__new__(cls)
+        pos = np.searchsorted(base_upages, upages)
+        self.ok = base.ok[pos]
+        self.perm = base.perm[pos]
+        self.identity = base.identity[pos]
+        self.fixed = base.fixed[pos]
+        self.counts = base.counts[pos]
+        idx = pos.tolist()
+        self.pa_base = [base.pa_base[i] for i in idx]
+        self.blocks = [base.blocks[i] for i in idx]
+        stale = np.flatnonzero(~self.ok)
+        if stale.size:
+            info_for = walker.info_for
+            memo = walker._memo
+            for j in stale.tolist():
+                page = int(upages[j])
+                info = info_for(page)
+                self.ok[j] = info[0]
+                self.perm[j] = info[1]
+                self.pa_base[j] = info[2]
+                self.identity[j] = info[3]
+                self.blocks[j] = info[4]
+                self.fixed[j] = info[5]
+                self.counts[j] = len(info[4])
+                if not info[0]:
+                    memo.pop(page, None)
+        return self
 
 
 # ---------------------------------------------------------------------------
@@ -422,7 +559,11 @@ def _compact(values: np.ndarray):
         return values.astype(np.int64), np.empty(0, np.int32)
     lo = int(values.min())
     span = int(values.max()) - lo + 1
-    if span <= _COMPACT_SPAN_BUDGET:
+    # The presence table costs O(span) regardless of input size, which
+    # loses badly for short streams over a wide heap (segment replay
+    # factorizes thousands of trace slices): keep it for streams dense
+    # in their span, sort the sparse ones.
+    if span <= _COMPACT_SPAN_BUDGET and span <= 64 * values.size:
         shifted = values - lo          # only ever used as an index column
         present = np.zeros(span, bool)
         present[shifted] = True
@@ -722,112 +863,117 @@ def _residents(lru: _StreamLRU) -> np.ndarray:
     by_touch = present[np.argsort(lru.last_occ[present], kind="stable")]
     if lru.nsets == 1:
         return by_touch[-lru.ways:]
-    keep = np.zeros(by_touch.size, bool)
-    room = [lru.ways] * lru.nsets
-    sids = lru.sid_u[by_touch].tolist()
-    for i in range(by_touch.size - 1, -1, -1):
-        s = sids[i]
-        if room[s]:
-            keep[i] = True
-            room[s] -= 1
+    # Per-set top-`ways` by recency, vectorized: stable-sort the reversed
+    # (most-recent-first) sequence by set id, rank each element within
+    # its set group, and keep ranks below the associativity.
+    sids = lru.sid_u[by_touch].astype(np.int64)
+    rev = sids[::-1]
+    order = np.argsort(rev, kind="stable")
+    group_starts = np.concatenate(
+        ([0], np.cumsum(np.bincount(rev, minlength=lru.nsets))))[:-1]
+    rank = np.empty(rev.size, np.int64)
+    rank[order] = np.arange(rev.size) - group_starts[rev[order]]
+    keep = (rank < lru.ways)[::-1]
     return by_touch[keep]
 
 
 def _rebuild_cache(cache, lru: _StreamLRU, ukeys: np.ndarray) -> None:
-    """Recreate a block cache's end-of-trace contents (last-touch order)."""
-    install = cache.install_block
-    for u in _residents(lru).tolist():
-        install(int(ukeys[u]))
+    """Recreate a block cache's end-of-segment contents (last-touch order).
+
+    Pre-existing (warm) blocks were primed into the replay, so they are
+    part of ``lru``'s recency order: flush and reinstall everything.
+    """
+    cache.invalidate_all()
+    blocks = ukeys[_residents(lru)].tolist()
+    fill = getattr(cache, "fill_blocks", None)
+    (fill if fill is not None else cache.install_blocks)(blocks)
 
 
 def _rebuild_tlb(tlb, lru: _StreamLRU, u_vpns: np.ndarray,
                  head_vas: np.ndarray, page_idx: np.ndarray,
-                 table: _WalkTable) -> None:
-    """Recreate the TLB's contents, entries recomputed at each last fill."""
+                 table: _WalkTable, prime_count: int = 0,
+                 warm_entries=None) -> None:
+    """Recreate the TLB's contents, entries recomputed at each last fill.
+
+    Stream positions below ``prime_count`` are the warm-resident priming
+    prefix: a resident whose last fill is a prime touch was never
+    re-walked, so it keeps its pre-trace entry value from
+    ``warm_entries``.
+    """
     tshift = tlb.page_shift
     install = tlb.install
     bases = table.pa_base
+    warm_value = dict(warm_entries) if warm_entries else None
+    tlb.invalidate_all()
     for u in _residents(lru).tolist():
         vpn = int(u_vpns[u])
         h = int(lru.last_fill[u])
+        if h < prime_count:
+            install(vpn, warm_value[vpn])
+            continue
+        h -= prime_count
         pidx = int(page_idx[h])
         va = int(head_vas[h])
         install(vpn, (bases[pidx] - ((va & ~0xFFF) - (vpn << tshift)),
                       int(table.perm[pidx])))
 
 
-def _region_fault_screen(region_of_page: np.ndarray, nregions: int,
-                         page_perm: np.ndarray,
-                         page_written: np.ndarray) -> bool:
-    """True when no access can fault, judged at TLB-region granularity.
-
-    A TLB entry's permission comes from whichever member 4 KB page was
-    walked at fill time, so a conservative screen must hold for *every*
-    touched page of a region: reads need min perm >= 1, and a region
-    containing any store needs every page at perm == 2 (otherwise some
-    interleaving faults).  All inputs are per unique page — the touched
-    pages of a region are exactly its members in the unique-page table —
-    so the screen never materializes the head stream.
-    """
-    counts = np.bincount(region_of_page, minlength=nregions)
-    nonempty = counts > 0
-    if not nonempty.any():
-        return True
-    order = np.argsort(region_of_page, kind="stable")
-    rs = np.concatenate(([0], np.cumsum(counts)))[:-1][nonempty]
-    min_perm = np.minimum.reduceat(page_perm[order], rs)
-    any_write = np.maximum.reduceat(
-        page_written[order].astype(np.int8), rs)
-    if np.any(min_perm < 1):
-        return False
-    return not np.any((any_write > 0) & (min_perm != 2))
-
-
-def _block_alphabet(table: _WalkTable):
-    """(unique blocks, compact flat ids, per-page offsets) of a table.
-
-    Ids are compacted against the table's (small) block alphabet, never
-    an expanded stream; ``offsets[p]:offsets[p + 1]`` slices page ``p``'s
-    ids out of the flat column.
-    """
-    flat_blocks = np.array(
-        [b for blocks in table.blocks for b in blocks], np.int64)
-    ublocks, flat_ids = _compact(flat_blocks)
-    offsets = np.concatenate(
-        ([0], np.cumsum(table.counts))).astype(np.int32)
-    return ublocks, flat_ids, offsets
-
-
-def _walk_lru(cache, table: _WalkTable, page_idx: np.ndarray):
+def _walk_lru(cache, table: _WalkTable, page_idx: np.ndarray,
+              prime_blocks=None):
     """Exact LRU analysis of the walk-block stream selected by ``page_idx``.
 
     Event ``e`` walks page ``page_idx[e]``, touching its blocks in walk
-    order.  Returns ``(lru, ublocks, event_miss)`` — the stream's
-    :class:`_StreamLRU` (totals come from ``event_miss``; its ``miss``
-    mask may be ``None``) plus per-event miss counts — or ``None`` when
-    exact classification would exceed the vector budgets.  The compiled
-    indirect kernel is preferred: it replays straight from the per-page
-    block table and never materializes the expanded stream.
+    order.  ``prime_blocks`` (resident block ids, LRU-to-MRU within each
+    set) prepends one pseudo single-block event per warm block, so a warm
+    cache — a mid-trace replay segment's starting state — replays exactly
+    as if those blocks had just been touched.  Returns ``(lru, ublocks,
+    event_miss)`` — the stream's :class:`_StreamLRU` (totals come from
+    ``event_miss``; its ``miss`` mask may be ``None``) plus per-real-event
+    miss counts — or ``None`` when exact classification would exceed the
+    vector budgets.  The compiled indirect kernel is preferred: it replays
+    straight from the per-page block table and never materializes the
+    expanded stream.
     """
-    ublocks, flat_ids, offsets = _block_alphabet(table)
+    flat_blocks = np.array(
+        [b for blocks in table.blocks for b in blocks], np.int64)
+    counts = table.counts
+    offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int32)
+    nf = int(flat_blocks.shape[0])
+    npages = int(counts.shape[0])
+    prime = len(prime_blocks) if prime_blocks else 0
+    if prime:
+        # Warm blocks become pseudo pages npages..npages+prime-1, one flat
+        # slot each; the priming events touch them first, in residency
+        # order, so the replay starts from the cache's true warm state.
+        all_blocks = np.concatenate(
+            (flat_blocks, np.asarray(prime_blocks, np.int64)))
+        ublocks, flat_ids = _compact(all_blocks)
+        offsets = np.concatenate(
+            (offsets, (nf + np.arange(1, prime + 1)).astype(np.int32)))
+        counts = np.concatenate((counts, np.ones(prime, np.int64)))
+        page_idx = np.concatenate(
+            (npages + np.arange(prime, dtype=np.int64),
+             np.asarray(page_idx, np.int64)))
+    else:
+        ublocks, flat_ids = _compact(flat_blocks)
     k = ublocks.shape[0]
     sid_u = ((ublocks % cache.num_sets).astype(np.int16)
              if cache.num_sets > 1 else None)
     native = _native.lru_walk(page_idx, offsets, flat_ids, k,
                               cache.num_sets, cache.ways, sid_u)
     if native is not None:
-        event_miss, counts, last_occ, last_fill = native
+        event_miss, counts_k, last_occ, last_fill = native
         lru = _StreamLRU()
         lru.miss = None
         lru.k = k
-        lru.counts = counts
+        lru.counts = counts_k
         lru.last_occ = last_occ
         lru.last_fill = last_fill
         lru.sid_u = sid_u
         lru.nsets = cache.num_sets
         lru.ways = cache.ways
-        return lru, ublocks, event_miss
-    stream, out_off = _walk_block_stream(table, page_idx, flat_ids, offsets)
+        return lru, ublocks, event_miss[prime:]
+    stream, out_off = _walk_block_stream(counts, page_idx, flat_ids, offsets)
     lru = _simulate_lru(stream, k, cache.num_sets, cache.ways, sid_u)
     if lru is None:
         return None
@@ -836,10 +982,10 @@ def _walk_lru(cache, table: _WalkTable, page_idx: np.ndarray):
     np.cumsum(lru.miss, dtype=np.int64, out=cs[1:])
     event_miss = cs[out_off[1:]]
     event_miss -= cs[out_off[:-1]]
-    return lru, ublocks, event_miss
+    return lru, ublocks, event_miss[prime:]
 
 
-def _walk_block_stream(table: _WalkTable, page_idx: np.ndarray,
+def _walk_block_stream(counts: np.ndarray, page_idx: np.ndarray,
                        flat_ids: np.ndarray, block_offsets: np.ndarray):
     """(compact ids, per-event offsets) of a materialized walk stream.
 
@@ -847,7 +993,6 @@ def _walk_block_stream(table: _WalkTable, page_idx: np.ndarray,
     walked page per event, in order; the stream concatenates each page's
     walk blocks.
     """
-    counts = table.counts
     starts_per = block_offsets[page_idx]
     if counts.size and counts.min() == counts.max():
         # Uniform walk depth: the stream is a dense (events x depth)
@@ -873,35 +1018,426 @@ def _walk_block_stream(table: _WalkTable, page_idx: np.ndarray,
 
 
 # ---------------------------------------------------------------------------
+# Fault screens: predicting where the scalar loops could fault
+# ---------------------------------------------------------------------------
+
+def _warm_tlb_entries(tlb):
+    """Resident ``(vpn, entry)`` pairs, LRU-to-MRU within each set."""
+    return [(vpn, entry) for tlb_set in tlb._sets
+            for vpn, entry in tlb_set.items()]
+
+
+def _vpn_alphabet(tlb, upages: np.ndarray, warm):
+    """TLB-region alphabet of a page table plus warm residents.
+
+    Returns ``(u_vpns, vid_of_upage, prime_vids)``: the compact region
+    ids of each unique page and of each warm entry (in ``warm``'s
+    order), over one shared alphabet so warm residents can be primed
+    into the same LRU replay.
+    """
+    tshift = tlb.page_shift
+    page_vpns = upages >> (tshift - PAGE_SHIFT)
+    warm_vpns = np.array([vpn for vpn, _ in warm], np.int64)
+    u_vpns, ids = _compact(np.concatenate((page_vpns, warm_vpns)))
+    return u_vpns, ids[:upages.shape[0]], ids[upages.shape[0]:]
+
+
+def _post_perms(iommu, upages: np.ndarray, table: _WalkTable) -> np.ndarray:
+    """Predicted per-page permission after any successful fault service.
+
+    Mirrors :meth:`repro.kernel.fault.FaultHandler._classify_and_service`
+    without mutating anything: a mapped page keeps its walked permission;
+    a swapped page returns at its pre-swap permission when a reclaimer
+    exists; an unmapped page inside a non-identity allocation comes in at
+    its VMA's protection.  Everything else services to 0 — meaning the
+    first delivered fault escalates, which the segment plan handles by
+    bridging the fault site (the scalar bridge aborts exactly as the
+    scalar engine would).
+    """
+    post = np.where(table.ok, table.perm, 0)
+    bad = np.flatnonzero(~table.ok)
+    if not bad.size:
+        return post
+    handler = iommu.fault_path.handler
+    page_table = handler.process.page_table
+    vmm = handler.process.vmm
+    has_reclaimer = getattr(handler.kernel, "reclaimer", None) is not None
+    for i in bad.tolist():
+        va = int(upages[i]) << PAGE_SHIFT
+        result = page_table.walk(va)
+        if result.ok:
+            post[i] = result.perm
+        elif result.swapped:
+            post[i] = result.perm if has_reclaimer else 0
+        else:
+            alloc = vmm.allocation_at(va)
+            if alloc is not None and not alloc.identity:
+                post[i] = alloc.vma.perm
+            else:
+                post[i] = 0
+    return post
+
+
+def _first_fault_heads(iommu, upages: np.ndarray, table: _WalkTable,
+                       first_pos: np.ndarray) -> np.ndarray:
+    """Reduce per-page first-fault positions to distinct fault sites.
+
+    ``first_pos`` holds the global access position of each unique page's
+    first possible fault (-1 when it cannot fault).  Servicing an
+    unmapped page inside a demand allocation populates its whole
+    policy-size chunk (:meth:`~repro.kernel.vm_syscalls.VMM.
+    populate_for_fault`), so later first accesses to sibling pages of
+    the same aligned chunk never fault — only the earliest position per
+    heal window is a real fault site.  Swapped pages, misaligned or
+    short windows, and mapped-but-denied pages heal (or abort) one page
+    at a time and keep their own positions.  Returns the sorted
+    candidate positions.
+    """
+    handler = iommu.fault_path.handler
+    page_table = handler.process.page_table
+    vmm = handler.process.vmm
+    chunk_size = vmm.policy.page_size
+    singles: list[int] = []
+    chunks: dict[int, int] = {}
+    for i in np.flatnonzero(first_pos >= 0).tolist():
+        pos = int(first_pos[i])
+        if table.ok[i]:
+            singles.append(pos)
+            continue
+        va = int(upages[i]) << PAGE_SHIFT
+        result = page_table.walk(va)
+        if result.ok or result.swapped:
+            singles.append(pos)
+            continue
+        alloc = vmm.allocation_at(va)
+        if alloc is None or alloc.identity:
+            singles.append(pos)
+            continue
+        cs = max(va & ~(chunk_size - 1), alloc.va)
+        chunk = min(chunk_size, alloc.va + alloc.size - cs)
+        if cs % chunk_size or chunk < chunk_size:
+            # populate_for_fault falls back to a single 4 KB page here:
+            # no sibling healing, every such page faults on its own.
+            singles.append(pos)
+            continue
+        prev = chunks.get(cs)
+        if prev is None or pos < prev:
+            chunks[cs] = pos
+    return np.array(sorted(singles + list(chunks.values())), np.int64)
+
+
+def _page_positions_mask(batch: PageRunBatch,
+                         flag_u: np.ndarray) -> np.ndarray:
+    """Boolean per-access mask covering every access to flagged pages.
+
+    ``flag_u`` is indexed like the batch's unique pages.  Built from run
+    boundary deltas (one bincount pair), never a per-access scatter.
+    """
+    n = batch.num_accesses
+    _upages, uidx = batch.unique_pages()
+    sel = np.flatnonzero(flag_u[uidx])
+    starts = batch.starts[sel]
+    ends = starts + batch.lengths[sel]
+    delta = np.bincount(starts, minlength=n + 1)
+    delta -= np.bincount(ends, minlength=n + 1)
+    return np.cumsum(delta)[:n] > 0
+
+
+def _conv_fault_candidates(iommu, tlb, upages: np.ndarray,
+                           uidx: np.ndarray, written_u: np.ndarray,
+                           head_positions: np.ndarray, table: _WalkTable):
+    """Fault-candidate analysis of one TLB-fronted (sub)stream.
+
+    ``upages``/``uidx``/``table`` describe the substream's unique pages
+    and each run's page; ``written_u`` flags pages with any written run;
+    ``head_positions`` holds each run head's global access position.
+    Returns ``(status, cand_positions, flag_pages)``:
+
+    * ``"clean"`` — no access of the substream can fault;
+    * ``"legacy"`` — faults are possible but no fault path is attached
+      (the raise-on-fault contract needs the scalar loops end to end);
+    * ``"budget"`` — the TLB replay exceeded the vector budgets;
+    * ``"faulty"`` — ``cand_positions`` are the sorted global positions
+      of predicted fault sites (first TLB-miss walk of each faultable
+      page, reduced by heal window) and ``flag_pages`` marks unique
+      pages whose *every* access must run on the scalar bridge (their
+      TLB region can hold an entry that write-faults on a hit — a
+      mosaic the region-granular TLB makes order-dependent).
+    """
+    eff0 = np.where(table.ok, table.perm, 0)
+    bad = eff0 < 1
+    u = upages.shape[0]
+    warm = _warm_tlb_entries(tlb)
+    u_vpns, vid_of_upage, prime_vids = _vpn_alphabet(tlb, upages, warm)
+    nvr = u_vpns.shape[0]
+    fault_path = iommu.fault_path
+    post = eff0 if fault_path is None else _post_perms(iommu, upages, table)
+    # Region write-unsafety: a store in region R hits whatever entry R
+    # holds — filled at some member page's post-service permission, or
+    # pre-trace (warm).  If any such entry can carry perm != 2, a store
+    # can hit-fault, and the service/refill order is only defined by the
+    # scalar loop: bridge every access of R's member pages.
+    counts_r = np.bincount(vid_of_upage, minlength=nvr)
+    nonempty = counts_r > 0
+    order = np.argsort(vid_of_upage, kind="stable")
+    rs = np.concatenate(([0], np.cumsum(counts_r)))[:-1][nonempty]
+    min_post = np.minimum.reduceat(post[order], rs)
+    any_written = np.maximum.reduceat(
+        written_u[order].astype(np.int8), rs) > 0
+    warm_unsafe = np.zeros(nvr, bool)
+    for j, (_vpn, entry) in enumerate(warm):
+        if entry[1] != 2:
+            warm_unsafe[prime_vids[j]] = True
+    unsafe_r = np.zeros(nvr, bool)
+    vids_ne = np.flatnonzero(nonempty)
+    unsafe_r[vids_ne] = any_written & ((min_post != 2)
+                                       | warm_unsafe[vids_ne])
+    if not bad.any() and not unsafe_r.any():
+        return "clean", None, None
+    if fault_path is None:
+        return "legacy", None, None
+    flag_pages = unsafe_r[vid_of_upage]
+    # Remaining faultable pages can only fault at their first TLB-miss
+    # walk (a region hit serves them at the entry's permission, and
+    # entry permissions are always >= 1): find each page's first miss
+    # with a warm-primed exact replay, then merge heal windows.
+    need = bad & ~flag_pages
+    cand = np.empty(0, np.int64)
+    if need.any():
+        vids = vid_of_upage[uidx]
+        if prime_vids.size:
+            vids = np.concatenate((prime_vids, vids))
+        sid_u = ((u_vpns % tlb.num_sets).astype(np.int16)
+                 if tlb.num_sets > 1 else None)
+        tlb_lru = _simulate_lru(vids, nvr, tlb.num_sets, tlb.ways, sid_u)
+        if tlb_lru is None:
+            return "budget", None, None
+        miss_heads = np.flatnonzero(tlb_lru.miss[prime_vids.shape[0]:])
+        # Each page's first miss, via reverse fancy assignment (last
+        # write wins) — O(#misses) instead of a sort.
+        first_pos = np.full(u, -1, np.int64)
+        rev = miss_heads[::-1]
+        first_pos[uidx[rev]] = head_positions[rev]
+        first_pos[~need] = -1
+        cand = _first_fault_heads(iommu, upages, table, first_pos)
+    return "faulty", cand, flag_pages
+
+
+# ---------------------------------------------------------------------------
 # Engine entry
 # ---------------------------------------------------------------------------
 
-def run_batch(iommu, batch: PageRunBatch, stats) -> bool:
+def _walk_table(walker, upages: np.ndarray, parent) -> _WalkTable:
+    """A batch's walk table — narrowed from the trace-wide parent screen's
+    when segment replay provides one, built from the walker otherwise."""
+    if parent is not None and "table" in parent:
+        return _WalkTable.narrowed(parent["table"], parent["upages"],
+                                   walker, upages)
+    return _WalkTable(walker, upages)
+
+
+def _screen_conventional(iommu, batch: PageRunBatch, parent=None):
+    """Fault screen for the conventional TLB + PWC configuration."""
+    upages, uidx = batch.unique_pages()
+    table = _walk_table(iommu.walker, upages, parent)
+    _rc, _ac, _wc, written_u = batch.page_aggregates()
+    status, cand, flag_pages = _conv_fault_candidates(
+        iommu, iommu.tlb, upages, uidx, written_u, batch.starts, table)
+    if status == "clean":
+        return "clean", None, {"table": table}
+    if status != "faulty":
+        return status, None, None
+    mask = np.zeros(batch.num_accesses, bool)
+    if cand.size:
+        mask[cand] = True
+    # Site-exact faults (first TLB-miss walk of each faultable page) are
+    # eligible for pre-delivery; a flagged region's hit-faults are order-
+    # dependent and need the scalar bridge.
+    sites = cand if not flag_pages.any() else None
+    if flag_pages.any():
+        mask |= _page_positions_mask(batch, flag_pages)
+    return "faulty", mask, {"upages": upages, "table": table,
+                            "sites": sites}
+
+
+def _screen_bitmap(iommu, batch: PageRunBatch, parent=None):
+    """Fault screen for DVM-BM (bitmap identity + conventional fallback)."""
+    bitmap = iommu.perm_bitmap
+    walker = iommu.walker
+    upages, uidx = batch.unique_pages()
+    u = upages.shape[0]
+    perms = bitmap._perms
+    bitmap_perm = np.array([int(perms.get(p, 0)) for p in upages.tolist()],
+                           np.int64)
+    _rc, _ac, _wc, written_u = batch.page_aggregates()
+    identity_u = bitmap_perm > 0
+    bad_ident = identity_u & written_u & (bitmap_perm != 2)
+    # Fallback (non-identity) substream: the conventional machinery,
+    # over only the fallback runs — the scalar loop never walks or TLB-
+    # probes identity pages, so neither may the screen.
+    if identity_u.all():
+        fb_runs = np.empty(0, np.int64)
+    else:
+        fb_runs = np.flatnonzero(~identity_u[uidx])
+    fb_status, fb_cand, fb_flag = "clean", None, None
+    fb_umask = fb_upages = remap = table = None
+    if fb_runs.size:
+        fb_umask = np.zeros(u, bool)
+        fb_umask[uidx[fb_runs]] = True
+        fb_upages = upages[fb_umask]
+        remap = np.full(u, -1, np.int32)
+        remap[fb_umask] = np.arange(fb_upages.shape[0], dtype=np.int32)
+        table = _walk_table(walker, fb_upages, parent)
+        fb_pidx = remap[uidx[fb_runs]]
+        fb_written = np.zeros(fb_upages.shape[0], bool)
+        fb_written[fb_pidx[batch.run_writes[fb_runs] > 0]] = True
+        fb_status, fb_cand, fb_flag = _conv_fault_candidates(
+            iommu, iommu.tlb, fb_upages, fb_pidx, fb_written,
+            batch.starts[fb_runs], table)
+    if fb_status == "budget":
+        return "budget", None, None
+    if not bad_ident.any() and fb_status == "clean":
+        carry = {"bitmap_perm": bitmap_perm,
+                 "fb": (fb_runs, fb_umask, fb_upages, remap, table)}
+        return "clean", None, carry
+    if iommu.fault_path is None or fb_status == "legacy":
+        return "legacy", None, None
+    flag_u = np.zeros(u, bool)
+    if bad_ident.any():
+        # A violating identity store's fault delivery pops its vpn's TLB
+        # entry, which can evict a resident *fallback* translation —
+        # bridge every access sharing a TLB region with a bad identity
+        # page so the replay never has to model that pop.
+        tshift = iommu.tlb.page_shift
+        u_vpns, vid_of_upage = _compact(upages >> (tshift - PAGE_SHIFT))
+        bad_vids = np.zeros(u_vpns.shape[0], bool)
+        bad_vids[vid_of_upage[bad_ident]] = True
+        flag_u |= bad_vids[vid_of_upage]
+    if fb_flag is not None and fb_flag.any():
+        flag_u[np.flatnonzero(fb_umask)[fb_flag]] = True
+    mask = np.zeros(batch.num_accesses, bool)
+    if flag_u.any():
+        mask |= _page_positions_mask(batch, flag_u)
+    if fb_cand is not None and fb_cand.size:
+        mask[fb_cand] = True
+    # Pre-delivery needs every fault site-exact: fallback-page first-miss
+    # walks qualify; bad identity stores and flagged regions are order-
+    # dependent (hit faults) and need the scalar bridge.
+    sites = (fb_cand if not bad_ident.any() and not flag_u.any()
+             else None)
+    if fb_upages is None:
+        return "faulty", mask, {"sites": sites}
+    return "faulty", mask, {"upages": fb_upages, "table": table,
+                            "sites": sites}
+
+
+def _screen_dav(iommu, batch: PageRunBatch, parent=None):
+    """Fault screen for DVM-PE / DVM-PE+ (DAV walks every access)."""
+    upages, uidx = batch.unique_pages()
+    u = upages.shape[0]
+    table = _walk_table(iommu.walker, upages, parent)
+    _rc, _ac, _wc, written_u = batch.page_aggregates()
+    eff0 = np.where(table.ok, table.perm, 0)
+    bad = eff0 < 1
+    fault_path = iommu.fault_path
+    post = eff0 if fault_path is None else _post_perms(iommu, upages, table)
+    wbad = written_u & (post != 2)
+    if not bad.any() and not wbad.any():
+        return "clean", None, {"table": table}
+    if fault_path is None:
+        return "legacy", None, None
+    mask = np.zeros(batch.num_accesses, bool)
+    # Every access walks, so a faultable page faults at its very first
+    # access; merge heal windows as usual.  Reverse fancy assignment
+    # (last write wins) finds each page's first run in O(m) — the runs
+    # cover every unique page, so no sort and no presence check needed.
+    first_of = np.empty(u, np.int64)
+    first_of[uidx[::-1]] = np.arange(uidx.shape[0] - 1, -1, -1)
+    first_pos = np.where(bad, batch.starts[first_of], -1)
+    cand = _first_fault_heads(iommu, upages, table, first_pos)
+    if cand.size:
+        mask[cand] = True
+    # A store without write permission always escalates (a spurious
+    # service would need perm == 2, contradicting wbad), so the scalar
+    # run never gets past a page's first written run: bridging that run
+    # covers the abort site.
+    sites = cand
+    if wbad.any():
+        wr = np.flatnonzero(batch.run_writes > 0)
+        first_w = np.full(u, -1, np.int64)
+        first_w[uidx[wr[::-1]]] = wr[::-1]
+        # wbad pages are written by definition, so first_w is valid here.
+        wruns = first_w[wbad]
+        writes_arr = np.asarray(batch.writes)
+        wsites = []
+        for r in wruns.tolist():
+            s = int(batch.starts[r])
+            end = s + int(batch.lengths[r])
+            mask[s:end] = True
+            # DAV checks permissions on every access, so the page's
+            # first written access — first store of its first written
+            # run — is exactly where the scalar loop faults.
+            wsites.append(s + int(np.argmax(writes_arr[s:end] > 0)))
+        sites = np.sort(np.concatenate((cand, np.array(wsites, np.int64))))
+    return "faulty", mask, {"upages": upages, "table": table,
+                            "sites": sites}
+
+
+def run_batch(iommu, batch: PageRunBatch, stats) -> "EngineOutcome":
     """Run ``batch`` through ``iommu``'s configuration on the fast path.
 
-    Fills ``stats`` (a :class:`~repro.hw.iommu.TimingStats` without energy,
-    which the caller finalizes) and mutates the IOMMU's lookup structures
-    to their exact end-of-trace state.  Returns ``False`` — with **no**
-    state modified — when the trace needs the scalar loops: a possible
-    fault, an unmapped page, pre-populated lookup structures, or an L2 TLB.
+    Fills ``stats`` (a :class:`~repro.hw.iommu.TimingStats` without
+    energy, which the caller finalizes once) and mutates the IOMMU's
+    lookup structures to their exact end-of-trace state.  Fault-bearing
+    traces replay by pre-delivering site-exact faults, or as fault-free
+    segments stitched by scalar bridges (see the module docstring).
+    Returns an :class:`EngineOutcome`; a falsy
+    outcome means **no** state was modified and the caller must run the
+    scalar loops.
     """
     mech = iommu.config.mech
     if mech == "ideal":
-        _run_ideal(iommu, batch, stats)
-        return True
+        _fast_ideal(iommu, batch, stats)
+        return EngineOutcome(True, segments=1)
     if mech == "conventional":
-        return _run_conventional(iommu, batch, stats)
-    if mech == "dvm_bm":
-        return _run_bitmap(iommu, batch, stats)
-    return _run_dav(iommu, batch, stats, preload=(mech == "dvm_pe_plus"))
+        if iommu.tlb_l2 is not None:
+            return EngineOutcome(False, reason="tlb_l2")
+        screen, fast = _screen_conventional, _fast_conventional
+    elif mech == "dvm_bm":
+        screen, fast = _screen_bitmap, _fast_bitmap
+    else:
+        screen, fast = _screen_dav, functools.partial(
+            _fast_dav, preload=(mech == "dvm_pe_plus"))
+    status, mask, carry = screen(iommu, batch)
+    if status == "clean":
+        if not fast(iommu, batch, stats, carry):
+            return EngineOutcome(False, reason="budget")
+        return EngineOutcome(True, segments=1)
+    if status == "legacy":
+        return EngineOutcome(False, reason="legacy_fault_path")
+    if status == "budget":
+        return EngineOutcome(False, reason="budget")
+    if not fault_segments_enabled():
+        return EngineOutcome(False, reason="fault_segments_disabled")
+    sites = carry.get("sites") if carry else None
+    if sites is not None and sites.size:
+        outcome = _run_predelivered(iommu, batch, stats, sites, screen,
+                                    fast, carry)
+        if outcome is not None:
+            return outcome
+    return _run_segmented(iommu, batch, stats, mask, screen, fast,
+                          parent=carry)
 
 
-def _run_ideal(iommu, batch: PageRunBatch, stats) -> None:
+def _fast_ideal(iommu, batch: PageRunBatch, stats) -> None:
     n = batch.num_accesses
-    stats.accesses = n
-    stats.writes = int(batch.writes.sum())
-    stats.reads = n - stats.writes
+    nwrites = int(np.asarray(batch.writes).sum())
+    stats.accesses += n
+    stats.writes += nwrites
+    stats.reads += n - nwrites
     iommu.dram.stats.data_accesses += n
+    if n:
+        iommu.dram.account_rows_runs(batch.pages, batch.lengths)
 
 
 # ---------------------------------------------------------------------------
@@ -909,91 +1445,89 @@ def _run_ideal(iommu, batch: PageRunBatch, stats) -> None:
 # ---------------------------------------------------------------------------
 
 def _tlb_walk_analysis(tlb, walker, upages: np.ndarray, uidx: np.ndarray,
-                       table: _WalkTable, page_written: np.ndarray):
+                       table: _WalkTable):
     """Analyse a TLB-fronted walk stream (the conventional hot path).
 
-    ``uidx`` indexes each head's page into ``upages``/``table``;
-    ``page_written`` flags unique pages with any written run.  Pure:
-    returns ``None`` for scalar fallback (possible fault or budget), else
-    ``(walks, walk_sram, walk_mem, fixed_total, tlb_lru, u_vpns,
-    cache_lru, ublocks)`` with the rebuild inputs for the caller's commit.
+    ``uidx`` indexes each head's page into ``upages``/``table``.  Warm
+    TLB entries and resident walk-cache blocks are primed into the LRU
+    replays, so the analysis is exact from any mid-trace state — a
+    segment start, or a rerun over warm structures.  Pure: returns
+    ``None`` for scalar fallback (vector budgets), else ``(walks,
+    walk_sram, walk_mem, fixed_total, tlb_lru, u_vpns, prime, warm,
+    cache_lru, ublocks)`` with the rebuild inputs for the caller's
+    commit.
     """
-    tshift = tlb.page_shift
     # vpn = va >> tshift == page >> (tshift - 12), so the TLB alphabet is
     # derived from the (small) unique-page table, not the head stream.
-    u_vpns, vid_of_upage = _compact(upages >> (tshift - PAGE_SHIFT))
-    if not _region_fault_screen(vid_of_upage, u_vpns.shape[0],
-                                table.perm, page_written):
-        return None
+    warm = _warm_tlb_entries(tlb)
+    u_vpns, vid_of_upage, prime_vids = _vpn_alphabet(tlb, upages, warm)
+    prime = int(prime_vids.shape[0])
     vids = vid_of_upage[uidx]
+    if prime:
+        vids = np.concatenate((prime_vids, vids))
     sid_u = ((u_vpns % tlb.num_sets).astype(np.int16)
              if tlb.num_sets > 1 else None)
     tlb_lru = _simulate_lru(vids, u_vpns.shape[0], tlb.num_sets, tlb.ways,
                             sid_u)
     if tlb_lru is None:
         return None
-    miss_heads = np.flatnonzero(tlb_lru.miss)
+    miss_heads = np.flatnonzero(tlb_lru.miss[prime:])
     walks = int(miss_heads.shape[0])
     walked_pidx = uidx[miss_heads]
     walk_sram = int(table.counts[walked_pidx].sum())
     fixed_total = int(table.fixed[walked_pidx].sum())
-    res = _walk_lru(walker.cache, table, walked_pidx)
+    res = _walk_lru(walker.cache, table, walked_pidx,
+                    prime_blocks=walker.cache.resident_blocks())
     if res is None:
         return None
     cache_lru, ublocks, event_miss = res
     walk_mem = fixed_total + int(event_miss.sum())
     return (walks, walk_sram, walk_mem, fixed_total, tlb_lru, u_vpns,
-            cache_lru, ublocks)
+            prime, warm, cache_lru, ublocks)
 
 
-def _run_conventional(iommu, batch: PageRunBatch, stats) -> bool:
+def _fast_conventional(iommu, batch: PageRunBatch, stats, carry) -> bool:
     tlb = iommu.tlb
     walker = iommu.walker
-    if iommu.tlb_l2 is not None:
-        return False
-    if tlb.occupancy() or walker.cache.occupancy():
-        return False
     n = batch.num_accesses
     m = batch.num_runs
     dram = iommu.dram
     if m == 0:
-        stats.accesses = 0
-        dram.stats.data_accesses += 0
         return True
     upages, uidx = batch.unique_pages()
-    table = _WalkTable(walker, upages)
-    if not table.ok.all():
-        return False
-    _run_count, _access_count, write_count, written_pages = (
+    table = carry["table"]
+    _run_count, _access_count, write_count, _written = (
         batch.page_aggregates())
-    analysis = _tlb_walk_analysis(tlb, walker, upages, uidx, table,
-                                  page_written=written_pages)
+    analysis = _tlb_walk_analysis(tlb, walker, upages, uidx, table)
     if analysis is None:
         return False
     (walks, walk_sram, walk_mem, fixed_total, tlb_lru, u_vpns,
-     cache_lru, ublocks) = analysis
-    # --- guards passed; state mutation may begin -------------------------
+     prime, warm, cache_lru, ublocks) = analysis
+    # --- analyses done (pure); state mutation may begin ------------------
     head_vas = batch.head_vas()
     _rebuild_cache(walker.cache, cache_lru, ublocks)
-    _rebuild_tlb(tlb, tlb_lru, u_vpns, head_vas, uidx, table)
+    _rebuild_tlb(tlb, tlb_lru, u_vpns, head_vas, uidx, table,
+                 prime_count=prime, warm_entries=warm)
     cache_misses = walk_mem - fixed_total
     dram.stats.data_accesses += n
     dram.stats.walk_accesses += walk_mem
+    dram.account_rows_runs(batch.pages, batch.lengths)
     tlb.stats.hits += n - walks
     tlb.stats.misses += walks
     cache = walker.cache
     cache.stats.hits += walk_sram - cache_misses
     cache.stats.misses += cache_misses
-    stats.accesses = n
-    stats.writes = int(write_count.sum())
-    stats.reads = n - stats.writes
-    stats.sram_stall_cycles = walk_sram
-    stats.mem_stall_cycles = walk_mem * dram.walk_latency
-    stats.tlb_lookups = n
-    stats.tlb_misses = walks
-    stats.walks = walks
-    stats.walk_sram_accesses = walk_sram
-    stats.walk_mem_accesses = walk_mem
+    nwrites = int(write_count.sum())
+    stats.accesses += n
+    stats.writes += nwrites
+    stats.reads += n - nwrites
+    stats.sram_stall_cycles += walk_sram
+    stats.mem_stall_cycles += walk_mem * dram.walk_latency
+    stats.tlb_lookups += n
+    stats.tlb_misses += walks
+    stats.walks += walks
+    stats.walk_sram_accesses += walk_sram
+    stats.walk_mem_accesses += walk_mem
     return True
 
 
@@ -1001,97 +1535,85 @@ def _run_conventional(iommu, batch: PageRunBatch, stats) -> bool:
 # DVM-BM: permission bitmap + bitmap cache, TLB fallback
 # ---------------------------------------------------------------------------
 
-def _run_bitmap(iommu, batch: PageRunBatch, stats) -> bool:
+def _fast_bitmap(iommu, batch: PageRunBatch, stats, carry) -> bool:
     bitmap = iommu.perm_bitmap
     tlb = iommu.tlb
     walker = iommu.walker
     bm_cache = bitmap.cache
-    if (tlb.occupancy() or walker.cache.occupancy()
-            or bm_cache.occupancy()):
-        return False
     n = batch.num_accesses
     m = batch.num_runs
     dram = iommu.dram
     if m == 0:
-        stats.accesses = 0
-        dram.stats.data_accesses += 0
-        stats.bitmap_lookups = 0
         return True
-    perms = bitmap._perms
     upages, uidx = batch.unique_pages()
-    bitmap_perm = np.array([int(perms.get(p, 0)) for p in upages.tolist()],
-                           np.int64)
-    run_count, access_count, write_count, written_u = batch.page_aggregates()
+    bitmap_perm = carry["bitmap_perm"]
+    fb_runs, fb_umask, fb_upages, remap, table = carry["fb"]
+    run_count, access_count, write_count, _written = batch.page_aggregates()
     identity_pages = bitmap_perm > 0
-    # Identity pages fault only on stores without write permission.
-    if np.any(written_u & identity_pages & (bitmap_perm != 2)):
-        return False
-    if identity_pages.all():
-        fb_idx = np.empty(0, np.int64)
-    else:
-        fb_idx = np.flatnonzero(~identity_pages[uidx])
     fb_analysis = None
-    if fb_idx.shape[0]:
-        # Walk outcomes only for fallback pages — the scalar loop never
-        # walks identity pages, so neither may the guard.
-        fb_umask = np.zeros(upages.shape[0], bool)
-        fb_umask[np.unique(uidx[fb_idx])] = True
-        fb_upages = upages[fb_umask]
-        remap = np.full(upages.shape[0], -1, np.int32)
-        remap[fb_umask] = np.arange(fb_upages.shape[0], dtype=np.int32)
-        table = _WalkTable(walker, fb_upages)
-        if not table.ok.all():
-            return False
-        fb_pidx = remap[uidx[fb_idx]]
-        fb_written = np.zeros(fb_upages.shape[0], bool)
-        fb_written[fb_pidx[batch.run_writes[fb_idx] > 0]] = True
+    fb_pidx = None
+    if fb_runs.shape[0]:
+        # Walk state evolves only for fallback pages — the scalar loop
+        # never walks identity pages, so neither may the replay.
+        fb_pidx = remap[uidx[fb_runs]]
         fb_analysis = _tlb_walk_analysis(tlb, walker, fb_upages, fb_pidx,
-                                         table, page_written=fb_written)
+                                         table)
         if fb_analysis is None:
             return False
-    # Bitmap-cache stream: one probe per head (interiors re-touch at MRU).
+    # Bitmap-cache stream: one probe per head (interiors re-touch at
+    # MRU).  Resident bitmap words prime the replay so warm segments
+    # evolve exactly like the scalar probe sequence.
     bm_base_block = bitmap.base_pa >> 3
-    u_words, wid_of_upage = _compact(bm_base_block + (upages >> 5))
+    warm_words = np.asarray(bm_cache.resident_blocks(), np.int64)
+    u_words, wid_ids = _compact(
+        np.concatenate((bm_base_block + (upages >> 5), warm_words)))
+    wid_of_upage = wid_ids[:upages.shape[0]]
+    prime_wids = wid_ids[upages.shape[0]:]
     wids = wid_of_upage[uidx]
+    if prime_wids.shape[0]:
+        wids = np.concatenate((prime_wids, wids))
     bm_sid_u = ((u_words % bm_cache.num_sets).astype(np.int16)
                 if bm_cache.num_sets > 1 else None)
     bm_lru = _simulate_lru(wids, u_words.shape[0], bm_cache.num_sets,
                            bm_cache.ways, bm_sid_u)
     if bm_lru is None:
         return False
-    bm_mem = int(bm_lru.miss.sum())
-    # --- guards passed; state mutation may begin -------------------------
+    bm_mem = int(bm_lru.miss[prime_wids.shape[0]:].sum())
+    # --- analyses done (pure); state mutation may begin ------------------
     _rebuild_cache(bm_cache, bm_lru, u_words)
     walks = walk_sram = walk_mem = 0
     if fb_analysis is not None:
         (walks, walk_sram, walk_mem, _fixed, tlb_lru, u_vpns,
-         cache_lru, ublocks) = fb_analysis
-        fb_head_vas = batch.head_vas()[fb_idx]
+         prime, warm, cache_lru, ublocks) = fb_analysis
+        fb_head_vas = batch.head_vas()[fb_runs]
         _rebuild_cache(walker.cache, cache_lru, ublocks)
-        _rebuild_tlb(tlb, tlb_lru, u_vpns, fb_head_vas, fb_pidx, table)
+        _rebuild_tlb(tlb, tlb_lru, u_vpns, fb_head_vas, fb_pidx, table,
+                     prime_count=prime, warm_entries=warm)
     walk_latency = dram.walk_latency
     identity = int(access_count[identity_pages].sum())
     tlb_lookups = n - identity
     dram.stats.data_accesses += n
     dram.stats.walk_accesses += walk_mem + bm_mem
+    dram.account_rows_runs(batch.pages, batch.lengths)
     bm_cache.stats.hits += n - bm_mem
     bm_cache.stats.misses += bm_mem
     tlb.stats.hits += tlb_lookups - walks
     tlb.stats.misses += walks
-    stats.accesses = n
-    stats.writes = int(batch.writes.sum())
-    stats.reads = n - stats.writes
-    stats.sram_stall_cycles = n + walk_sram
-    stats.mem_stall_cycles = (bm_mem + walk_mem) * walk_latency
-    stats.tlb_lookups = tlb_lookups
-    stats.tlb_misses = walks
-    stats.walks = walks
-    stats.walk_sram_accesses = walk_sram
-    stats.walk_mem_accesses = walk_mem
-    stats.bitmap_lookups = n
-    stats.bitmap_mem_accesses = bm_mem
-    stats.identity_accesses = identity
-    stats.fallback_accesses = n - identity
+    nwrites = int(batch.writes.sum())
+    stats.accesses += n
+    stats.writes += nwrites
+    stats.reads += n - nwrites
+    stats.sram_stall_cycles += n + walk_sram
+    stats.mem_stall_cycles += (bm_mem + walk_mem) * walk_latency
+    stats.tlb_lookups += tlb_lookups
+    stats.tlb_misses += walks
+    stats.walks += walks
+    stats.walk_sram_accesses += walk_sram
+    stats.walk_mem_accesses += walk_mem
+    stats.bitmap_lookups += n
+    stats.bitmap_mem_accesses += bm_mem
+    stats.identity_accesses += identity
+    stats.fallback_accesses += n - identity
     return True
 
 
@@ -1099,37 +1621,28 @@ def _run_bitmap(iommu, batch: PageRunBatch, stats) -> bool:
 # DVM-PE / DVM-PE+: DAV through the AVC
 # ---------------------------------------------------------------------------
 
-def _run_dav(iommu, batch: PageRunBatch, stats, *, preload: bool) -> bool:
+def _fast_dav(iommu, batch: PageRunBatch, stats, carry, *,
+              preload: bool) -> bool:
     walker = iommu.walker
     cache = walker.cache
-    if cache.occupancy():
-        return False
     n = batch.num_accesses
     m = batch.num_runs
     dram = iommu.dram
     if m == 0:
-        stats.accesses = 0
-        dram.stats.data_accesses += 0
         return True
     upages, uidx = batch.unique_pages()
-    table = _WalkTable(walker, upages)
-    if not table.ok.all():
-        return False
-    # Every unique page is touched by some run, so per-page predicates
-    # answer the per-run guards at unique-page scale.
-    run_count, access_count, write_count, written_u = batch.page_aggregates()
-    if np.any(table.perm < 1):
-        return False
-    if np.any(written_u & (table.perm != 2)):
-        return False
+    table = carry["table"]
+    run_count, access_count, write_count, _written = batch.page_aggregates()
     # AVC block stream: the blocks each *head* touches, in walk order.
     # Interior accesses re-touch the same blocks back to the same dict
     # order, so the head stream alone determines the cache's evolution.
-    res = _walk_lru(cache, table, uidx)
+    # Resident blocks prime the replay for warm segments.
+    res = _walk_lru(cache, table, uidx,
+                    prime_blocks=cache.resident_blocks())
     if res is None:
         return False
     avc_lru, ublocks, event_miss = res
-    # --- guards passed; state mutation may begin -------------------------
+    # --- analyses done (pure); state mutation may begin ------------------
     _rebuild_cache(cache, avc_lru, ublocks)
     walk_latency = dram.walk_latency
     data_latency = dram.data_latency
@@ -1161,18 +1674,226 @@ def _run_dav(iommu, batch: PageRunBatch, stats, *, preload: bool) -> bool:
     dram.stats.data_accesses += n
     dram.stats.walk_accesses += walk_mem
     dram.stats.squashed_preloads += squashes
+    dram.account_rows_runs(batch.pages, batch.lengths)
     walker.walks += n
     cache.stats.hits += walk_sram - walk_mem
     cache.stats.misses += walk_mem
-    stats.accesses = n
-    stats.writes = int(write_count.sum())
-    stats.reads = n - stats.writes
-    stats.sram_stall_cycles = sram_stall
-    stats.mem_stall_cycles = mem_stall
-    stats.walks = n
-    stats.walk_sram_accesses = walk_sram
-    stats.walk_mem_accesses = walk_mem
-    stats.identity_accesses = identity
-    stats.fallback_accesses = n - identity
-    stats.squashed_preloads = squashes
+    nwrites = int(write_count.sum())
+    stats.accesses += n
+    stats.writes += nwrites
+    stats.reads += n - nwrites
+    stats.sram_stall_cycles += sram_stall
+    stats.mem_stall_cycles += mem_stall
+    stats.walks += n
+    stats.walk_sram_accesses += walk_sram
+    stats.walk_mem_accesses += walk_mem
+    stats.identity_accesses += identity
+    stats.fallback_accesses += n - identity
+    stats.squashed_preloads += squashes
     return True
+
+
+# ---------------------------------------------------------------------------
+# Fault-bounded segment replay
+# ---------------------------------------------------------------------------
+
+def _plan_segments(mask: np.ndarray):
+    """Cut the access stream at fault-candidate positions.
+
+    ``mask`` flags accesses that must run through the scalar engine
+    (predicted faults and their heal windows, bridged mosaics).  Returns
+    ``[(start, end, is_bridge), ...]`` covering ``[0, n)`` in order:
+    bridge spans absorb nearby candidates (gaps below ``_MIN_SEGMENT``
+    are not worth a batched replay) and fast spans fill the rest.  The
+    mask is a *heuristic* — every fast span is re-screened against live
+    state before replay, so a stale or wrong mask costs speed, never
+    correctness.
+    """
+    n = int(mask.shape[0])
+    cand = np.flatnonzero(mask)
+    if not cand.size:
+        return [(0, n, False)]
+    gaps = np.flatnonzero(np.diff(cand) > _MIN_SEGMENT)
+    starts = np.concatenate(([0], gaps + 1))
+    ends = np.concatenate((gaps, [cand.size - 1]))
+    bridges = [(int(cand[s]), int(cand[e]) + 1)
+               for s, e in zip(starts, ends)]
+    if bridges[0][0] < _MIN_SEGMENT:
+        bridges[0] = (0, bridges[0][1])
+    if n - bridges[-1][1] < _MIN_SEGMENT:
+        bridges[-1] = (bridges[-1][0], n)
+    plan = []
+    pos = 0
+    for bs, be in bridges:
+        if bs > pos:
+            plan.append((pos, bs, False))
+        plan.append((bs, be, True))
+        pos = be
+    if pos < n:
+        plan.append((pos, n, False))
+    return plan
+
+
+def _fold_stats(stats, sub) -> None:
+    """Fold a bridge segment's TimingStats into the master accumulator.
+
+    Additive over every counter except ``energy``: the scalar bridges
+    run with energy finalization deferred, so the caller finalizes once
+    from the summed totals and the ``if count:`` guards in
+    ``_finalize_energy`` see exactly what an unsegmented scalar run
+    would have seen.
+    """
+    for name, value in vars(sub).items():
+        if name != "energy":
+            setattr(stats, name, getattr(stats, name) + value)
+
+
+def _snapshot_state(iommu):
+    """Snapshot every bulk-committed hardware counter before segmenting.
+
+    The scalar loops accumulate structure counters in locals and commit
+    them *after* the loop, so a scalar abort (fault escalation,
+    ``OutOfMemoryError``) never commits partial counts.  Segment replay
+    commits per segment; restoring this snapshot on abort gives the
+    segmented engine the same abort semantics.  LRU dicts, fault-queue
+    and fault-handler stats are deliberately *not* snapshotted — the
+    scalar engine mutates those live in-loop, so leaving them is exactly
+    scalar behaviour.
+    """
+    snap = {"rows": list(iommu.dram._last_rows),
+            "walks": iommu.walker.walks, "stats": []}
+    structs = [iommu.dram, getattr(iommu, "tlb", None),
+               getattr(iommu, "tlb_l2", None), iommu.walker.cache]
+    bitmap = getattr(iommu, "perm_bitmap", None)
+    if bitmap is not None:
+        structs.append(bitmap.cache)
+    for struct in structs:
+        if struct is not None:
+            snap["stats"].append((struct.stats, vars(struct.stats).copy()))
+    return snap
+
+
+def _restore_state(iommu, snap) -> None:
+    iommu.dram._last_rows[:] = snap["rows"]
+    iommu.walker.walks = snap["walks"]
+    for stats_obj, saved in snap["stats"]:
+        for name, value in saved.items():
+            setattr(stats_obj, name, value)
+
+
+def _scalar_bridge(iommu):
+    """The scalar per-access loop for the IOMMU's mechanism.
+
+    Bridges call the raw loop — not ``_run_scalar`` — so energy
+    finalization and observability recording stay with the batch-level
+    caller and happen exactly once.
+    """
+    mech = iommu.config.mech
+    if mech == "conventional":
+        return iommu._run_conventional
+    if mech == "dvm_bm":
+        return iommu._run_bitmap
+    return functools.partial(iommu._run_dav,
+                             preload=(mech == "dvm_pe_plus"))
+
+
+def _run_predelivered(iommu, batch: PageRunBatch, stats, sites, screen,
+                      fast, parent):
+    """Deliver site-exact faults up front, then replay the trace whole.
+
+    Fault delivery mutates no LRU state the replay models: it pops TLB
+    entries of vpns that are absent anyway (the site is the page's first
+    TLB-miss walk) plus the page's walker memo, and the scalar loops
+    charge a faulting access entirely from its *post-service* walk info.
+    So servicing every predicted fault first — in trace order, through
+    the real fault machinery, exactly as the scalar loop would — leaves
+    a trace the batched kernels replay in one clean pass.  An
+    escalation aborts with the scalar loop's abort semantics (committed
+    counters restored, live kernel state kept).  Returns ``None`` when
+    the post-delivery screen still is not clean — the prediction missed
+    (it never should; the screens refuse with "budget" rather than
+    guess) — and the caller falls back to segment stitching against the
+    now-partially-healed state.
+    """
+    addrs = batch.addrs
+    writes = np.asarray(batch.writes)
+    walker = iommu.walker
+    snap = _snapshot_state(iommu)
+    tick = time.perf_counter
+    mark = tick()
+    try:
+        for pos in sites.tolist():
+            va = int(addrs[pos])
+            w = int(writes[pos])
+            info = walker.info_for(va >> PAGE_SHIFT)
+            if not info[0]:
+                info = iommu._page_fault(va, w, stats)
+            if (info[1] != 2) if w else (not info[1]):
+                iommu._perm_fault(va, w, stats)
+        _charge_phase("fault_service", tick() - mark)
+        mark = tick()
+        status, _mask, carry = screen(iommu, batch, parent)
+        _charge_phase("accounting", tick() - mark)
+        if status == "clean":
+            mark = tick()
+            replayed = fast(iommu, batch, stats, carry)
+            _charge_phase("replay", tick() - mark)
+            if replayed:
+                return EngineOutcome(True, segments=1)
+    except BaseException:
+        _restore_state(iommu, snap)
+        raise
+    return None
+
+
+def _run_segmented(iommu, batch: PageRunBatch, stats, mask, screen,
+                   fast, parent=None) -> EngineOutcome:
+    """Replay fault-free segments batched, bridge the faulty spans scalar.
+
+    Each fast span is re-screened against *live* warm state before its
+    batched replay — the planning mask only places the cuts.  A span
+    whose fresh screen is not clean (a fault the global screen could not
+    see, e.g. TLB-set contamination from an earlier segment's fault
+    delivery) degrades to a scalar bridge, preserving bit-identical
+    results.  Bridge segments raise through the real fault machinery;
+    on any abort the pre-batch counter snapshot is restored so the
+    outcome matches a scalar abort exactly.
+    """
+    from repro.hw.iommu import TimingStats
+    tick = time.perf_counter
+    mark = tick()
+    plan = _plan_segments(mask)
+    addrs = batch.addrs
+    writes = np.asarray(batch.writes)
+    snap = _snapshot_state(iommu)
+    bridge = _scalar_bridge(iommu)
+    segments = 0
+    bridged = 0
+    _charge_phase("accounting", tick() - mark)
+    try:
+        for start, end, is_bridge in plan:
+            if not is_bridge:
+                mark = tick()
+                sub = PageRunBatch.from_trace(addrs[start:end],
+                                              writes[start:end])
+                status, _mask, carry = screen(iommu, sub, parent)
+                _charge_phase("accounting", tick() - mark)
+                if status == "clean":
+                    mark = tick()
+                    replayed = fast(iommu, sub, stats, carry)
+                    _charge_phase("replay", tick() - mark)
+                    if replayed:
+                        segments += 1
+                        continue
+            bridged += end - start
+            mark = tick()
+            sub_stats = TimingStats()
+            bridge(addrs[start:end].tolist(),
+                   writes[start:end].tolist(), sub_stats)
+            _fold_stats(stats, sub_stats)
+            _charge_phase("fault_service", tick() - mark)
+    except BaseException:
+        _restore_state(iommu, snap)
+        raise
+    return EngineOutcome(True, segments=segments,
+                         bridged_accesses=bridged)

@@ -37,3 +37,12 @@ def wall_clock_in_sim():
 def id_key(trace, cache):
     cache[id(trace)] = 1  # dvmlint-expect: DET005
     return cache
+
+
+def hash_key(trace, layout, cache):
+    key = (hash(trace), layout)  # dvmlint-expect: DET006
+    return cache.get(key)
+
+
+def hash_key_attr(self, trace):
+    self._batch_cache[hash(trace)] = 1  # dvmlint-expect: DET006

@@ -19,3 +19,12 @@ def generator_wrap(bitgen):
 
 def local_method_named_random(rng):
     return rng.random()
+
+
+def content_token_key(trace, layout, cache):
+    key = (trace.content_token(), tuple(sorted(layout.items())))
+    return cache.get(key)
+
+
+def hash_outside_cache_code(value):
+    return hash(value) % 7

@@ -96,8 +96,9 @@ class TestFaultRecoveryAllConfigs:
 
 class TestEngineEquivalenceUnderFaults:
     def test_fast_engine_falls_back_and_matches_scalar(self, prepared):
-        # The fast engine must refuse a trace that can fault; both engine
-        # selections end in the scalar loops and must agree bit-for-bit.
+        # A trace that faults on every page replays on the fast path by
+        # delivering the faults through the real machinery; both engine
+        # selections must agree bit-for-bit.
         runner, pair = prepared
         results = []
         for engine in ("fast", "scalar"):
