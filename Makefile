@@ -2,10 +2,13 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench bench-smoke bench-figures lint analyze analyze-baseline experiments examples clean
+.PHONY: install test chaos fuzz-smoke fuzz-matrix bench bench-smoke bench-figures lint analyze analyze-baseline experiments examples clean
 
 # Seed matrix for the chaos battery (comma-separated injector seeds).
 REPRO_CHAOS_SEEDS ?= 0,1,2,3
+
+# Base seed for the fuzz matrix (nightly CI rotates it).
+REPRO_FUZZ_BASE_SEED ?= 0
 
 install:
 	pip install -e . || \
@@ -18,8 +21,25 @@ test:
 # cache corruption, compile failures and allocator OOM, asserting
 # bit-identical metrics (tests/chaos/).  Widen REPRO_CHAOS_SEEDS for a
 # longer soak; every test carries a REPRO_TEST_TIMEOUT watchdog.
+# Chaos-seeded sweeps intentionally run on the scalar loops: a
+# configured REPRO_FAULTS injector makes the fast engine refuse every
+# batch (counted as fastpath.refused.chaos), because perturbing
+# injections void the batch replay's reasoning.  See docs/fuzzing.md
+# and docs/configuration.md.
 chaos:
 	REPRO_CHAOS_SEEDS=$(REPRO_CHAOS_SEEDS) $(PYTHON) -m pytest tests/chaos/ -q
+
+# Differential fuzz smoke: 64 fixed-seed constrained-random scenarios
+# through all 7 configs, scalar vs fastpath (repro/gen, docs/fuzzing.md).
+# Blocking in CI; any mismatch shrinks and prints a --repro command.
+fuzz-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --smoke
+
+# The full fuzz matrix (224 scenarios); nightly CI rotates the base
+# seed so coverage accumulates across nights.
+fuzz-matrix:
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed-matrix \
+		--base-seed $(REPRO_FUZZ_BASE_SEED)
 
 # Timing-engine benchmark: full Figure 8 sweep under both engines,
 # recorded in BENCH_timing.json at the repo root.

@@ -7,6 +7,8 @@ Usage::
     python -m repro figure8 --bench      # quick bench-scale version
     python -m repro all                  # everything (minutes)
     python -m repro obs <dir>            # render observability artifacts
+    python -m repro fuzz                 # differential fuzz smoke (gen/)
+    python -m repro pair bfs/FR --bench  # re-run one quarantined pair
 
 With ``REPRO_OBS=1`` each artifact's observations (metrics registry,
 Chrome/Perfetto trace, NDJSON event stream) are flushed into
@@ -61,6 +63,14 @@ def main(argv: list[str]) -> int:
     if args[0] == "obs":
         from repro.obs import report
         return report.main(argv[1:])
+    if args[0] == "pair":
+        from repro.sim.runner import pair_main
+        return pair_main(argv[1:])
+    if args[0] == "fuzz":
+        from repro.gen import cli as fuzz_cli
+        rc = fuzz_cli.main(argv[1:])
+        obs.flush(tag="fuzz")
+        return rc
     names = sorted(ARTIFACTS) if args[0] == "all" else args
     for name in names:
         if name not in ARTIFACTS:

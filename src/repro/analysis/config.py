@@ -84,6 +84,18 @@ WORKER_ENTRY_NAMES = frozenset({"_pair_worker"})
 #: determinism lives there).
 POOL_OWNER = "src/repro/sim/runner.py"
 
+#: The scenario-generation package (constrained-random fuzzing).  Seed
+#: discipline is absolute there: every draw must come from a passed-in
+#: seeded generator, and the only RNG-construction point is
+#: ``gen/seeds.py`` (so one seed maps to one scenario forever).
+GEN_SCOPE = ("src/repro/gen/",)
+GEN_RNG_OWNER = "src/repro/gen/seeds.py"
+
+#: Modules the generator must never import: scenarios must stay buildable
+#: without the experiment control plane (the runner imports gen/, never
+#: the reverse), or fuzz repros would drag sweeps/caches into the loop.
+GEN_FORBIDDEN_IMPORTS = ("repro.sim.runner", "repro.experiments")
+
 #: Paths never scanned, relative to the analysis root.  The fixture tree
 #: under ``tests/analysis/fixtures`` is a corpus of *intentional*
 #: violations (each rule's positive/negative test vectors) and is
@@ -122,3 +134,5 @@ HOT_PATH = Scope(include=HOT_MODULES, exclude=("src/repro/obs/",))
 ENV_READS = Scope(include=("src/",), exclude=(ENV_OWNER,))
 IOMMU = Scope(include=IOMMU_SCOPE)
 POOLS = Scope(include=("src/",), exclude=(POOL_OWNER,))
+GEN = Scope(include=GEN_SCOPE)
+GEN_DRAWS = Scope(include=GEN_SCOPE, exclude=(GEN_RNG_OWNER,))

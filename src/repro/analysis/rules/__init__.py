@@ -3,5 +3,6 @@
 from repro.analysis.rules import determinism  # noqa: F401
 from repro.analysis.rules import envvars  # noqa: F401
 from repro.analysis.rules import faultpath  # noqa: F401
+from repro.analysis.rules import gen  # noqa: F401
 from repro.analysis.rules import mp  # noqa: F401
 from repro.analysis.rules import obsguard  # noqa: F401

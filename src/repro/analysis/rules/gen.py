@@ -1,0 +1,105 @@
+"""GEN: seed discipline in the scenario generator (``repro/gen``).
+
+The fuzzing contract (docs/fuzzing.md) is that a seed *is* a scenario:
+``--repro <seed>`` must rebuild a mismatch bit-for-bit, forever.  That
+only holds if every random draw flows from the per-purpose generators
+built in ``gen/seeds.py`` — one stray module-level ``random.*`` call, or
+a generator constructed ad hoc, silently decouples seeds from scenarios.
+These rules are stricter than the DET family: inside ``gen/`` even a
+*seeded* constructor is a finding outside ``seeds.py``, because two
+construction points mean two seeding conventions.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis import config
+from repro.analysis.core import ModuleContext, Rule, register
+from repro.analysis.rules._ast_util import call_name
+
+
+@register
+class AdHocRandomness(Rule):
+    """GEN001: gen/ code must draw from a passed-in seeded generator."""
+
+    id = "GEN001"
+    title = "RNG constructed or global RNG drawn outside gen/seeds.py"
+    rationale = ("`--repro <seed>` rebuilds a scenario only if every draw "
+                 "flows from the per-purpose generators of gen/seeds.py; "
+                 "module-level random.*/np.random.* calls (and ad hoc "
+                 "generator construction) break the seed-to-scenario "
+                 "bijection")
+    scope = config.GEN_DRAWS
+
+    def check_module(self, ctx: ModuleContext):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(ctx, node)
+            if name is None:
+                continue
+            if name.startswith("random.") or name.startswith("numpy.random."):
+                yield ctx.finding(self, node,
+                                  f"{name}() in generator code; draw from "
+                                  "the rng passed in (built by "
+                                  "gen/seeds.rng_for) instead")
+
+
+@register
+class GeneratorWithoutRng(Rule):
+    """GEN002: ``gen_*`` functions must take the generator explicitly."""
+
+    id = "GEN002"
+    title = "gen_* function without an rng parameter"
+    rationale = ("generation entry points that do not take the generator "
+                 "explicitly either draw nothing (misleading name) or reach "
+                 "for ambient state; threading rng through keeps every "
+                 "draw's provenance visible at the call site")
+    scope = config.GEN
+
+    def check_module(self, ctx: ModuleContext):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not node.name.startswith("gen_"):
+                continue
+            params = {a.arg for a in (node.args.posonlyargs + node.args.args
+                                      + node.args.kwonlyargs)}
+            if "rng" not in params:
+                yield ctx.finding(self, node,
+                                  f"{node.name}() does not take an 'rng' "
+                                  "parameter; pass a seeded "
+                                  "numpy.random.Generator through "
+                                  "explicitly")
+
+
+@register
+class ControlPlaneImport(Rule):
+    """GEN003: the generator must not import the experiment control plane."""
+
+    id = "GEN003"
+    title = "gen/ imports the sweep control plane"
+    rationale = ("the runner imports gen/, never the reverse: a scenario "
+                 "repro must stay a pure function of its seed, not drag "
+                 "sweeps, pools or artifact caches into the loop")
+    scope = config.GEN
+
+    def check_module(self, ctx: ModuleContext):
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                names = [a.name for a in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                # Both the module and the bound names: `from repro.sim
+                # import runner` imports repro.sim.runner.
+                base = node.module or ""
+                names = [base] + [f"{base}.{a.name}" for a in node.names]
+            else:
+                continue
+            for name in names:
+                if any(name == bad or name.startswith(bad + ".")
+                       for bad in config.GEN_FORBIDDEN_IMPORTS):
+                    yield ctx.finding(self, node,
+                                      f"gen/ imports {name}; scenario "
+                                      "generation must not depend on the "
+                                      "sweep control plane")

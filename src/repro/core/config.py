@@ -79,6 +79,20 @@ class HardwareScale:
                    bitmap_cache_blocks=8, page_2m=16 * 1024,
                    page_1g=1024 * 1024)
 
+    @classmethod
+    def fuzz(cls) -> "HardwareScale":
+        """Small structures for generated scenarios (``repro/gen``).
+
+        Fuzz streams are short (hundreds of accesses), so capacity
+        evictions, set conflicts and L1/walk-cache interplay only show
+        up if the structures are small enough to overflow within one
+        stream.  Analog page sizes stay at the bench scale so a single
+        generated region can span several analog huge pages.
+        """
+        return cls(tlb_entries=8, walk_cache_blocks=8, walk_cache_ways=4,
+                   bitmap_cache_blocks=8, page_2m=16 * 1024,
+                   page_1g=1024 * 1024)
+
 
 @dataclass(frozen=True)
 class MMUConfig:
@@ -174,6 +188,45 @@ def demand_faulting_config(base: MMUConfig) -> MMUConfig:
     return replace(base, name=f"{base.name}_demand",
                    label=f"{base.label},demand",
                    policy=replace(base.policy, demand_faulting=True))
+
+
+#: Hardware-scale profiles addressable by name (scenario plans and CLI
+#: flags carry the name, not the object, so they stay JSON-serializable).
+SCALE_PROFILES = ("default", "paper", "bench", "fuzz")
+
+
+def scale_by_name(profile: str) -> HardwareScale:
+    """Resolve a :data:`SCALE_PROFILES` name to a :class:`HardwareScale`."""
+    if profile == "default":
+        return HardwareScale()
+    try:
+        return getattr(HardwareScale, profile)()
+    except AttributeError:
+        raise ValueError(f"unknown hardware scale {profile!r}; expected one "
+                         f"of {SCALE_PROFILES}") from None
+
+
+def scenario_configs(scale: str = "default", *, demand: bool = False,
+                     names: tuple[str, ...] | None = None,
+                     ) -> dict[str, MMUConfig]:
+    """Configurations for one generated scenario (``repro/gen``).
+
+    Scenario plans describe configurations by constraint — a hardware
+    scale profile and whether backing is lazy — rather than by concrete
+    objects, and this builds the matching config set.  Keys stay the
+    *base* names (``conv_4k``...) even when demand faulting renames the
+    configs themselves, so oracle verdicts are comparable across
+    scenarios.
+    """
+    configs = standard_configs(scale_by_name(scale))
+    if names is not None:
+        unknown = set(names) - set(configs)
+        if unknown:
+            raise ValueError(f"unknown config names {sorted(unknown)}")
+        configs = {n: c for n, c in configs.items() if n in names}
+    if demand:
+        configs = {n: demand_faulting_config(c) for n, c in configs.items()}
+    return configs
 
 
 def two_level_tlb_config(scale: HardwareScale | None = None) -> MMUConfig:

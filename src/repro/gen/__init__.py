@@ -1,0 +1,33 @@
+"""Constrained-random scenario generation + differential oracle.
+
+Hand-written tests cover only the scenario shapes we thought of; this
+package (ROADMAP item 4, Riescue-style) generates *arbitrary* ones from
+a seed and checks every MMU configuration against the scalar ground
+truth:
+
+* :mod:`repro.gen.seeds` — the one place scenario seeds become RNGs
+  (every generator function *receives* its ``rng``; none creates one).
+* :mod:`repro.gen.layout` — seeded VMA layouts: region counts/sizes,
+  physical-memory sizing, hog allocations and reclaim preludes that
+  force identity→demand degradation, mid-mosaic unmaps.
+* :mod:`repro.gen.perms` — PE sub-region permission mosaics and the
+  violation/alias patterns (store-to-read-only, no-permission touches,
+  unmapped-gap probes).
+* :mod:`repro.gen.streams` — access streams weighted toward page-run
+  boundaries, hot sets, strides and cross-region interleave.
+* :mod:`repro.gen.oracle` — realizes a scenario under each
+  configuration, runs both timing engines, and asserts (a) identical
+  permission/violation outcomes, (b) bit-identical
+  :class:`~repro.hw.iommu.TimingStats`, (c) fault-accounting
+  invariants; mismatches shrink to a minimal scenario and emit a
+  ``python -m repro fuzz --repro <seed>`` command plus a quarantined
+  artifact.
+* :mod:`repro.gen.cli` — the ``python -m repro fuzz`` entry point.
+
+See ``docs/fuzzing.md`` for constraint knobs and the shrink/repro
+workflow.
+"""
+
+from repro.gen.oracle import Scenario, check_scenario, scenario_from_seed
+
+__all__ = ["Scenario", "check_scenario", "scenario_from_seed"]

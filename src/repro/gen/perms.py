@@ -1,0 +1,108 @@
+"""Permission mosaics and violation/alias patterns.
+
+Region permissions are drawn from the paper's 2-bit encoding
+(:class:`~repro.common.perms.Perm`) with weights biased toward the
+shapes that stress the PE sub-region machinery: mostly writable heap
+beside read-only tables, with occasional execute-only and no-permission
+guard regions.  Violation plans pick *one* access in the stream and
+retarget it at a pattern the MMU must refuse — the oracle then checks
+that every configuration (and both timing engines) refuses it
+identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.perms import Perm
+
+#: Weighted region-permission palette.  At least one region is always
+#: forced to READ_WRITE so benign write traffic has a home.
+REGION_PERMS = (Perm.READ_WRITE, Perm.READ_ONLY, Perm.READ_EXECUTE,
+                Perm.NONE)
+REGION_PERM_WEIGHTS = (0.55, 0.25, 0.12, 0.08)
+
+#: Violation/alias patterns the generator knows how to plan.
+VIOLATION_KINDS = (
+    "store_to_readonly",   # write into a READ_ONLY / READ_EXECUTE region
+    "touch_no_access",     # any access into a Perm.NONE guard region
+    "gap_probe",           # access a VA no VMA has ever covered
+    "use_after_unmap",     # access a region munmapped mid-mosaic
+)
+
+#: VA used for gap probes: far above both identity space (bounded by
+#: physical memory) and the ASLR'd top-down mmap area, so it is
+#: unmapped under every configuration.
+GAP_PROBE_REGION = -1
+GAP_PROBE_BASE = 1 << 44
+
+
+@dataclass(frozen=True)
+class ViolationPlan:
+    """One deliberate violation woven into an access stream.
+
+    ``region`` indexes the layout's regions (:data:`GAP_PROBE_REGION`
+    for gap probes), ``page`` / ``offset`` place the access inside it,
+    ``frac`` places it within the stream, and ``write`` picks the
+    access kind.
+    """
+
+    kind: str
+    region: int
+    offset: int
+    frac: float
+    write: bool
+
+
+def gen_region_perms(rng: np.random.Generator, count: int) -> list[Perm]:
+    """Draw a permission mosaic for ``count`` regions (≥ 1 writable)."""
+    picks = rng.choice(len(REGION_PERMS), size=count,
+                       p=REGION_PERM_WEIGHTS)
+    perms = [REGION_PERMS[int(i)] for i in picks]
+    if Perm.READ_WRITE not in perms:
+        perms[int(rng.integers(0, count))] = Perm.READ_WRITE
+    return perms
+
+
+def writable(perm: Perm) -> bool:
+    """Whether benign stream writes may target a region of ``perm``."""
+    return perm == Perm.READ_WRITE
+
+
+def readable(perm: Perm) -> bool:
+    """Whether benign stream reads may target a region of ``perm``."""
+    return perm in (Perm.READ_ONLY, Perm.READ_WRITE, Perm.READ_EXECUTE)
+
+
+def gen_violation(rng: np.random.Generator, perms: list[Perm],
+                  sizes: list[int], unmap_region: int | None,
+                  rate: float = 0.45) -> ViolationPlan | None:
+    """Plan at most one violation against a mosaic, or None.
+
+    Only kinds whose preconditions hold in this layout are candidates
+    (a store-to-read-only needs a read-only region to exist, a
+    use-after-unmap needs the layout to unmap one, ...), so every plan
+    returned is realizable.
+    """
+    if rng.random() >= rate:
+        return None
+    candidates: list[tuple[str, int]] = [("gap_probe", GAP_PROBE_REGION)]
+    for i, perm in enumerate(perms):
+        if i == unmap_region:
+            continue
+        if perm in (Perm.READ_ONLY, Perm.READ_EXECUTE):
+            candidates.append(("store_to_readonly", i))
+        if perm == Perm.NONE:
+            candidates.append(("touch_no_access", i))
+    if unmap_region is not None:
+        candidates.append(("use_after_unmap", unmap_region))
+    kind, region = candidates[int(rng.integers(0, len(candidates)))]
+    if region == GAP_PROBE_REGION:
+        offset = int(rng.integers(0, 1 << 20)) * 8
+    else:
+        offset = int(rng.integers(0, max(sizes[region] // 8, 1))) * 8
+    write = kind == "store_to_readonly" or bool(rng.random() < 0.5)
+    return ViolationPlan(kind=kind, region=region, offset=offset,
+                         frac=float(rng.random()), write=write)

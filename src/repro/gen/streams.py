@@ -1,0 +1,134 @@
+"""Weighted access-stream generation.
+
+Streams are generated *abstractly* — (region index, byte offset, is
+write) triples — and concretized against a realization's per-config
+virtual addresses, so one generated stream drives every configuration
+even though identity and demand mappings place regions differently.
+
+Burst patterns are weighted toward the shapes that stress the timing
+fastpath's page-run machinery: sequential walks (long same-page runs),
+page-boundary hoppers (runs of length one), strided scans that straddle
+analog-huge-page boundaries, hot sets that pin TLB/AVC entries, and
+uniform sprays that overflow them.  Writes are confined to writable
+regions — a benign stream must never violate, so the differential
+oracle can attribute every violation to the scenario's explicit
+:class:`~repro.gen.perms.ViolationPlan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.consts import PAGE_SIZE
+from repro.gen.perms import (GAP_PROBE_BASE, GAP_PROBE_REGION,
+                             ViolationPlan, readable, writable)
+from repro.gen.layout import LayoutPlan
+
+#: Burst pattern palette and weights.
+_PATTERNS = ("sequential", "strided", "random", "boundary", "hotset")
+_PATTERN_WEIGHTS = (0.3, 0.2, 0.2, 0.15, 0.15)
+
+#: Strides (bytes) for the strided pattern: cache-line-ish hops, page
+#: hops, and analog-2M hops that land on page-run boundaries.
+_STRIDES = (16, 64, 256, PAGE_SIZE, 16 * 1024)
+
+
+@dataclass(frozen=True)
+class StreamPlan:
+    """One abstract access stream over a layout's regions."""
+
+    region: np.ndarray      # int16, GAP_PROBE_REGION for gap probes
+    offset: np.ndarray      # int64 byte offset within the region
+    write: np.ndarray       # int8
+
+    def __len__(self) -> int:
+        return int(self.region.size)
+
+
+def _burst(rng: np.random.Generator, size: int, length: int) -> np.ndarray:
+    """One burst of offsets inside a region of ``size`` bytes."""
+    pattern = _PATTERNS[int(rng.choice(len(_PATTERNS),
+                                       p=_PATTERN_WEIGHTS))]
+    top = max(size // 8, 1)
+    if pattern == "sequential":
+        start = int(rng.integers(0, top))
+        offs = (start + np.arange(length)) % top * 8
+    elif pattern == "strided":
+        stride = int(_STRIDES[int(rng.integers(0, len(_STRIDES)))])
+        start = int(rng.integers(0, top)) * 8
+        offs = (start + np.arange(length) * stride) % size
+        offs &= ~np.int64(7)
+    elif pattern == "boundary":
+        # Hop across page boundaries: offsets within ±2 words of a page
+        # edge, producing page runs of length one either side.
+        pages = max(size // PAGE_SIZE, 1)
+        edge = rng.integers(0, pages, length) * PAGE_SIZE
+        jitter = rng.integers(-2, 3, length) * 8
+        offs = np.clip(edge + jitter, 0, size - 8)
+    elif pattern == "hotset":
+        hot = rng.integers(0, top, max(int(rng.integers(2, 9)), 2)) * 8
+        offs = hot[rng.integers(0, hot.size, length)]
+    else:  # random spray
+        offs = rng.integers(0, top, length) * 8
+    return offs.astype(np.int64)
+
+
+def gen_stream(rng: np.random.Generator, plan: LayoutPlan,
+               violation: ViolationPlan | None,
+               write_frac: float = 0.3) -> StreamPlan:
+    """Generate one access stream for ``plan``, weaving in ``violation``."""
+    benign = [i for i, r in enumerate(plan.regions)
+              if readable(r.perm) and i != plan.unmap_region]
+    sizes = [r.pages * PAGE_SIZE for r in plan.regions]
+    weights = np.array([sizes[i] for i in benign], dtype=np.float64)
+    weights /= weights.sum()
+    total = int(rng.integers(96, 769))
+    regions: list[np.ndarray] = []
+    offsets: list[np.ndarray] = []
+    writes: list[np.ndarray] = []
+    produced = 0
+    while produced < total:
+        target = benign[int(rng.choice(len(benign), p=weights))]
+        length = min(int(rng.integers(16, 97)), total - produced)
+        offs = _burst(rng, sizes[target], length)
+        regions.append(np.full(length, target, dtype=np.int16))
+        offsets.append(offs)
+        frac = write_frac if writable(plan.regions[target].perm) else 0.0
+        writes.append((rng.random(length) < frac).astype(np.int8))
+        produced += length
+    stream = StreamPlan(region=np.concatenate(regions),
+                        offset=np.concatenate(offsets),
+                        write=np.concatenate(writes))
+    if violation is not None:
+        stream = inject_violation(stream, violation, sizes)
+    return stream
+
+
+def inject_violation(stream: StreamPlan, violation: ViolationPlan,
+                     sizes: list[int]) -> StreamPlan:
+    """Retarget one access at the planned violation."""
+    k = int(violation.frac * (len(stream) - 1))
+    region = np.array(stream.region, copy=True)
+    offset = np.array(stream.offset, copy=True)
+    write = np.array(stream.write, copy=True)
+    region[k] = violation.region
+    if violation.region == GAP_PROBE_REGION:
+        offset[k] = violation.offset
+    else:
+        offset[k] = min(violation.offset,
+                        max(sizes[violation.region] - 8, 0))
+    write[k] = 1 if violation.write else 0
+    return StreamPlan(region=region, offset=offset, write=write)
+
+
+def concretize_stream(stream: StreamPlan, region_vas: list[int]
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Bind an abstract stream to one realization's region addresses."""
+    vas = np.asarray(region_vas, dtype=np.int64)
+    probe = stream.region == GAP_PROBE_REGION
+    base = np.where(probe, np.int64(GAP_PROBE_BASE),
+                    vas[np.where(probe, 0, stream.region)])
+    addrs = base + stream.offset
+    return addrs, np.array(stream.write, copy=True)

@@ -78,7 +78,7 @@ import time
 
 import numpy as np
 
-from repro.common import env
+from repro.common import env, faults
 from repro.common.consts import PAGE_SHIFT
 from repro.sim import _native
 
@@ -1331,11 +1331,41 @@ def _screen_bitmap(iommu, batch: PageRunBatch, parent=None):
                             "sites": sites}
 
 
+def _walks_fit_sets(cache, table: "_WalkTable") -> bool:
+    """Whether every walk's blocks co-reside in the AVC after its head.
+
+    The DAV fast path replays the AVC once per page-run *head*, relying
+    on interior accesses re-touching the same resident blocks.  That
+    holds only if no single walk puts more distinct blocks into one
+    cache set than the set has ways — otherwise the walk self-evicts
+    and the scalar loop re-misses on every interior access.  The common
+    geometries pass the cheap depth bound; the exact per-set count only
+    runs for shallow-associativity configurations.
+    """
+    counts = table.counts
+    if counts.size == 0 or int(counts.max()) <= cache.ways:
+        return True
+    nsets, ways = cache.num_sets, cache.ways
+    for blocks in table.blocks:
+        if len(blocks) <= ways:
+            continue
+        per_set: dict[int, int] = {}
+        for blk in set(blocks):
+            sid = blk % nsets
+            load = per_set.get(sid, 0) + 1
+            if load > ways:
+                return False
+            per_set[sid] = load
+    return True
+
+
 def _screen_dav(iommu, batch: PageRunBatch, parent=None):
     """Fault screen for DVM-PE / DVM-PE+ (DAV walks every access)."""
     upages, uidx = batch.unique_pages()
     u = upages.shape[0]
     table = _walk_table(iommu.walker, upages, parent)
+    if not _walks_fit_sets(iommu.walker.cache, table):
+        return "walk_set_pressure", None, None
     _rc, _ac, _wc, written_u = batch.page_aggregates()
     eff0 = np.where(table.ok, table.perm, 0)
     bad = eff0 < 1
@@ -1395,6 +1425,12 @@ def run_batch(iommu, batch: PageRunBatch, stats) -> "EngineOutcome":
     outcome means **no** state was modified and the caller must run the
     scalar loops.
     """
+    if faults.active():
+        # A chaos injector is configured: perturbing injections
+        # (alloc_oom relayouts, mid-trace guest faults) void the batch
+        # replay's fault-free-prefix reasoning, so chaos-seeded sweeps
+        # intentionally stay on the scalar loops (docs/configuration.md).
+        return EngineOutcome(False, reason="chaos")
     mech = iommu.config.mech
     if mech == "ideal":
         _fast_ideal(iommu, batch, stats)
@@ -1417,6 +1453,11 @@ def run_batch(iommu, batch: PageRunBatch, stats) -> "EngineOutcome":
         return EngineOutcome(False, reason="legacy_fault_path")
     if status == "budget":
         return EngineOutcome(False, reason="budget")
+    if status == "walk_set_pressure":
+        # A single walk overflows an AVC set (see _walks_fit_sets): the
+        # per-head replay's residency assumption is unsound, so the
+        # scalar loop is the only exact model of the thrashing cache.
+        return EngineOutcome(False, reason="walk_set_pressure")
     if not fault_segments_enabled():
         return EngineOutcome(False, reason="fault_segments_disabled")
     sites = carry.get("sites") if carry else None

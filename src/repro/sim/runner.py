@@ -485,14 +485,41 @@ class ExperimentRunner:
             ckpt.complete()
         return out
 
+    def pair_repro_command(self, workload: str, dataset: str,
+                           config_name: str | None = None) -> str:
+        """A copy-pasteable command reproducing one pair's run.
+
+        Reconstructs the environment that shaped the run — the fault
+        injector's spec and seed (chaos sweeps) and any timing-engine
+        override — so the command reproduces the quarantined behavior
+        from a fresh shell, not just the pair id.
+        """
+        parts = ["PYTHONPATH=src"]
+        inj = faults.injector()
+        if inj is not None and inj.specs:
+            spec = ",".join(
+                f"{s.site}:{s.probability:g}"
+                + (f":{s.max_fires}" if s.max_fires is not None else "")
+                for s in inj.specs.values())
+            parts.append(f"{faults.FAULTS_ENV_VAR}={spec}")
+            parts.append(f"{faults.FAULTS_SEED_ENV_VAR}={inj.seed}")
+        if self.engine:
+            parts.append(f"REPRO_TIMING_ENGINE={self.engine}")
+        parts.append(f"python -m repro pair {workload}/{dataset}")
+        if config_name:
+            parts.append(f"--config {config_name}")
+        if self.profile != "full":
+            parts.append(f"--profile {self.profile}")
+        return " ".join(parts)
+
     def _quarantine_pair(self, pair: tuple, exc) -> None:
         """Contain a pair whose guest faulted unrecoverably.
 
         An :class:`~repro.common.errors.AccessViolation` (or legacy
         ``PageFault``/``ProtectionFault``) is deterministic — retrying
         cannot help — so the pair is excluded from the merged result and
-        reported with full structured context instead of poisoning the
-        sweep.
+        reported with full structured context (including a copy-pasteable
+        repro command) instead of poisoning the sweep.
         """
         workload, dataset = pair
         record = getattr(exc, "record", None)
@@ -504,7 +531,9 @@ class ExperimentRunner:
             access=getattr(exc, "access", None),
             kind=getattr(record, "kind", None),
             index=getattr(record, "index", None),
-            message=str(exc)))
+            message=str(exc),
+            repro=self.pair_repro_command(workload, dataset,
+                                          getattr(record, "config", None))))
 
     def _run_pair_serial(self, pair: tuple, configs: dict) -> list:
         """One pair's configurations, in-process; returns journal entries."""
@@ -701,6 +730,91 @@ class ExperimentRunner:
             raise
         finally:
             pool.shutdown(wait=not hung, cancel_futures=True)
+
+
+    # -- generated scenarios (repro/gen) --------------------------------------
+
+    def check_scenario_pair(self, seed: int, config_names=None):
+        """Adapter: one generated scenario as a quarantinable pair.
+
+        Runs ``repro/gen``'s differential oracle for ``seed`` and folds
+        the verdict into this runner's resilience machinery: a
+        mismatching scenario is quarantined exactly like a violating
+        (workload, dataset) pair — counted in ``guest_violations``,
+        detailed in ``violations`` with its one-line repro command — so
+        sweep tooling reports fuzz findings through the same channel as
+        production pairs.  Returns the
+        :class:`~repro.gen.oracle.ScenarioResult`.
+        """
+        from repro.gen.oracle import (check_scenario, repro_command,
+                                      scenario_from_seed)
+        scenario = scenario_from_seed(seed)
+        names = tuple(config_names) if config_names else None
+        result = check_scenario(scenario, configs=names)
+        if not result.ok:
+            self.resilience.guest_violations += 1
+            self.resilience.violations.append(dict(
+                workload="fuzz", dataset=f"seed{seed}",
+                config=",".join(result.configs), va=None, access=None,
+                kind="oracle_mismatch", index=None,
+                message="; ".join(result.mismatches),
+                repro=repro_command(seed)))
+        return result
+
+
+def pair_main(argv: list[str]) -> int:
+    """``python -m repro pair <workload>/<dataset>`` — run one pair.
+
+    The target of the quarantine repro command
+    (:meth:`ExperimentRunner.pair_repro_command`): re-runs a single
+    (workload, dataset) pair in-process, honoring ``REPRO_FAULTS`` /
+    ``REPRO_TIMING_ENGINE`` from the environment, and prints each
+    configuration's metrics or the structured violation that quarantined
+    the pair.  Exits 1 if the pair is quarantined.
+    """
+    target = None
+    config_names: list[str] = []
+    profile = "full"
+    i = 0
+    while i < len(argv):
+        a = argv[i]
+        if a == "--config":
+            i += 1
+            config_names.extend(argv[i].split(","))
+        elif a == "--profile":
+            i += 1
+            profile = argv[i]
+        elif a == "--bench":
+            profile = "bench"
+        elif a.startswith("--"):
+            raise SystemExit(f"unknown pair option {a!r}")
+        else:
+            target = a
+        i += 1
+    if target is None or "/" not in target:
+        raise SystemExit("usage: python -m repro pair <workload>/<dataset> "
+                         "[--config NAME[,NAME...]] [--profile P|--bench]")
+    workload, dataset = target.split("/", 1)
+    runner = ExperimentRunner.from_env(profile=profile)
+    configs = runner.configs()
+    if config_names:
+        unknown = [n for n in config_names if n not in configs]
+        if unknown:
+            raise SystemExit(f"unknown config(s) {unknown}; "
+                             f"have {list(configs)}")
+        configs = {n: configs[n] for n in config_names}
+    metrics = runner.run_pair_configs(workload, dataset, configs)
+    if metrics is None:
+        print(f"{workload}/{dataset}: QUARANTINED")
+        for v in runner.resilience.violations:
+            print(f"  {v['kind']} va={v['va']} access={v['access']} "
+                  f"config={v['config']}")
+            print(f"  repro: {v['repro']}")
+        return 1
+    for name, m in metrics.items():
+        print(f"{workload}/{dataset} {name}: cycles={m.cycles:.0f} "
+              f"normalized={m.normalized_time:.3f} faults={m.faults}")
+    return 0
 
 
 def _pair_worker(spec: dict, workload: str, dataset: str,

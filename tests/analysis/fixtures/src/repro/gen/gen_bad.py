@@ -1,0 +1,32 @@
+"""GEN positives: seed-discipline violations in generator code."""
+
+import random
+
+import numpy as np
+
+from repro.sim import runner  # dvmlint-expect: GEN003
+from repro.sim.runner import ExperimentRunner  # dvmlint-expect: GEN003
+import repro.experiments.figure8  # dvmlint-expect: GEN003
+
+
+def gen_layout_global_draw(count):  # dvmlint-expect: GEN002
+    return [random.random() for _ in range(count)]  # dvmlint-expect: GEN001
+
+
+def gen_stream_numpy_global(n):  # dvmlint-expect: GEN002
+    return np.random.rand(n)  # dvmlint-expect: GEN001
+
+
+def gen_perms_ad_hoc_rng(rng, seed):
+    # Even seeded construction is a finding outside gen/seeds.py: two
+    # construction points mean two seeding conventions.
+    local = np.random.default_rng(seed)  # dvmlint-expect: GEN001
+    return local.random()
+
+
+def gen_violation_stdlib_instance(rng):
+    return random.Random(7).random()  # dvmlint-expect: GEN001
+
+
+def sweep_from_generator():
+    return ExperimentRunner(), runner, repro.experiments.figure8

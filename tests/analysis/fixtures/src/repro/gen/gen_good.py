@@ -1,0 +1,19 @@
+"""GEN negatives: disciplined draws from a passed-in generator."""
+
+from repro.core.config import scenario_configs
+
+
+def gen_layout(rng):
+    return int(rng.integers(2, 7))
+
+
+def gen_stream(rng, plan, *, write_frac=0.3):
+    return rng.random(len(plan)) < write_frac
+
+
+def gen_violation(rng, perms):
+    return perms[int(rng.choice(len(perms)))]
+
+
+def realize_uses_runner_free_imports(plan):
+    return scenario_configs(plan.scale)

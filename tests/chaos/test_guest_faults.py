@@ -107,3 +107,38 @@ class TestInjectedViolations:
         text = runner.resilience.render()
         assert "quarantined" in text
         assert "guest violations: 1" in text
+
+    def test_quarantine_detail_has_repro_command(self):
+        faults.configure("perm_fault:1.0:1", seed=42)
+        runner = bench_runner()
+        runner.run_pairs(pairs=PAIRS)
+        detail = runner.resilience.violations[0]
+        # Copy-pasteable: reconstructs the injector env and targets the
+        # quarantined pair through the `python -m repro pair` entry.
+        assert "python -m repro pair " in detail["repro"]
+        assert f"{detail['workload']}/{detail['dataset']}" in detail["repro"]
+        assert "REPRO_FAULTS=perm_fault:1:1" in detail["repro"]
+        assert "REPRO_FAULTS_SEED=42" in detail["repro"]
+        assert "--profile bench" in detail["repro"]
+
+
+class TestChaosStaysScalar:
+    """A configured injector voids batch replay: chaos-seeded sweeps
+    intentionally run the scalar loops, counted as a fastpath refusal."""
+
+    def test_fast_engine_refuses_with_chaos_reason(self):
+        from repro import obs
+        from repro.obs import core as obs_core
+        faults.configure("page_fault:0.0", seed=0)  # active, never fires
+        obs_core.configure(enabled=True)
+        obs.reset()
+        try:
+            runner = bench_runner(engine="fast")
+            runner.run_pair_configs("bfs", "FR",
+                                    {"conv_4k": runner.configs()["conv_4k"]})
+            refused = obs_core.REGISTRY.counter("fastpath.refused.chaos",
+                                                mech="conventional")
+            assert refused.value > 0
+        finally:
+            obs_core.configure(enabled=False)
+            obs.reset()
