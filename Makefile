@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos fuzz-smoke fuzz-matrix bench bench-smoke bench-figures lint analyze analyze-baseline experiments examples clean
+.PHONY: install test chaos sweep-smoke fuzz-smoke fuzz-matrix bench bench-smoke bench-figures lint analyze analyze-baseline experiments examples clean
 
 # Seed matrix for the chaos battery (comma-separated injector seeds).
 REPRO_CHAOS_SEEDS ?= 0,1,2,3
@@ -28,6 +28,15 @@ test:
 # and docs/configuration.md.
 chaos:
 	REPRO_CHAOS_SEEDS=$(REPRO_CHAOS_SEEDS) $(PYTHON) -m pytest tests/chaos/ -q
+
+# Sweep-service chaos gate: a fault-free probe-sweep reference, then one
+# sweep per scheduler fault site (hangs, exits, crashes, torn journal
+# appends, lost heartbeats, steal/hedge races, supervisor stalls) plus a
+# combined all-sites round; fails unless every run merges bit-identical
+# to the reference and hang detection beats the pair timeout by 5x.
+# Blocking in CI; see docs/sweep.md.
+sweep-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro sweep --chaos-smoke
 
 # Differential fuzz smoke: 64 fixed-seed constrained-random scenarios
 # through all 7 configs, scalar vs fastpath (repro/gen, docs/fuzzing.md).

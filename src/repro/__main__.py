@@ -9,6 +9,8 @@ Usage::
     python -m repro obs <dir>            # render observability artifacts
     python -m repro fuzz                 # differential fuzz smoke (gen/)
     python -m repro pair bfs/FR --bench  # re-run one quarantined pair
+    python -m repro sweep pairs --bench  # supervised sweep service entry
+    python -m repro sweep --chaos-smoke  # scheduler chaos gate (CI)
 
 With ``REPRO_OBS=1`` each artifact's observations (metrics registry,
 Chrome/Perfetto trace, NDJSON event stream) are flushed into
@@ -66,6 +68,11 @@ def main(argv: list[str]) -> int:
     if args[0] == "pair":
         from repro.sim.runner import pair_main
         return pair_main(argv[1:])
+    if args[0] == "sweep":
+        from repro.sweep import cli as sweep_cli
+        rc = sweep_cli.main(argv[1:])
+        obs.flush(tag="sweep")
+        return rc
     if args[0] == "fuzz":
         from repro.gen import cli as fuzz_cli
         rc = fuzz_cli.main(argv[1:])

@@ -78,11 +78,18 @@ IOMMU_SCOPE = ("src/repro/hw/",)
 
 #: Known process-pool worker entry functions (in addition to functions
 #: detected as ``pool.submit(fn, ...)`` targets within a module).
-WORKER_ENTRY_NAMES = frozenset({"_pair_worker"})
+WORKER_ENTRY_NAMES = frozenset({"_sweep_worker_main"})
 
-#: The module sanctioned to create process pools (retry/rebuild/merge
-#: determinism lives there).
-POOL_OWNER = "src/repro/sim/runner.py"
+#: The module sanctioned to create worker processes (liveness
+#: supervision, retry/rebuild/merge determinism live there).
+POOL_OWNER = "src/repro/sweep/scheduler.py"
+
+#: The supervised sweep package: every potentially-blocking wait must
+#: be bounded (SWP001) and durable bytes must flow through the fenced
+#: journal writer or the atomic tracestore publisher (SWP002).
+SWEEP_SCOPE = ("src/repro/sweep/",)
+SWEEP_WRITE_OWNERS = ("src/repro/sweep/journal.py",
+                      "src/repro/sweep/tracestore.py")
 
 #: The scenario-generation package (constrained-random fuzzing).  Seed
 #: discipline is absolute there: every draw must come from a passed-in
@@ -136,3 +143,5 @@ IOMMU = Scope(include=IOMMU_SCOPE)
 POOLS = Scope(include=("src/",), exclude=(POOL_OWNER,))
 GEN = Scope(include=GEN_SCOPE)
 GEN_DRAWS = Scope(include=GEN_SCOPE, exclude=(GEN_RNG_OWNER,))
+SWEEP = Scope(include=SWEEP_SCOPE)
+SWEEP_WRITES = Scope(include=SWEEP_SCOPE, exclude=SWEEP_WRITE_OWNERS)

@@ -6,3 +6,4 @@ from repro.analysis.rules import faultpath  # noqa: F401
 from repro.analysis.rules import gen  # noqa: F401
 from repro.analysis.rules import mp  # noqa: F401
 from repro.analysis.rules import obsguard  # noqa: F401
+from repro.analysis.rules import sweep  # noqa: F401

@@ -6,8 +6,9 @@ cache dict, a counter — loses that state when the process exits unless
 it is shipped back through the pair payload and merged by the parent
 (``ExperimentRunner._absorb_worker_payload``).  MP001 flags module-level
 mutable state rebound or mutated inside worker-entry code whose name
-never reaches a ``return``; MP002 keeps process-pool creation inside the
-resilience runner, where retry/rebuild/merge determinism lives.
+never reaches a ``return``; MP002 keeps worker-process creation inside
+the supervised sweep scheduler, where liveness supervision and
+retry/rebuild/merge determinism live.
 """
 
 from __future__ import annotations
@@ -169,11 +170,12 @@ class PoolOutsideRunner(Rule):
     """MP002: process-pool creation outside the resilience runner."""
 
     id = "MP002"
-    title = "process pool created outside sim/runner.py"
+    title = "worker processes created outside sweep/scheduler.py"
     severity = WARNING
-    rationale = ("sim/runner.py owns pool lifecycle (retry, rebuild, "
-                 "payload merge, deterministic result order); ad-hoc "
-                 "pools bypass all four")
+    rationale = ("sweep/scheduler.py owns worker lifecycle (liveness "
+                 "supervision, retry, rebuild, payload merge, "
+                 "deterministic result order); ad-hoc pools bypass all "
+                 "five")
     scope = config.POOLS
 
     def check_module(self, ctx: ModuleContext):

@@ -1,0 +1,146 @@
+"""SWP: the supervised sweep service must stay live and crash-consistent.
+
+PR 8 moved the batch sweep onto a work-stealing scheduler whose whole
+point is that no failure mode can wedge it: workers are killed on missed
+heartbeats, queues are bounded, and progress is journaled through a
+generation-fenced append-only writer.  Two invariants keep that true
+mechanically:
+
+* **SWP001** — no unbounded blocking wait inside ``src/repro/sweep/``.
+  A bare ``.join()`` / ``.get()`` / ``.wait()`` / ``.result()`` /
+  ``.acquire()`` can block forever on a dead peer, turning the liveness
+  supervisor itself into the hung process nobody supervises.  Every
+  potentially-blocking call must carry a ``timeout`` (or use a
+  ``*_nowait`` variant and poll).
+
+* **SWP002** — durable bytes flow only through the fenced journal
+  writer (``sweep/journal.py``) or the atomic tracestore publisher
+  (``sweep/tracestore.py``).  Any other module opening a file for
+  writing inside the sweep package bypasses generation fencing,
+  fsync-on-append and torn-tail recovery — exactly the crash-consistency
+  bugs the journal exists to rule out.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis import config
+from repro.analysis.core import ModuleContext, Rule, register
+
+#: Method names that block indefinitely unless bounded by a timeout.
+_BLOCKING_WAITS = frozenset({"join", "get", "wait", "result", "acquire"})
+
+#: ``join``/``get`` with positional arguments are the harmless builtin
+#: forms (``", ".join(parts)``, ``mapping.get(key, default)``); the
+#: blocking process/queue forms take no positional payload.
+
+#: ``os.open`` flags that imply the file is being created or written.
+_OS_WRITE_FLAGS = frozenset({"O_WRONLY", "O_RDWR", "O_APPEND", "O_CREAT",
+                             "O_TRUNC"})
+
+
+def _has_timeout(node: ast.Call) -> bool:
+    return any(kw.arg == "timeout" for kw in node.keywords)
+
+
+@register
+class UnboundedWait(Rule):
+    """SWP001: unbounded blocking wait inside the sweep service."""
+
+    id = "SWP001"
+    title = "unbounded join/get/wait/result/acquire in sweep service"
+    rationale = ("the sweep scheduler is the liveness supervisor: a "
+                 "wait with no timeout can block forever on a dead "
+                 "worker or torn queue, and nothing supervises the "
+                 "supervisor — bound every wait or poll a *_nowait "
+                 "variant")
+    scope = config.SWEEP
+
+    def check_module(self, ctx: ModuleContext):
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _BLOCKING_WAITS):
+                continue
+            if _has_timeout(node) or node.args:
+                # A positional argument is either a timeout
+                # (``proc.join(5.0)``) or marks the non-blocking
+                # builtin form (str.join / dict.get).
+                continue
+            yield ctx.finding(self, node,
+                              f".{node.func.attr}() without a timeout "
+                              "can block the sweep service forever; "
+                              "pass timeout= or use a *_nowait variant")
+
+
+@register
+class WriteOutsideJournal(Rule):
+    """SWP002: durable writes outside the fenced journal/tracestore."""
+
+    id = "SWP002"
+    title = "file written outside the fenced journal/tracestore writers"
+    rationale = ("sweep durability is crash-consistent only because "
+                 "every byte goes through the generation-fenced journal "
+                 "appender or the atomic tracestore publisher; ad-hoc "
+                 "writes skip fencing, fsync and torn-tail recovery")
+    scope = config.SWEEP_WRITES
+
+    def check_module(self, ctx: ModuleContext):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            finding = self._check_call(ctx, node)
+            if finding is not None:
+                yield finding
+
+    def _check_call(self, ctx: ModuleContext, node: ast.Call):
+        func = node.func
+        # open(path, "w"/"a"/"x"/"+") and Path.open("w"...)
+        if ((isinstance(func, ast.Name) and func.id == "open")
+                or (isinstance(func, ast.Attribute)
+                    and func.attr == "open")) \
+                and self._write_mode(node):
+            return ctx.finding(self, node,
+                               "write-mode open() in the sweep package; "
+                               "route durable bytes through the fenced "
+                               "journal writer or tracestore publisher")
+        # Path.write_text / Path.write_bytes
+        if isinstance(func, ast.Attribute) \
+                and func.attr in ("write_text", "write_bytes"):
+            return ctx.finding(self, node,
+                               f".{func.attr}() in the sweep package; "
+                               "route durable bytes through the fenced "
+                               "journal writer or tracestore publisher")
+        # os.open(path, os.O_WRONLY | ...)
+        if ctx.dotted(func) == "os.open" and self._os_write_flags(node):
+            return ctx.finding(self, node,
+                               "os.open() with write flags in the sweep "
+                               "package; route durable bytes through "
+                               "the fenced journal writer or tracestore "
+                               "publisher")
+        return None
+
+    @staticmethod
+    def _write_mode(node: ast.Call) -> bool:
+        mode = None
+        if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+            mode = node.args[1].value
+        elif len(node.args) == 1 and isinstance(node.args[0],
+                                                ast.Constant) \
+                and isinstance(node.func, ast.Attribute):
+            # Path.open("w") — the mode is the sole positional arg.
+            mode = node.args[0].value
+        for kw in node.keywords:
+            if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+                mode = kw.value.value
+        return isinstance(mode, str) and any(c in mode for c in "wax+")
+
+    @staticmethod
+    def _os_write_flags(node: ast.Call) -> bool:
+        for arg in node.args[1:]:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Attribute) \
+                        and sub.attr in _OS_WRITE_FLAGS:
+                    return True
+        return False

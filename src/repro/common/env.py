@@ -15,9 +15,12 @@ the common truthy/float cases.
 
 from __future__ import annotations
 
+import contextlib
 import os
+from collections.abc import Iterator, Mapping
 
-__all__ = ["raw", "truthy", "truthy_str", "floating"]
+__all__ = ["raw", "truthy", "truthy_str", "floating", "integer",
+           "override"]
 
 
 def raw(name: str, default: str | None = None) -> str | None:
@@ -44,5 +47,41 @@ def floating(name: str, default: float) -> float:
         return default
     try:
         return float(value)
+    except ValueError:
+        return default
+
+
+@contextlib.contextmanager
+def override(values: Mapping[str, str | None]) -> Iterator[None]:
+    """Temporarily set (or, with ``None``, unset) environment knobs.
+
+    The previous values are restored on exit even when the body raises.
+    Chaos harnesses use this to pin scheduler knobs for one sweep
+    without leaking state into the surrounding process.
+    """
+    saved = {name: os.environ.get(name) for name in values}
+    try:
+        for name, value in values.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        yield
+    finally:
+        for name, prior in saved.items():
+            if prior is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = prior
+
+
+def integer(name: str, default: int) -> int:
+    """The variable as an int; unset, empty or unparseable gives
+    ``default``."""
+    value = raw(name)
+    if value is None or not value.strip():
+        return default
+    try:
+        return int(value)
     except ValueError:
         return default

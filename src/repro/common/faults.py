@@ -22,13 +22,15 @@ though the pool assigns pairs to processes nondeterministically.
 Sites (the complete registry — unknown names are a :class:`ConfigError`):
 
 ``worker_crash``
-    ``_pair_worker`` raises :class:`WorkerCrashError` (retried).
+    ``_sweep_worker_main`` raises :class:`WorkerCrashError` (retried).
 ``worker_exit``
-    ``_pair_worker`` hard-exits, killing the pool process (exercises
-    ``BrokenProcessPool`` recovery).
+    ``_sweep_worker_main`` hard-exits, killing the worker process
+    (exercises dead-worker detection and domain rebuild).
 ``worker_hang``
-    ``_pair_worker`` sleeps for ``REPRO_HANG_SECONDS`` (default 30)
-    before proceeding (exercises per-pair wall-clock timeouts).
+    ``_sweep_worker_main`` sleeps for ``REPRO_HANG_SECONDS`` (default
+    30) with its heartbeat suppressed (exercises liveness supervision:
+    the supervisor must kill and requeue within ~2 heartbeat intervals,
+    not the full pair timeout).
 ``cache_corrupt``
     artifact writes persist corrupted bytes (exercises checksum
     quarantine + recompute on the next read).
@@ -57,6 +59,29 @@ Sites (the complete registry — unknown names are a :class:`ConfigError`):
     access (exercises sweep-level quarantine: the faulting pair lands
     in the ResilienceReport instead of poisoning the sweep).  Not
     perturbing: the pair produces no metrics at all.
+``scheduler_stall``
+    the sweep supervisor loop (``repro.sweep.scheduler``) freezes for
+    one liveness grace period before continuing (exercises that worker
+    heartbeats and deadlines survive a wedged scheduler without
+    spurious kills or lost work).
+``steal_race``
+    a work-steal leaves a duplicate of the stolen task on the victim's
+    deque, so two workers execute the same task (exercises
+    content-key dedup: exactly one result is kept, counters never
+    double-count).
+``checkpoint_torn``
+    a journal append writes only a prefix of the record and then dies
+    (:class:`InjectedFault`), leaving a torn trailing record
+    (exercises resume-time torn-write truncation in
+    ``repro.sweep.journal``).
+``heartbeat_loss``
+    a sweep worker's heartbeat thread goes silent while the worker
+    keeps computing (exercises supervisor kill + requeue racing a
+    still-arriving result; dedup must keep exactly one).
+``hedge_race``
+    a straggler check hedges the task immediately, below the latency
+    quantile, so an original and its hedge finish close together
+    (exercises first-finisher-wins dedup on the hedging path).
 
 When no faults are configured every hook is a single global-flag check,
 so production paths pay nothing.
@@ -84,6 +109,11 @@ KNOWN_SITES = (
     "sweep_abort",
     "page_fault",
     "perm_fault",
+    "scheduler_stall",
+    "steal_race",
+    "checkpoint_torn",
+    "heartbeat_loss",
+    "hedge_race",
 )
 
 #: Sites whose firing changes simulation *results*, not just control flow.

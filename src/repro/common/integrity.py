@@ -215,13 +215,17 @@ def reap_stale_tmp(root: Path, *, stale_age: float = STALE_TMP_AGE
     or — for unparsable names and possibly-recycled pids — when the file
     is older than ``stale_age`` seconds.  Live writers' files are left
     alone so concurrent runs sharing a cache directory never clobber an
-    in-flight write.  Returns the reaped paths.
+    in-flight write.  The walk recurses so shard subdirectories of the
+    sweep cache (``<root>/<xx>/``) are covered too.  Returns the reaped
+    paths.
     """
     reaped: list[Path] = []
     if not root.is_dir():
         return reaped
     now = time.time()
-    for path in root.iterdir():
+    for path in sorted(root.rglob("*")):
+        if not path.is_file():
+            continue
         match = _TMP_RE.search(path.name)
         if match is None:
             continue

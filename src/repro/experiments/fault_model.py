@@ -120,9 +120,15 @@ def render(rows: list[FaultModelRow]) -> str:
 
 
 def main(profile: str = "full") -> str:
-    """Run and print the eager-vs-demand fault study."""
+    """Run and print the eager-vs-demand fault study.
+
+    The runner is wired from the environment so the study shares the
+    sweep service's artifact cache (``REPRO_CACHE_DIR``) — its trace is
+    restored from the memmapped store a figure sweep already published
+    instead of being rematerialized.
+    """
     scale = HardwareScale() if profile == "full" else HardwareScale.bench()
-    runner = ExperimentRunner(profile=profile, scale=scale)
+    runner = ExperimentRunner.from_env(profile=profile, scale=scale)
     text = render(eager_vs_demand(runner))
     print(text)
     return text

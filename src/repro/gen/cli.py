@@ -10,6 +10,8 @@ Usage::
     python -m repro fuzz --repro SEED        # re-run one seed verbosely
     python -m repro fuzz --self-test         # inject a known corruption
     python -m repro fuzz --out DIR           # artifact dir (build/fuzz)
+    python -m repro fuzz --workers N         # fan seeds across the sweep
+                                             # service (default REPRO_WORKERS)
 
 Every scenario is derived from its seed alone, so a failure anywhere
 reproduces with ``--repro <seed>`` — no artifact file needed.  The
@@ -21,6 +23,12 @@ where re-shrinking would be wasteful.
 (:class:`~repro.gen.oracle.SelfTestCorruption`) and inverts the exit
 code: the run passes only if the oracle catches the corruption and the
 shrinker minimizes it, proving the pipeline would catch a real bug.
+
+With ``--workers > 1`` the seed checks fan out through the supervised
+sweep service (:mod:`repro.sweep.scheduler`) — the same scheduler,
+liveness supervision and resilience reporting the figure sweeps use —
+while shrinking (rare) and ``--self-test`` / ``--repro`` (stateful or
+verbose by design) stay in-parent.
 """
 
 from __future__ import annotations
@@ -89,7 +97,8 @@ def _shrink_and_report(scenario, result, out_dir: Path,
 
 def _parse(argv: list[str]) -> dict:
     opts = {"seeds": None, "base_seed": 0, "configs": None, "repro": None,
-            "self_test": False, "out": DEFAULT_OUT, "seed_matrix": False}
+            "self_test": False, "out": DEFAULT_OUT, "seed_matrix": False,
+            "workers": None}
     i = 0
     while i < len(argv):
         a = argv[i]
@@ -100,7 +109,7 @@ def _parse(argv: list[str]) -> dict:
         elif a == "--self-test":
             opts["self_test"] = True
         elif a in ("--seeds", "--base-seed", "--configs", "--repro",
-                   "--out"):
+                   "--out", "--workers"):
             if i + 1 >= len(argv):
                 raise SystemExit(f"{a} needs a value")
             v = argv[i + 1]
@@ -113,6 +122,8 @@ def _parse(argv: list[str]) -> dict:
                 opts["configs"] = tuple(v.split(","))
             elif a == "--repro":
                 opts["repro"] = int(v)
+            elif a == "--workers":
+                opts["workers"] = max(int(v), 1)
             else:
                 opts["out"] = Path(v)
         else:
@@ -125,6 +136,65 @@ def _parse(argv: list[str]) -> dict:
     return opts
 
 
+def _check_seeds_supervised(seeds: list[int], configs,
+                            workers: int) -> dict[int, dict]:
+    """Fan seed checks through the supervised sweep service.
+
+    Returns ``{seed: verdict}`` where a verdict carries ``ok``,
+    ``accesses`` and ``mismatches``.  Worker observability and
+    resilience counters fold into the parent exactly as in a pair
+    sweep; anything the scheduler had to repair is printed so a chaotic
+    nightly run is never silently "clean".
+    """
+    from repro.obs import core as obs_core
+    from repro.sim.resilience import ResilienceReport
+    from repro.sweep.scheduler import SweepService
+    from repro.sweep.tasks import TaskSpec
+
+    verdicts: dict[int, dict] = {}
+
+    def absorb(payload: dict) -> list:
+        shipped = payload.get("obs")
+        if shipped:
+            obs_core.REGISTRY.merge(shipped.get("registry") or {})
+            obs_trace.COLLECTOR.absorb(shipped.get("events") or [])
+        return payload["entries"]
+
+    def on_done(task, entries) -> None:
+        verdicts[task.payload["seed"]] = dict(entries[0][1])
+
+    def serial(task) -> list:
+        seed = task.payload["seed"]
+        with obs_trace.span("fuzz.scenario", cat="fuzz", seed=seed):
+            result = check_scenario(scenario_from_seed(seed),
+                                    configs=tuple(configs))
+        return [["fuzz", {"seed": seed, "ok": result.ok,
+                          "accesses": result.accesses,
+                          "mismatches": list(result.mismatches)}]]
+
+    report = ResilienceReport()
+    SweepService(
+        tasks=[TaskSpec(key=f"fuzz/seed{seed}", kind="fuzz",
+                        payload=dict(seed=seed,
+                                     config_names=list(configs)),
+                        shard=str(seed))
+               for seed in seeds],
+        runner_spec={},
+        report=report,
+        on_done=on_done,
+        serial_fn=serial,
+        on_violation=lambda task, exc: verdicts.__setitem__(
+            task.payload["seed"],
+            dict(seed=task.payload["seed"], ok=False, accesses=0,
+                 mismatches=[f"guest violation in worker: {exc}"])),
+        absorb=absorb,
+        workers=workers,
+    ).run()
+    if report.events():
+        print(report.render())
+    return verdicts
+
+
 def main(argv: list[str]) -> int:
     """Entry point for ``python -m repro fuzz``."""
     opts = _parse(argv)
@@ -135,10 +205,26 @@ def main(argv: list[str]) -> int:
     else:
         seeds = list(range(opts["base_seed"],
                            opts["base_seed"] + opts["seeds"]))
+    workers = opts["workers"]
+    if workers is None:
+        from repro.common import env
+        workers = max(env.integer("REPRO_WORKERS", 1), 1)
+    supervised = (workers > 1 and len(seeds) > 1
+                  and opts["repro"] is None and corrupt is None)
     t0 = time.time()
     failures: list[int] = []
     checked = 0
+    verdicts = _check_seeds_supervised(seeds, configs, workers) \
+        if supervised else None
     for seed in seeds:
+        if verdicts is not None:
+            verdict = verdicts.get(seed)
+            if verdict is not None and verdict["ok"]:
+                checked += 1
+                continue
+            # Mismatch (or a seed the scheduler quarantined): recompute
+            # in-parent — scenario checks are pure functions of the
+            # seed — for the verbose report and the shrink.
         scenario = scenario_from_seed(seed)
         with obs_trace.span("fuzz.scenario", cat="fuzz", seed=seed,
                             accesses=len(scenario.stream)):

@@ -1,4 +1,4 @@
-"""Live sweep telemetry: heartbeat lines from the experiment runner.
+"""Live sweep telemetry: heartbeat lines and worker liveness pulses.
 
 A multi-minute Figure 8 sweep is silent between figures; with
 ``REPRO_OBS=1`` the runner emits one heartbeat line per completed pair
@@ -10,12 +10,20 @@ Lines go to stderr (never stdout: the figure tables are golden output)
 and are appended to ``heartbeat.log`` in the observability directory, so
 a sweep's liveness is inspectable after the fact.  The final update
 (done == total) is always emitted regardless of the rate limit.
+
+:class:`Pulse` is the *machine-facing* half of the same idea: a sweep
+worker process beats a monotonic timestamp into a shared slot array from
+a daemon thread, and the parent-side supervisor
+(:mod:`repro.sweep.scheduler`) declares the worker hung when its slot
+goes stale — detecting a wedged worker within a couple of heartbeat
+intervals instead of waiting out the full per-pair wall-clock budget.
 """
 
 from __future__ import annotations
 
 import os
 import sys
+import threading
 import time
 
 from repro.common import env
@@ -86,3 +94,67 @@ class Heartbeat:
                 fh.write(line + "\n")
         except OSError:
             pass        # telemetry must never take a sweep down
+
+
+class Pulse:
+    """A worker-side liveness beacon beating into a shared slot.
+
+    ``slots`` is any indexable of doubles shared with the supervisor
+    (``multiprocessing.Array('d', n)``); the pulse writes
+    ``clock()`` into ``slots[index]`` from a daemon thread every
+    ``interval / 2`` seconds, so a healthy worker's slot is never more
+    than one full interval stale.  On Linux ``time.monotonic`` is
+    system-wide (CLOCK_MONOTONIC), so the supervisor can compare the
+    slot against its own clock directly.
+
+    :meth:`suppress` silences the beacon without stopping the thread —
+    chaos injections use it to model a frozen worker (``worker_hang``)
+    or a worker whose telemetry died while its work continues
+    (``heartbeat_loss``).  Writing a plain float into a shared slot is
+    atomic enough for liveness (a torn read is still a recent
+    timestamp), so no lock is taken on the hot path.
+    """
+
+    def __init__(self, slots, index: int, interval: float, *,
+                 clock=time.monotonic):
+        self.slots = slots
+        self.index = index
+        self.interval = max(interval, 1e-3)
+        self.clock = clock
+        self._suppressed = False
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def beat(self) -> None:
+        """Record one liveness beat (a no-op while suppressed)."""
+        if not self._suppressed:
+            self.slots[self.index] = self.clock()
+
+    def suppress(self) -> None:
+        """Go silent — the supervisor will see this worker as hung."""
+        self._suppressed = True
+
+    def resume(self) -> None:
+        """Beat again after :meth:`suppress`."""
+        self._suppressed = False
+        self.beat()
+
+    def start(self) -> "Pulse":
+        """Start the daemon beat thread (idempotent)."""
+        if self._thread is None:
+            self.beat()
+            self._thread = threading.Thread(
+                target=self._run, name="sweep-pulse", daemon=True)
+            self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval / 2.0):
+            self.beat()
+
+    def stop(self) -> None:
+        """Stop the beat thread (the final beat stays in the slot)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.interval)
+            self._thread = None

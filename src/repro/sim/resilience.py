@@ -15,8 +15,11 @@ Three pieces live here:
 * :class:`RetryPolicy` / :func:`retry_call` — exponential backoff with
   *deterministic* jitter (a pure function of ``(seed, tag, attempt)``),
   so chaos tests replay exactly;
-* :class:`SweepCheckpoint` — a checksummed journal of completed pairs
-  that lets an interrupted ``run_pairs`` resume without recomputation;
+* ``SweepCheckpoint`` — the sweep journal of completed pairs that lets
+  an interrupted ``run_pairs`` resume without recomputation.  Since
+  PR 8 this is :class:`repro.sweep.journal.SweepJournal` (fsynced
+  append-only records, torn-tail truncation, generation fencing),
+  re-exported here under its historical name;
 * :class:`ResilienceReport` — structured counters for everything the
   resilience machinery did, surfaced by the figure entry points.
 """
@@ -26,13 +29,17 @@ from __future__ import annotations
 import hashlib
 import time
 from dataclasses import asdict, dataclass, field
-from pathlib import Path
 
-from repro.common import faults, integrity
-from repro.common.errors import CacheIntegrityError, TransientError
+from repro.common import faults
+from repro.common.errors import TransientError
+from repro.sweep.journal import StaleWriterError, SweepJournal
 
-#: Artifact kind tag for checkpoint envelopes.
-CHECKPOINT_KIND = "sweep-checkpoint"
+#: Historical name for the sweep journal (PR 2's whole-file checkpoint;
+#: the call surface — pair_key/load/record/complete — is unchanged).
+SweepCheckpoint = SweepJournal
+
+__all__ = ["RetryPolicy", "retry_call", "ResilienceReport",
+           "SweepCheckpoint", "SweepJournal", "StaleWriterError"]
 
 
 @dataclass(frozen=True)
@@ -88,71 +95,6 @@ def retry_call(fn, *, policy: RetryPolicy | None = None, tag: str = "",
                 sleep(delay)
 
 
-class SweepCheckpoint:
-    """A resumable journal of completed (workload, dataset) pairs.
-
-    Each entry maps a pair to its full per-configuration metrics, so a
-    resumed sweep replays completed pairs from the journal byte-for-byte
-    instead of recomputing them.  The file is an integrity envelope
-    (:mod:`repro.common.integrity`): a corrupt or version-mismatched
-    checkpoint is quarantined and the sweep restarts from scratch —
-    never trusted.
-    """
-
-    def __init__(self, path: Path, sweep_key: str):
-        self.path = Path(path)
-        self.sweep_key = sweep_key
-        self._entries: dict[str, list] = {}
-
-    @staticmethod
-    def pair_key(workload: str, dataset: str) -> str:
-        return f"{workload}/{dataset}"
-
-    def load(self) -> dict[str, list]:
-        """Read the journal; quarantines and ignores anything invalid.
-
-        A checkpoint written for a different sweep (other pairs, other
-        configs, other runner spec) is discarded: its ``sweep_key`` is
-        part of the validated payload.
-        """
-        self._entries = {}
-        if not self.path.exists():
-            return self._entries
-        try:
-            payload = integrity.read_json_verified(self.path,
-                                                   CHECKPOINT_KIND)
-        except CacheIntegrityError:
-            integrity.quarantine(self.path)
-            return self._entries
-        if payload.get("sweep_key") != self.sweep_key:
-            # A different sweep's journal at the same path: not corrupt,
-            # just inapplicable. Start fresh without destroying it.
-            return self._entries
-        self._entries = dict(payload.get("pairs", {}))
-        return self._entries
-
-    def record(self, workload: str, dataset: str, entries: list) -> None:
-        """Append one completed pair and persist the journal atomically.
-
-        ``entries`` is ``[(config_name, metrics_dict), ...]`` — exactly
-        what the merge step needs, so resume is bit-identical.
-        """
-        self._entries[self.pair_key(workload, dataset)] = [
-            [name, metrics] for name, metrics in entries
-        ]
-        integrity.write_json_atomic(
-            self.path,
-            {"sweep_key": self.sweep_key, "pairs": self._entries},
-            CHECKPOINT_KIND)
-
-    def complete(self) -> None:
-        """Remove the journal after a fully merged sweep."""
-        try:
-            self.path.unlink()
-        except FileNotFoundError:
-            pass
-
-
 @dataclass
 class ResilienceReport:
     """What the resilience machinery did during a sweep."""
@@ -160,11 +102,16 @@ class ResilienceReport:
     retries: int = 0                 # pair attempts rescheduled w/ backoff
     worker_crashes: int = 0          # transient worker failures observed
     pair_timeouts: int = 0           # pairs abandoned past their deadline
-    pool_rebuilds: int = 0           # BrokenProcessPool recoveries
+    hung_workers: int = 0            # workers killed on a stale heartbeat
+    pool_rebuilds: int = 0           # failure-domain worker rebuilds
     serial_degradations: int = 0     # pairs finished by the serial tier
     resumed_pairs: int = 0           # pairs replayed from a checkpoint
     quarantined: int = 0             # corrupt artifacts moved aside
     reaped_tmp: int = 0              # dead writers' tmp files removed
+    torn_records: int = 0            # torn journal tails truncated on resume
+    fenced_records: int = 0          # zombie-generation records dropped
+    steal_races: int = 0             # injected duplicate steals deduped
+    scheduler_stalls: int = 0        # injected supervisor freezes survived
     perturbed_reruns: int = 0        # computations discarded after a
     #                                  perturbing injected fault (alloc_oom)
     perturbed_accepted: int = 0      # perturbed results kept after rerun
@@ -175,13 +122,19 @@ class ResilienceReport:
     interrupts: int = 0              # KeyboardInterrupt graceful shutdowns
     cache_hits: int = 0              # artifacts restored from the disk cache
     cache_misses: int = 0            # artifacts recomputed (cache configured)
+    steals: int = 0                  # tasks taken from another slot's deque
+    hedges: int = 0                  # straggler tasks speculatively twinned
+    duplicate_results: int = 0       # hedge/steal losers discarded by dedup
     #: Structured per-pair violation details (workload, dataset, config,
     #: va, access, kind, trace index, message) for quarantined pairs.
     violations: list = field(default_factory=list)
 
-    #: Purely informational counters: they describe normal cache economics,
-    #: not repairs, so they must not make a clean sweep look faulted.
-    _INFORMATIONAL = ("cache_hits", "cache_misses")
+    #: Purely informational counters: they describe normal cache economics
+    #: and scheduler mechanics (stealing and hedging are business as usual
+    #: in a work-stealing sweep), not repairs, so they must not make a
+    #: clean sweep look faulted.
+    _INFORMATIONAL = ("cache_hits", "cache_misses", "steals", "hedges",
+                      "duplicate_results")
 
     def events(self) -> int:
         """Total resilience actions taken (0 == nothing went wrong).

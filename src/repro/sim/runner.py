@@ -22,15 +22,18 @@ SHA-256, sidecars for binaries); corrupt or stale entries are quarantined
 as ``.corrupt`` and recomputed, and dead writers' ``.tmp`` droppings are
 reaped on startup (:mod:`repro.common.integrity`).
 
-``run_pairs(workers=N)`` fans independent (workload, dataset) pairs across
-processes and degrades gracefully (:mod:`repro.sim.resilience`): failed
-pair attempts retry with deterministic exponential backoff, a
-``BrokenProcessPool`` is rebuilt for just the unfinished pairs, pairs past
-their wall-clock budget are abandoned and re-run, and the final tier is
-plain in-process serial execution.  A checksummed sweep checkpoint makes
-an interrupted ``run_pairs`` resumable.  None of this changes results:
-the merge iterates the (deduplicated) pair list in order, so the returned
-dict is bit-identical to a fault-free serial run.
+``run_pairs(workers=N)`` fans independent (workload, dataset) pairs
+through the supervised sweep service (:mod:`repro.sweep.scheduler`):
+per-worker deques with shard-affine work stealing, heartbeat liveness
+supervision (a hung worker is killed within a couple of heartbeat
+intervals, not the full pair timeout), failure-domain isolation with
+bounded rebuilds, hedged retries for stragglers, and an in-process
+serial tier of last resort.  Completed pairs stream into a
+crash-consistent fsynced journal (:mod:`repro.sweep.journal`), so an
+interrupted sweep resumes — even past a torn trailing record or a
+zombie writer.  None of this changes results: the merge iterates the
+(deduplicated) pair list in order, so the returned dict is
+bit-identical to a fault-free serial run.
 """
 
 from __future__ import annotations
@@ -38,10 +41,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
@@ -52,11 +53,9 @@ from repro.accel.graphicionado import ExecutionResult
 from repro.accel.trace import SymbolicTrace
 from repro.common import env, faults, integrity
 from repro.common.errors import (CacheIntegrityError, ConfigError, PageFault,
-                                 ProtectionFault, TransientError,
-                                 WorkerCrashError)
+                                 ProtectionFault, TransientError)
 from repro.core.config import HardwareScale, MMUConfig, standard_configs
 from repro.graphs import datasets
-from repro import obs
 from repro.obs import core as obs_core
 from repro.obs import progress as obs_progress
 from repro.obs import trace as obs_trace
@@ -64,14 +63,26 @@ from repro.sim.metrics import Metrics
 from repro.sim.resilience import (ResilienceReport, RetryPolicy,
                                   SweepCheckpoint, retry_call)
 from repro.sim.system import HeterogeneousSystem, SystemParams
+from repro.sweep import tracestore
+from repro.sweep.cache import ShardedCache
+from repro.sweep.scheduler import SweepService
+from repro.sweep.tasks import TaskSpec
 
 #: Environment wiring for the figure entry points.
 WORKERS_ENV_VAR = "REPRO_WORKERS"
 CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
 PAIR_TIMEOUT_ENV_VAR = "REPRO_PAIR_TIMEOUT"
+#: Zero-copy trace sharing (memmapped column store); on by default.
+MEMMAP_ENV_VAR = "REPRO_SWEEP_MEMMAP"
 
 #: Artifact kind tag for metrics envelopes.
 METRICS_KIND = "metrics"
+
+
+def memmap_enabled() -> bool:
+    """Whether the memmapped trace tier is enabled (default: yes)."""
+    value = env.raw(MEMMAP_ENV_VAR)
+    return True if value is None else env.truthy_str(value)
 
 
 def workers_from_env() -> int:
@@ -136,6 +147,7 @@ class ExperimentRunner:
     _metrics: dict = field(default_factory=dict, init=False)
     _batches: dict = field(default_factory=dict, init=False)
     _batch_pair: tuple | None = field(default=None, init=False)
+    _cache: ShardedCache | None = field(default=None, init=False)
     _cache_swept: bool = field(default=False, init=False)
 
     #: Backoff sleep; class-level so tests can stub it without touching
@@ -188,16 +200,23 @@ class ExperimentRunner:
     def _artifact_path(self, kind: str, key: str, suffix: str) -> Path | None:
         if self.cache_dir is None:
             return None
-        root = Path(self.cache_dir)
+        if self._cache is None:
+            self._cache = ShardedCache(self.cache_dir)
         if not self._cache_swept:
-            root.mkdir(parents=True, exist_ok=True)
-            self.resilience.reaped_tmp += len(integrity.reap_stale_tmp(root))
+            self.resilience.reaped_tmp += self._cache.sweep_tmp()
             self._cache_swept = True
-        return root / f"{kind}-{key}{suffix}"
+        return self._cache.path(kind, key, suffix)
 
     def _trace_path(self, workload: str, dataset: str) -> Path | None:
         key = self._content_key(self._workload_content(workload, dataset))
         return self._artifact_path("trace", key, ".npz")
+
+    def _memmap_path(self, workload: str, dataset: str) -> Path | None:
+        """The memmapped column-store directory for a pair's trace."""
+        if not memmap_enabled():
+            return None
+        key = self._content_key(self._workload_content(workload, dataset))
+        return self._artifact_path("trace", key, ".mm")
 
     def _metrics_path(self, workload: str, dataset: str,
                       config: MMUConfig) -> Path | None:
@@ -228,19 +247,36 @@ class ExperimentRunner:
             return prepared
         graph, shape = datasets.load(dataset, self.profile)
         trace_path = self._trace_path(workload, dataset)
+        mm_path = self._memmap_path(workload, dataset)
         result = None
-        if trace_path is not None and trace_path.exists():
+        # Tier 1: the memmapped column store — zero-copy across pool
+        # workers (every process maps the same file-backed, read-only
+        # pages instead of inflating a private npz copy).
+        if mm_path is not None and tracestore.is_published(mm_path):
+            try:
+                trace = tracestore.open_trace(mm_path)
+                result = ExecutionResult(
+                    trace=trace, prop=np.empty(0), iterations=0,
+                    converged=True, aux={"restored_from": str(mm_path)})
+            except CacheIntegrityError:
+                self._quarantine(mm_path)
+        # Tier 2: the archival compressed npz.
+        if result is None and trace_path is not None and trace_path.exists():
             try:
                 trace = SymbolicTrace.load(trace_path, verify=True)
                 result = ExecutionResult(
                     trace=trace, prop=np.empty(0), iterations=0,
                     converged=True, aux={"restored_from": str(trace_path)})
-                self.resilience.cache_hits += 1
-                if obs_core.ENABLED:
-                    obs_core.counter("cache.trace.hits").inc()
+                if mm_path is not None:
+                    # Promote so the next worker maps instead of copies.
+                    tracestore.publish(mm_path, trace)
             except CacheIntegrityError:
                 self._quarantine(trace_path)
-        if result is None:
+        if result is not None:
+            self.resilience.cache_hits += 1
+            if obs_core.ENABLED:
+                obs_core.counter("cache.trace.hits").inc()
+        else:
             if trace_path is not None:
                 self.resilience.cache_misses += 1
                 if obs_core.ENABLED:
@@ -260,6 +296,8 @@ class ExperimentRunner:
                 # publish: readers never see a trace without its sidecar.
                 integrity.write_sidecar(trace_path, content_of=tmp)
                 os.replace(tmp, trace_path)
+            if mm_path is not None:
+                tracestore.publish(mm_path, result.trace)
         prepared = PreparedWorkload(workload=workload, dataset=dataset,
                                     graph=graph, shape=shape, result=result)
         self._prepared[key] = prepared
@@ -419,6 +457,13 @@ class ExperimentRunner:
         completed: dict[tuple, list] = {}
         if ckpt is not None:
             journal = ckpt.load()
+            if ckpt.torn_records:
+                self.resilience.torn_records += ckpt.torn_records
+                print(f"warning: sweep checkpoint {ckpt.path} had a torn "
+                      f"trailing record; truncated and resuming from the "
+                      f"last durable entry", file=sys.stderr)
+            if ckpt.fenced_records:
+                self.resilience.fenced_records += ckpt.fenced_records
             for pair in pairs:
                 entries = journal.get(SweepCheckpoint.pair_key(*pair))
                 if entries is not None:
@@ -606,130 +651,51 @@ class ExperimentRunner:
         if checkpoint is not None:
             path = Path(checkpoint)
         else:
-            path = self._artifact_path("sweep", key, ".ckpt.json")
+            path = self._artifact_path("sweep", key, ".ckpt.jsonl")
             if path is None:
                 return None
         return SweepCheckpoint(path, sweep_key=key)
 
-    # -- parallel tiers -------------------------------------------------------
+    # -- parallel tier (the supervised sweep service) -------------------------
 
     def _run_pairs_parallel(self, pending, names, workers,
                             finish_pair) -> None:
-        """Pool tiers with rebuild, then serial degradation.
+        """Fan pending pairs through the supervised sweep service.
 
-        Tier 1..N: process pools (a fresh pool per ``BrokenProcessPool``,
-        up to ``max_pool_rebuilds`` rebuilds, each covering only the
-        still-unfinished pairs).  Last tier: in-process serial execution,
-        which cannot break and therefore always completes the sweep.
+        The service (:class:`~repro.sweep.scheduler.SweepService`) owns
+        scheduling — per-worker deques, shard-affine stealing, heartbeat
+        liveness kills, failure-domain rebuilds, hedged retries — and
+        this runner supplies the policy surface: journaling completions
+        (``finish_pair``), serial-tier execution, quarantine, and
+        payload absorption.  Pairs are sharded by dataset so the workers
+        that share a dataset's memmapped trace keep it page-cache warm.
         """
-        remaining = list(pending)
-        rebuilds = 0
-        while remaining:
-            remaining, broke = self._pool_tier(remaining, names, workers,
-                                               finish_pair)
-            if not remaining:
-                return
-            if broke and rebuilds < self.max_pool_rebuilds:
-                rebuilds += 1
-                self.resilience.pool_rebuilds += 1
-                continue
-            break
+        key_to_pair = {SweepCheckpoint.pair_key(*pair): pair
+                       for pair in pending}
+        tasks = [TaskSpec(key=SweepCheckpoint.pair_key(*pair), kind="pair",
+                          payload=dict(workload=pair[0], dataset=pair[1],
+                                       config_names=list(names)),
+                          shard=pair[1])
+                 for pair in pending]
         configs = self.configs()
         selected = {name: configs[name] for name in names}
-        for pair in remaining:
-            self.resilience.serial_degradations += 1
-            try:
-                finish_pair(pair, self._run_pair_resilient(pair, selected))
-            except (PageFault, ProtectionFault) as exc:
-                self._quarantine_pair(pair, exc)
-
-    def _pool_tier(self, pairs, names, workers, finish_pair
-                   ) -> tuple[list, bool]:
-        """One process-pool pass; returns (unfinished pairs, pool broke).
-
-        Transient worker failures are retried in-pool with deterministic
-        backoff; pairs past ``pair_timeout`` are abandoned (their worker
-        cannot be interrupted, so the pool is shut down without waiting);
-        pairs that exhaust retries are left for the next tier.
-        """
-        spec = self._spec()
-        pool = ProcessPoolExecutor(max_workers=min(workers, len(pairs)))
-        attempts = {pair: 1 for pair in pairs}
-        hung = False
-
-        def submit(pair):
-            workload, dataset = pair
-            scope = f"{workload}/{dataset}#a{attempts[pair]}"
-            return pool.submit(_pair_worker, spec, workload, dataset,
-                               names, scope)
-
-        try:
-            # A worker death can surface as BrokenProcessPool from any
-            # pool interaction — result() *or* a retry's submit() — so
-            # the whole tier body is guarded, not just the result call.
-            futures = {pair: submit(pair) for pair in pairs}
-            deadlines = {
-                pair: time.monotonic() + self.pair_timeout
-                for pair in pairs
-            } if self.pair_timeout is not None else {}
-            while futures:
-                pair, future = next(iter(futures.items()))
-                timeout = None
-                if self.pair_timeout is not None:
-                    timeout = max(0.0, deadlines[pair] - time.monotonic())
-                try:
-                    payload = future.result(timeout=timeout)
-                except FutureTimeoutError:
-                    # The worker is wedged and cannot be killed through
-                    # the executor API; abandon the pair to a later tier
-                    # and do not wait on the pool at shutdown.
-                    del futures[pair]
-                    self.resilience.pair_timeouts += 1
-                    hung = True
-                    continue
-                except (PageFault, ProtectionFault) as exc:
-                    # Deterministic guest violation: quarantine the pair —
-                    # no retry, and no later tier (drop it from attempts).
-                    del futures[pair]
-                    del attempts[pair]
-                    self._quarantine_pair(pair, exc)
-                except TransientError:
-                    del futures[pair]
-                    self.resilience.worker_crashes += 1
-                    attempt = attempts[pair]
-                    if attempt < self.retry.max_attempts:
-                        self.resilience.retries += 1
-                        delay = self.retry.delay(attempt,
-                                                 tag=f"{pair[0]}/{pair[1]}")
-                        if delay > 0:
-                            self._sleep(delay)
-                        attempts[pair] = attempt + 1
-                        futures[pair] = submit(pair)
-                        if self.pair_timeout is not None:
-                            deadlines[pair] = (time.monotonic()
-                                               + self.pair_timeout)
-                    # else: retries exhausted; next tier picks it up.
-                else:
-                    del futures[pair]
-                    del attempts[pair]
-                    finish_pair(pair, self._absorb_worker_payload(payload))
-            return list(attempts), False
-        except BrokenProcessPool:
-            return list(attempts), True
-        except KeyboardInterrupt:
-            # Graceful shutdown: in-flight workers cannot finish useful
-            # work for an abandoned sweep, so terminate them outright
-            # rather than waiting (or leaking them past interpreter
-            # exit); queued futures are cancelled by the shutdown below.
-            hung = True
-            for proc in getattr(pool, "_processes", None) or {}:
-                try:
-                    pool._processes[proc].terminate()
-                except (KeyError, ProcessLookupError):
-                    pass
-            raise
-        finally:
-            pool.shutdown(wait=not hung, cancel_futures=True)
+        SweepService(
+            tasks=tasks,
+            runner_spec=self._spec(),
+            report=self.resilience,
+            on_done=lambda task, entries: finish_pair(
+                key_to_pair[task.key], entries),
+            serial_fn=lambda task: self._run_pair_resilient(
+                key_to_pair[task.key], selected),
+            on_violation=lambda task, exc: self._quarantine_pair(
+                key_to_pair[task.key], exc),
+            absorb=self._absorb_worker_payload,
+            workers=workers,
+            retry=self.retry,
+            pair_timeout=self.pair_timeout,
+            max_pool_rebuilds=self.max_pool_rebuilds,
+            sleep=self._sleep,
+        ).run()
 
 
     # -- generated scenarios (repro/gen) --------------------------------------
@@ -815,47 +781,3 @@ def pair_main(argv: list[str]) -> int:
         print(f"{workload}/{dataset} {name}: cycles={m.cycles:.0f} "
               f"normalized={m.normalized_time:.3f} faults={m.faults}")
     return 0
-
-
-def _pair_worker(spec: dict, workload: str, dataset: str,
-                 config_names: list, fault_scope: str | None = None) -> dict:
-    """Process-pool entry: run one pair's configurations in a child.
-
-    ``fault_scope`` re-keys the fault injector deterministically per pair
-    *attempt*, so chaos patterns do not depend on which pool process the
-    task landed in, and a retried attempt sees a fresh pattern.
-
-    Returns a payload dict — the pair's journal entries plus the
-    worker-side resilience counters and (with observability enabled) the
-    worker's registry snapshot and drained trace events — which the
-    parent unpacks with :meth:`ExperimentRunner._absorb_worker_payload`.
-    Observability state is re-read from the environment and reset at
-    entry: a forked worker inherits the parent's collected observations
-    and must never ship them back a second time.
-    """
-    if fault_scope is not None:
-        faults.rescope(fault_scope)
-    obs_core.refresh_from_env()
-    obs.reset()
-    if faults.should_fire("worker_exit"):
-        os._exit(13)        # simulate a hard worker death (chaos testing)
-    if faults.should_fire("worker_hang"):
-        # Simulate a wedged worker; the parent abandons the pair once its
-        # wall-clock budget expires and finishes it in a later tier.
-        time.sleep(env.floating("REPRO_HANG_SECONDS", 30.0))
-    faults.maybe_raise(
-        "worker_crash",
-        lambda: WorkerCrashError(
-            f"injected worker crash on {workload}/{dataset}"))
-    runner = ExperimentRunner(**spec)
-    configs = runner.configs()
-    selected = {name: configs[name] for name in config_names}
-    entries = runner._run_pair_serial((workload, dataset), selected)
-    report = {key: value
-              for key, value in asdict(runner.resilience).items()
-              if isinstance(value, int) and value}
-    shipped = None
-    if obs_core.ENABLED:
-        shipped = {"registry": obs_core.REGISTRY.to_dict(),
-                   "events": obs_trace.COLLECTOR.drain()}
-    return {"entries": entries, "report": report, "obs": shipped}

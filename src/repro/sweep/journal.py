@@ -1,0 +1,284 @@
+"""Crash-consistent sweep checkpointing: a fenced, fsynced journal.
+
+The PR-2 :class:`~repro.sim.resilience.SweepCheckpoint` rewrote the whole
+checkpoint file after every completed pair — O(n²) bytes over a sweep,
+no fsync (a crash could lose or tear the entire journal), and no defense
+against a *zombie writer*: a wedged sweep process from a previous
+incarnation waking up and clobbering the journal a resumed sweep is
+appending to.  At the 10k-pair scale the sweep service targets, all
+three matter.  :class:`SweepJournal` replaces it with:
+
+**Append-only records.**  One line per completed task::
+
+    {"gen": 2, "seq": 5, "key": "bfs/FR", "entries": [...], "sha": "..."}
+
+``sha`` is the SHA-256 of the record's canonical form (sans ``sha``), so
+every record self-validates.  The first record is a header carrying the
+``sweep_key`` (everything that determines the merged result); a journal
+written for a different sweep is ignored, never trusted.
+
+**Durability.**  Every append is flushed and ``fsync``’d before
+:meth:`append` returns, and the generation file is fsync’d through a
+tmp-file + ``os.replace`` + directory-fsync sequence, so a record the
+caller saw acknowledged survives a crash at any instant.
+
+**Torn-write recovery.**  A crash mid-append leaves a partial trailing
+line.  :meth:`load` validates records in order and *truncates* the file
+back to the last good record — one recomputed task — instead of
+discarding the journal (the pre-PR-8 behaviour trusted the tail
+outright; the ``checkpoint_torn`` fault site regression-tests this).
+
+**Generation fencing.**  Opening a journal for writing bumps a
+generation counter in a ``.gen`` sidecar; every append re-reads it and
+raises :class:`StaleWriterError` if another writer has taken over.  A
+zombie writer therefore cannot interleave records into — or truncate —
+a journal a newer incarnation owns.  Records from a superseded
+generation appearing *after* a newer generation's records (a zombie that
+raced the fence check) are dropped at load time and counted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.common import faults, integrity
+from repro.common.errors import InjectedFault, ReproError
+
+#: Format tag carried by every record; bumping it invalidates old journals.
+JOURNAL_SCHEMA = 1
+
+
+class StaleWriterError(ReproError):
+    """This journal writer has been fenced off by a newer generation."""
+
+
+def _digest(record: dict) -> str:
+    blob = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def _seal(record: dict) -> bytes:
+    record = dict(record)
+    record["sha"] = _digest(record)
+    return (json.dumps(record, sort_keys=True, separators=(",", ":"))
+            + "\n").encode()
+
+
+def _open_record(line: bytes) -> dict | None:
+    """Parse and validate one journal line; ``None`` when torn/corrupt."""
+    try:
+        record = json.loads(line.decode())
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if not isinstance(record, dict):
+        return None
+    sha = record.pop("sha", None)
+    if sha != _digest(record):
+        return None
+    return record
+
+
+def _fsync_dir(path: Path) -> None:
+    """Make a rename in ``path`` durable (best effort on odd filesystems)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class SweepJournal:
+    """A resumable, crash-consistent journal of completed sweep tasks.
+
+    Drop-in successor to the PR-2 ``SweepCheckpoint``: same
+    ``load()`` / ``record()`` / ``complete()`` surface and the same
+    sweep-key hygiene, with append-only fsynced records, torn-tail
+    truncation and generation fencing as described in the module
+    docstring.  ``torn_records`` and ``fenced_records`` report what
+    :meth:`load` had to repair; the runner folds them into the
+    :class:`~repro.sim.resilience.ResilienceReport`.
+    """
+
+    def __init__(self, path: Path, sweep_key: str):
+        self.path = Path(path)
+        self.sweep_key = sweep_key
+        self.generation: int | None = None     # set on first append
+        self.torn_records = 0
+        self.fenced_records = 0
+        self._entries: dict[str, list] = {}
+
+    @staticmethod
+    def pair_key(workload: str, dataset: str) -> str:
+        return f"{workload}/{dataset}"
+
+    # -- generation fencing ---------------------------------------------------
+
+    @property
+    def gen_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".gen")
+
+    def _read_generation(self) -> int:
+        try:
+            return int(self.gen_path.read_text().strip() or "0")
+        except (OSError, ValueError):
+            return 0
+
+    def _write_generation(self, generation: int) -> None:
+        tmp = integrity.tmp_path(self.gen_path)
+        with open(tmp, "w") as handle:
+            handle.write(f"{generation}\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.gen_path)
+        _fsync_dir(self.path.parent)
+
+    def fence(self) -> int:
+        """Claim the journal for writing, fencing off older writers."""
+        self.generation = self._read_generation() + 1
+        self._write_generation(self.generation)
+        return self.generation
+
+    def _check_fence(self) -> None:
+        if self.generation is None:
+            self.fence()
+            return
+        current = self._read_generation()
+        if current != self.generation:
+            raise StaleWriterError(
+                f"journal {self.path} is owned by generation {current}; "
+                f"this writer (generation {self.generation}) has been "
+                f"fenced off — a newer sweep incarnation resumed it")
+
+    # -- read side ------------------------------------------------------------
+
+    def load(self) -> dict[str, list]:
+        """Replay the journal, repairing a torn tail and dropping
+        zombie-generation records.
+
+        Returns ``{task key: entries}`` for every valid record whose
+        header matches this journal's ``sweep_key``.  A torn trailing
+        record is truncated away (the sweep recomputes that one task); a
+        journal whose header belongs to a different sweep is left
+        untouched and ignored; a journal whose *header* is unreadable is
+        quarantined wholesale.
+        """
+        self._entries = {}
+        self.torn_records = 0
+        self.fenced_records = 0
+        if not self.path.exists():
+            return self._entries
+        raw = self.path.read_bytes()
+        lines = raw.split(b"\n")
+        # A well-formed journal ends with a newline, so the final split
+        # element is empty; a non-empty final element is a torn trailing
+        # record, and a record whose digest fails is treated the same —
+        # everything from the first bad byte on is untrustworthy.
+        good_bytes = 0
+        records: list[dict] = []
+        torn = False
+        for index, line in enumerate(lines):
+            terminated = index < len(lines) - 1
+            if not line:
+                if terminated:          # stray blank line; tolerate
+                    good_bytes += 1
+                continue
+            record = _open_record(line) if terminated else None
+            if record is None:
+                torn = True
+                break
+            records.append(record)
+            good_bytes += len(line) + 1
+        if not records:
+            if torn:
+                # Even the header is unreadable: nothing to salvage.
+                integrity.quarantine(self.path)
+                self.torn_records += 1
+            return self._entries
+        header = records[0]
+        if header.get("kind") != "sweep-journal" \
+                or header.get("schema") != JOURNAL_SCHEMA:
+            integrity.quarantine(self.path)
+            return self._entries
+        if header.get("sweep_key") != self.sweep_key:
+            # A different sweep's journal at the same path: not corrupt,
+            # merely inapplicable.  Start fresh without destroying it.
+            return self._entries
+        if torn:
+            self.torn_records += 1
+            self._truncate(good_bytes)
+        high_gen = header.get("gen", 0)
+        for record in records[1:]:
+            gen = record.get("gen", 0)
+            if gen < high_gen:
+                # Zombie writer from a fenced-off generation raced its
+                # final append past the takeover: drop, never trust.
+                self.fenced_records += 1
+                continue
+            high_gen = max(high_gen, gen)
+            key = record.get("key")
+            if key is not None:
+                self._entries[key] = record.get("entries")
+        return self._entries
+
+    def _truncate(self, size: int) -> None:
+        with open(self.path, "r+b") as handle:
+            handle.truncate(size)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- write side -----------------------------------------------------------
+
+    def record(self, workload: str, dataset: str, entries: list) -> None:
+        """Append one completed pair (compat shim over :meth:`append`)."""
+        self.append(self.pair_key(workload, dataset),
+                    [[name, payload] for name, payload in entries])
+
+    def append(self, key: str, entries) -> None:
+        """Durably append one completed task's entries.
+
+        The record is on disk (written, flushed, fsynced) before this
+        returns; a crash at any later instant cannot lose it.  Raises
+        :class:`StaleWriterError` if a newer writer has fenced this one
+        off — the record is *not* written in that case.
+        """
+        self._check_fence()
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        payload = _seal({"gen": self.generation, "seq": len(self._entries),
+                         "key": key, "entries": entries})
+        if fresh:
+            header = _seal({"kind": "sweep-journal",
+                            "schema": JOURNAL_SCHEMA, "gen": self.generation,
+                            "sweep_key": self.sweep_key})
+            payload = header + payload
+        if faults.should_fire("checkpoint_torn"):
+            # Simulate a crash mid-append: persist a prefix of the record
+            # and die.  Resume must truncate the torn tail and recompute
+            # exactly this task.
+            with open(self.path, "ab") as handle:
+                handle.write(payload[: max(1, len(payload) * 2 // 3)])
+                handle.flush()
+                os.fsync(handle.fileno())
+            raise InjectedFault("injected torn checkpoint write "
+                                f"(key {key!r})")
+        with open(self.path, "ab") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._entries[key] = entries
+
+    def complete(self) -> None:
+        """Remove the journal (and its generation fence) after a fully
+        merged sweep."""
+        for path in (self.path, self.gen_path):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass

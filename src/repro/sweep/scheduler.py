@@ -1,0 +1,650 @@
+"""The supervised sweep service: work stealing under a liveness supervisor.
+
+This replaces the PR-2 process-*pool* tiers in ``sim/runner.py`` with a
+scheduler the parent fully owns.  A ``ProcessPoolExecutor`` cannot kill
+a wedged worker (the only lever is abandoning the future and waiting out
+the pair timeout), shares one task/result queue a dying worker can
+corrupt for everyone, and rebuilds the *whole* pool when one process
+breaks.  At 10k-pair scale those three costs dominate; the service fixes
+each structurally:
+
+**Per-worker deques + stealing.**  Every worker slot has a parent-side
+deque; tasks are assigned by shard affinity (same shard → same slot, so
+memmapped traces and graph surrogates stay warm) and an idle worker
+steals from the *tail* of the longest deque — locality for the owner,
+cold tasks for the thief.
+
+**Liveness supervision.**  Workers beat a timestamp into a shared slot
+array (:class:`repro.obs.progress.Pulse`); the supervisor declares a
+worker hung when its slot is staler than ``2 x REPRO_SWEEP_HEARTBEAT``
+and SIGKILLs it immediately — detection in a couple of heartbeat
+intervals (sub-second by default), not the full ``REPRO_PAIR_TIMEOUT``.
+Until a worker's *first* beat lands the supervisor applies the longer
+``REPRO_SWEEP_STARTUP_GRACE`` instead, so a slow process boot (forking
+a large parent, spawn-context reimports) is never mistaken for a hang.
+Each worker owns a private task/result queue pair, so killing it mid-\
+``put`` can corrupt only queues that die with it.
+
+**Failure domains.**  Slots are grouped into domains of
+``REPRO_SWEEP_DOMAIN``; a dead worker triggers a rebuild of *its domain
+only* (bounded by ``max_pool_rebuilds`` per domain), and a domain that
+exhausts its budget is fenced off with its queued work redistributed.
+The PR-2 ladder survives intact, one level finer: retry → steal →
+rebuild domain → in-process serial degradation (which cannot break and
+therefore always completes the sweep).
+
+**Hedged retries.**  A task in flight past ``1.5 x`` the
+``REPRO_SWEEP_HEDGE_QUANTILE`` completion quantile is speculatively
+re-dispatched to an idle worker; the first finisher wins and the
+loser's entire payload — entries, counters, obs events — is discarded
+by content-key dedup, so hedging (and the ``steal_race`` /
+``heartbeat_loss`` chaos duplicates) can never double-count anything.
+
+**Backpressure.**  At most ``REPRO_SWEEP_QUEUE_BOUND`` tasks are
+resident in deques + flight; the rest wait in a backlog with a
+deadline — if the scheduler cannot admit for ``REPRO_SWEEP_ADMIT_TIMEOUT``
+seconds (every domain wedged), the backlog degrades to the serial tier
+rather than waiting forever.
+
+Results merge exactly as before: the caller's ``on_done`` journals each
+completion and the final merge iterates the task list in submission
+order, so however chaotic the execution, the merged output is
+bit-identical to a fault-free serial run.
+"""
+
+from __future__ import annotations
+
+import collections
+import hashlib
+import multiprocessing
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+
+from repro.common import env, faults
+from repro.common.errors import PageFault, ProtectionFault, TransientError
+from repro.sim.resilience import ResilienceReport, RetryPolicy
+from repro.sweep.tasks import TaskSpec, _sweep_worker_main
+
+#: Environment knobs (documented in docs/configuration.md).
+HEARTBEAT_ENV_VAR = "REPRO_SWEEP_HEARTBEAT"
+HEDGE_QUANTILE_ENV_VAR = "REPRO_SWEEP_HEDGE_QUANTILE"
+DOMAIN_ENV_VAR = "REPRO_SWEEP_DOMAIN"
+QUEUE_BOUND_ENV_VAR = "REPRO_SWEEP_QUEUE_BOUND"
+ADMIT_TIMEOUT_ENV_VAR = "REPRO_SWEEP_ADMIT_TIMEOUT"
+STARTUP_GRACE_ENV_VAR = "REPRO_SWEEP_STARTUP_GRACE"
+
+#: Hedge only once a task runs this multiple past the quantile.
+HEDGE_MULTIPLIER = 1.5
+#: Completed-duration samples required before the quantile is trusted.
+HEDGE_MIN_SAMPLES = 5
+#: A worker is hung when its beat is staler than this many intervals.
+LIVENESS_GRACE_INTERVALS = 2.0
+
+
+def _stable_slot(shard: str, nslots: int) -> int:
+    """Deterministic shard → slot assignment (never builtin ``hash``,
+    which is salted per process and would scatter affinity per run)."""
+    digest = hashlib.sha256(shard.encode()).digest()
+    return int.from_bytes(digest[:4], "big") % nslots
+
+
+@dataclass
+class _Worker:
+    """Parent-side state for one worker slot."""
+
+    slot: int
+    process: object = None
+    task_q: object = None
+    result_q: object = None
+    busy: str | None = None          # key of the task in flight
+    started: float = 0.0             # dispatch time of the in-flight task
+    spawned: float = 0.0             # process start time (boot grace)
+    deadline: float | None = None    # wall-clock budget expiry
+    dead: bool = False
+
+    @property
+    def idle(self) -> bool:
+        return not self.dead and self.busy is None
+
+
+@dataclass
+class SweepService:
+    """One supervised execution of a task set across worker slots.
+
+    The caller supplies the policy surface — what to do on completion
+    (``on_done``, which typically journals and may raise, e.g. the
+    ``sweep_abort`` chaos hook), how to run a task in-parent for the
+    serial tier (``serial_fn``), how to contain a deterministic guest
+    violation (``on_violation``), and how to fold a worker payload's
+    counters/observations into the sweep (``absorb``).  The service owns
+    scheduling, liveness, hedging, domains and requeueing, and reports
+    everything it did through the shared
+    :class:`~repro.sim.resilience.ResilienceReport`.
+    """
+
+    tasks: list
+    runner_spec: dict
+    report: ResilienceReport
+    on_done: object                  # (task, entries) -> None
+    serial_fn: object                # (task) -> entries
+    on_violation: object             # (task, exc) -> None
+    absorb: object                   # (payload) -> entries
+    workers: int = 2
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    pair_timeout: float | None = None
+    max_pool_rebuilds: int = 2
+    sleep: object = time.sleep
+
+    def __post_init__(self):
+        self.heartbeat = max(
+            env.floating(HEARTBEAT_ENV_VAR, 0.25), 0.01)
+        self.hedge_quantile = min(
+            max(env.floating(HEDGE_QUANTILE_ENV_VAR, 0.95), 0.5), 1.0)
+        self.domain_size = max(env.integer(DOMAIN_ENV_VAR, 4), 1)
+        self.queue_bound = max(env.integer(QUEUE_BOUND_ENV_VAR, 64), 1)
+        self.admit_timeout = env.floating(ADMIT_TIMEOUT_ENV_VAR, 30.0)
+        self.grace = LIVENESS_GRACE_INTERVALS * self.heartbeat
+        # Until a worker's *first* beat lands, the tight beat grace
+        # would race process startup: forking a large parent (or a
+        # spawn-context numpy reimport) can take far longer than
+        # 2 x heartbeat, and killing a worker that is still booting
+        # collapses the whole sweep to the serial tier for no reason.
+        self.startup_grace = max(
+            env.floating(STARTUP_GRACE_ENV_VAR, 10.0), self.grace)
+        self.by_key = {task.key: task for task in self.tasks}
+        self.done: set[str] = set()      # completed, violated, or absorbed
+        self.shelved: set[str] = set()   # left for the serial tier
+        self.inflight: dict[str, set[int]] = {}
+        self.attempts: dict[str, int] = {}   # failed/killed dispatches
+        self.seq: dict[str, int] = {}        # dispatch counter (scopes)
+        self.hedged: set[str] = set()
+        self.durations: list[float] = []
+        self.detection_latencies: list[float] = []
+        self._ctx = multiprocessing.get_context("fork")
+        self._mp_pool_rebuilds = 0
+
+    # -- public entry ---------------------------------------------------------
+
+    def run(self) -> None:
+        """Execute every task; raises only what the caller's hooks raise
+        (plus ``KeyboardInterrupt``).  On normal return every task is
+        done, violated, or finished by the serial tier."""
+        nslots = max(1, min(self.workers, len(self.tasks)))
+        if nslots > 1 and len(self.tasks) > 1:
+            self._run_supervised(nslots)
+        self._run_serial_tier()
+
+    # -- supervised (parallel) tier -------------------------------------------
+
+    def _run_supervised(self, nslots: int) -> None:
+        # lock=False: beats must stay readable after a worker is
+        # SIGKILLed — a lock the victim died holding would wedge the
+        # supervisor.  Torn reads of a double are harmless here (any
+        # plausible value is "recent enough" for liveness).
+        self.beats = self._ctx.Array("d", nslots, lock=False)
+        self.slots = [_Worker(slot=i) for i in range(nslots)]
+        self.deques = [collections.deque() for _ in range(nslots)]
+        ndomains = -(-nslots // self.domain_size)
+        self.domain_rebuilds = [0] * ndomains
+        self.domain_dead = [False] * ndomains
+        self.backlog = collections.deque(self.tasks)
+        self._admit_progress = time.monotonic()
+        for worker in self.slots:
+            self._spawn(worker)
+        try:
+            self._supervise()
+        except BaseException:
+            self._shutdown(graceful=False)
+            raise
+        self._shutdown(graceful=True)
+
+    def _domain(self, slot: int) -> int:
+        return slot // self.domain_size
+
+    def _healthy_slots(self) -> list[_Worker]:
+        return [w for w in self.slots
+                if not w.dead and not self.domain_dead[self._domain(w.slot)]]
+
+    def _spawn(self, worker: _Worker) -> None:
+        """(Re)start one worker slot with fresh private queues."""
+        worker.task_q = self._ctx.Queue()
+        worker.result_q = self._ctx.Queue()
+        worker.busy = None
+        worker.deadline = None
+        worker.dead = False
+        # 0.0 = "no beat yet": liveness applies the startup grace until
+        # the worker's Pulse stamps its first real (nonzero) timestamp.
+        self.beats[worker.slot] = 0.0
+        worker.spawned = time.monotonic()
+        spec, seed = self._fault_config()
+        worker.process = self._ctx.Process(
+            target=_sweep_worker_main, name=f"sweep-worker-{worker.slot}",
+            args=(worker.slot, worker.task_q, worker.result_q, self.beats,
+                  self.heartbeat, self.runner_spec, spec, seed),
+            daemon=True)
+        worker.process.start()
+
+    @staticmethod
+    def _fault_config() -> tuple[str | None, int]:
+        """The active fault spec as shippable (spec string, seed)."""
+        inj = faults.injector()
+        if inj is None or not inj.specs:
+            return None, 0
+        spec = ",".join(
+            f"{s.site}:{s.probability:g}"
+            + (f":{s.max_fires}" if s.max_fires is not None else "")
+            for s in inj.specs.values())
+        return spec, inj.seed
+
+    def _supervise(self) -> None:
+        """The supervisor loop: admit, dispatch, drain, check liveness,
+        hedge — until no live work remains or every domain is dead."""
+        tick = self.heartbeat / 2.0
+        while True:
+            if faults.should_fire("scheduler_stall"):
+                # A wedged scheduler must not cost correctness: workers
+                # keep beating and computing; on wake the supervisor
+                # sees fresh beats (no spurious kills) and drains
+                # everything that completed meanwhile.
+                self.report.scheduler_stalls += 1
+                self.sleep(self.grace)
+            self._admit()
+            healthy = self._healthy_slots()
+            if not healthy:
+                break
+            for worker in healthy:
+                if worker.idle:
+                    self._dispatch(worker)
+            progressed = self._drain_results()
+            self._check_liveness()
+            self._maybe_hedge()
+            if not self._live_work_remains():
+                break
+            if not progressed:
+                self.sleep(tick)
+
+    # -- admission ------------------------------------------------------------
+
+    def _resident(self) -> int:
+        queued = sum(1 for d in self.deques for key in d
+                     if key not in self.done and key not in self.shelved)
+        return queued + len([k for k, s in self.inflight.items() if s])
+
+    def _admit(self) -> None:
+        """Feed the backlog into shard-affine deques within the bound.
+
+        If the scheduler makes no admission progress for
+        ``admit_timeout`` seconds while a backlog waits (every domain
+        wedged or dead), the backlog's deadline expires and it degrades
+        to the serial tier instead of waiting forever.
+        """
+        now = time.monotonic()
+        admitted = False
+        while self.backlog and self._resident() < self.queue_bound:
+            task = self.backlog.popleft()
+            if task.key in self.done or task.key in self.shelved:
+                continue
+            self._enqueue(task.key)
+            admitted = True
+        if admitted or not self.backlog:
+            self._admit_progress = now
+        elif now - self._admit_progress > self.admit_timeout:
+            while self.backlog:
+                self.shelved.add(self.backlog.popleft().key)
+
+    def _enqueue(self, key: str, *, front: bool = False) -> None:
+        """Queue one task key on its (healthy) affinity slot's deque."""
+        healthy = self._healthy_slots()
+        if not healthy:
+            self.shelved.add(key)
+            return
+        task = self.by_key[key]
+        home = self._stable_worker(task, healthy)
+        if front:
+            self.deques[home.slot].appendleft(key)
+        else:
+            self.deques[home.slot].append(key)
+
+    def _stable_worker(self, task: TaskSpec, healthy: list) -> _Worker:
+        index = _stable_slot(task.shard or task.key, len(healthy))
+        return healthy[index]
+
+    # -- dispatch and stealing ------------------------------------------------
+
+    def _dispatch(self, worker: _Worker) -> None:
+        key = self._next_key(worker)
+        if key is None:
+            return
+        task = self.by_key[key]
+        self.seq[key] = self.seq.get(key, 0) + 1
+        attempt = self.seq[key]
+        try:
+            worker.task_q.put((key, task.kind, task.payload, attempt),
+                              timeout=self.heartbeat)
+        except (queue_mod.Full, ValueError, OSError):
+            # Slot's queue is wedged or torn down: treat as a dead
+            # worker; the task goes back to a healthy domain.
+            self._enqueue(key, front=True)
+            self._worker_died(worker, hung=True)
+            return
+        worker.busy = key
+        worker.started = time.monotonic()
+        worker.deadline = (worker.started + self.pair_timeout
+                           if self.pair_timeout is not None else None)
+        self.inflight.setdefault(key, set()).add(worker.slot)
+
+    def _next_key(self, worker: _Worker) -> str | None:
+        """The worker's next task: own deque first, then steal."""
+        own = self.deques[worker.slot]
+        while own:
+            key = own.popleft()
+            if key not in self.done and key not in self.shelved:
+                return key
+        victim = max((d for i, d in enumerate(self.deques)
+                      if i != worker.slot), key=len, default=None)
+        while victim:
+            key = victim.pop()          # steal cold end, keep owner's warm
+            if key in self.done or key in self.shelved:
+                continue
+            self.report.steals += 1
+            if faults.should_fire("steal_race"):
+                # Chaos: the steal "raced" and left a duplicate behind —
+                # two workers will run this task; completion-side dedup
+                # must keep exactly one result.
+                victim.append(key)
+                self.report.steal_races += 1
+            return key
+        return None
+
+    # -- results --------------------------------------------------------------
+
+    def _drain_results(self) -> bool:
+        progressed = False
+        for worker in list(self.slots):
+            if worker.dead or worker.result_q is None:
+                continue
+            while True:
+                try:
+                    payload = worker.result_q.get_nowait()
+                except queue_mod.Empty:
+                    break
+                except (EOFError, OSError):
+                    break
+                progressed = True
+                self._complete(worker, payload)
+        return progressed
+
+    def _complete(self, worker: _Worker, payload: dict) -> None:
+        key = payload.get("key")
+        if worker.busy == key:
+            duration = time.monotonic() - worker.started
+            worker.busy = None
+            worker.deadline = None
+        else:
+            duration = None
+        holders = self.inflight.get(key)
+        if holders is not None:
+            holders.discard(worker.slot)
+        if key in self.done:
+            # A hedge loser, a steal-race duplicate, or a requeued task
+            # whose "hung" original finished after all: discard the
+            # payload *wholesale* — entries, counters, and obs events —
+            # so nothing is ever double-counted.
+            self.report.duplicate_results += 1
+            return
+        error = payload.get("error")
+        if isinstance(error, (PageFault, ProtectionFault)):
+            self.done.add(key)
+            self.attempts.pop(key, None)
+            self.on_violation(self.by_key[key], error)
+            return
+        if error is not None:
+            self._task_failed(key, transient=isinstance(error,
+                                                        TransientError))
+            return
+        if duration is not None:
+            self.durations.append(duration)
+        self.done.add(key)
+        self.hedged.discard(key)
+        entries = self.absorb(payload)
+        self.on_done(self.by_key[key], entries)
+
+    def _task_failed(self, key: str, *, transient: bool) -> None:
+        """One attempt failed; retry with backoff or shelve for serial."""
+        if transient:
+            self.report.worker_crashes += 1
+        if key in self.done or key in self.shelved:
+            return
+        if self.inflight.get(key):
+            return      # a hedge twin is still running; let it decide
+        attempt = self.attempts.get(key, 0) + 1
+        self.attempts[key] = attempt
+        if attempt < self.retry.max_attempts:
+            if transient:
+                self.report.retries += 1
+                delay = self.retry.delay(attempt, tag=key)
+                if delay > 0:
+                    self.sleep(delay)
+            self._enqueue(key)
+        else:
+            self.shelved.add(key)
+
+    # -- liveness and domains -------------------------------------------------
+
+    def _check_liveness(self) -> None:
+        """Kill workers whose heartbeat went stale or deadline passed.
+
+        A stale beat means the *process* is wedged (or its telemetry
+        died — indistinguishable from outside, and treated the same:
+        kill and requeue, dedup protects against the race where the
+        work actually finishes).  Detection latency is bounded by the
+        grace period plus one poll tick — a couple of heartbeat
+        intervals — independent of the much larger pair timeout.
+        """
+        now = time.monotonic()
+        for worker in self.slots:
+            if worker.dead:
+                continue
+            alive = worker.process is not None and worker.process.is_alive()
+            if worker.busy is None:
+                if not alive:
+                    self._worker_died(worker, hung=False)
+                continue
+            beat = self.beats[worker.slot]
+            if beat:
+                hung = now - beat > self.grace
+            else:
+                # Still booting (never beat): only the generous startup
+                # grace applies — a slow fork is not a hung worker.
+                hung = now - worker.spawned > self.startup_grace
+            timed_out = worker.deadline is not None and now > worker.deadline
+            if not alive:
+                self._worker_died(worker, hung=False)
+            elif hung or timed_out:
+                self.detection_latencies.append(now - worker.started)
+                self.report.pair_timeouts += 1
+                if hung:
+                    self.report.hung_workers += 1
+                self._worker_died(worker, hung=True)
+
+    def _worker_died(self, worker: _Worker, *, hung: bool) -> None:
+        """Contain one worker death: kill, requeue its task, heal the
+        domain."""
+        key = worker.busy
+        worker.busy = None
+        worker.deadline = None
+        worker.dead = True
+        process = worker.process
+        if process is not None and process.is_alive():
+            process.kill()
+            process.join(timeout=5.0)
+        self._discard_queues(worker)
+        if key is not None:
+            holders = self.inflight.get(key)
+            if holders is not None:
+                holders.discard(worker.slot)
+            if key not in self.done and not self.inflight.get(key):
+                if not hung:
+                    self.report.worker_crashes += 1
+                attempt = self.attempts.get(key, 0) + 1
+                self.attempts[key] = attempt
+                if attempt < self.retry.max_attempts:
+                    self._enqueue(key, front=True)
+                else:
+                    self.shelved.add(key)
+        self._heal_domain(self._domain(worker.slot))
+
+    def _discard_queues(self, worker: _Worker) -> None:
+        """Drop a dead worker's private queues (possibly mid-``put``
+        corrupt — which is exactly why they are private)."""
+        for q in (worker.task_q, worker.result_q):
+            if q is None:
+                continue
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except (OSError, ValueError):
+                pass
+        worker.task_q = None
+        worker.result_q = None
+
+    def _heal_domain(self, domain: int) -> None:
+        """Rebuild a domain's dead slots, or fence the domain off.
+
+        One crashing worker costs its domain a rebuild — never the whole
+        pool; sibling domains keep streaming results throughout.  A
+        domain past its rebuild budget is marked dead and its queued
+        work redistributed to healthy domains (or the serial tier).
+        """
+        if self.domain_dead[domain]:
+            return
+        members = [w for w in self.slots if self._domain(w.slot) == domain]
+        dead = [w for w in members if w.dead]
+        if not dead:
+            return
+        if self.domain_rebuilds[domain] < self.max_pool_rebuilds:
+            self.domain_rebuilds[domain] += 1
+            self.report.pool_rebuilds += 1
+            for worker in dead:
+                self._spawn(worker)
+            return
+        # Fence the domain: its alive slots stop taking new work (only
+        # healthy-domain slots are dispatched to), though tasks already
+        # in flight on them are left to finish — their results count.
+        self.domain_dead[domain] = True
+        orphaned = []
+        for worker in members:
+            orphaned.extend(self.deques[worker.slot])
+            self.deques[worker.slot].clear()
+        for key in orphaned:
+            if key not in self.done and key not in self.shelved:
+                self._enqueue(key)
+
+    # -- hedging --------------------------------------------------------------
+
+    def _hedge_threshold(self) -> float | None:
+        if len(self.durations) < HEDGE_MIN_SAMPLES:
+            return None
+        ordered = sorted(self.durations)
+        index = min(len(ordered) - 1,
+                    int(self.hedge_quantile * len(ordered)))
+        return ordered[index] * HEDGE_MULTIPLIER
+
+    def _maybe_hedge(self) -> None:
+        """Speculatively duplicate stragglers onto idle workers.
+
+        First finisher wins; the loser is discarded by the dedup in
+        :meth:`_complete`.  The ``hedge_race`` chaos site forces an
+        immediate hedge (no quantile, no minimum samples) so the test
+        suite can exercise near-simultaneous twin completions.
+        """
+        threshold = self._hedge_threshold()
+        now = time.monotonic()
+        for worker in self.slots:
+            key = worker.busy
+            if key is None or worker.dead or key in self.hedged \
+                    or key in self.done:
+                continue
+            elapsed = now - worker.started
+            forced = faults.should_fire("hedge_race")
+            if not forced and (threshold is None or elapsed < threshold):
+                continue
+            twin = next((w for w in self._healthy_slots()
+                         if w.idle and not self.deques[w.slot]), None)
+            if twin is None:
+                return
+            self.hedged.add(key)
+            self.report.hedges += 1
+            task = self.by_key[key]
+            self.seq[key] = self.seq.get(key, 0) + 1
+            try:
+                twin.task_q.put((key, task.kind, task.payload,
+                                 self.seq[key]), timeout=self.heartbeat)
+            except (queue_mod.Full, ValueError, OSError):
+                self._worker_died(twin, hung=True)
+                continue
+            twin.busy = key
+            twin.started = now
+            twin.deadline = (now + self.pair_timeout
+                             if self.pair_timeout is not None else None)
+            self.inflight.setdefault(key, set()).add(twin.slot)
+
+    # -- loop bookkeeping ------------------------------------------------------
+
+    def _live_work_remains(self) -> bool:
+        if self.backlog:
+            return True
+        if any(slots for slots in self.inflight.values()):
+            return True
+        return any(key not in self.done and key not in self.shelved
+                   for d in self.deques for key in d)
+
+    def _shutdown(self, *, graceful: bool) -> None:
+        """Stop every worker; never blocks unboundedly.
+
+        Graceful shutdown sends sentinels and joins briefly; either way
+        stragglers are killed — an abandoned sweep's in-flight work is
+        worthless, and the journal already holds everything completed.
+        """
+        for worker in self.slots:
+            if worker.dead or worker.process is None:
+                continue
+            if graceful and worker.task_q is not None:
+                try:
+                    worker.task_q.put(None, timeout=0.5)
+                except (queue_mod.Full, ValueError, OSError):
+                    pass
+        for worker in self.slots:
+            process = worker.process
+            if process is None:
+                continue
+            if graceful:
+                process.join(timeout=2.0 if not worker.dead else 0.1)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
+            self._discard_queues(worker)
+            worker.process = None
+
+    # -- serial tier ----------------------------------------------------------
+
+    def _run_serial_tier(self) -> None:
+        """Finish every unfinished task in-process, in submission order.
+
+        The tier of last resort: no pool, no queues, nothing left to
+        break.  Each task counts one ``serial_degradation`` — the
+        signal that the parallel tiers gave up on it.
+        """
+        for task in self.tasks:
+            if task.key in self.done:
+                continue
+            self.report.serial_degradations += 1
+            try:
+                entries = self.serial_fn(task)
+            except (PageFault, ProtectionFault) as exc:
+                self.done.add(task.key)
+                self.on_violation(task, exc)
+                continue
+            self.done.add(task.key)
+            self.on_done(task, entries)

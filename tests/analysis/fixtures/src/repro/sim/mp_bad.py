@@ -8,7 +8,7 @@ _TRACE_CACHE = {}
 _COUNTERS = {"pairs": 0}
 
 
-def _pair_worker(pair):
+def _sweep_worker_main(pair):
     global _COUNTERS  # dvmlint-expect: MP001
     _COUNTERS = {"pairs": 1}
     _TRACE_CACHE[pair] = object()  # dvmlint-expect: MP001
@@ -18,4 +18,4 @@ def _pair_worker(pair):
 
 def run_pairs(pairs):
     with ProcessPoolExecutor() as pool:  # dvmlint-expect: MP002
-        return list(pool.map(_pair_worker, pairs))
+        return list(pool.map(_sweep_worker_main, pairs))

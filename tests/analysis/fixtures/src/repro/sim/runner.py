@@ -1,8 +1,8 @@
-"""Control-plane negatives: the runner owns pools and wall clocks,
-and its worker entry ships mutated state back in its return value."""
+"""Control-plane negatives: the runner may read wall clocks, and a
+submitted worker entry that ships mutated state back in its return
+value is clean (pool creation itself lives in ``sweep/scheduler.py``)."""
 
 import time
-from concurrent.futures import ProcessPoolExecutor
 
 _RESULTS = {}
 
@@ -13,9 +13,8 @@ def _pair_worker(pair):
     return entries
 
 
-def run_pairs(pairs):
+def run_pairs(pool, pairs):
     deadline = time.monotonic() + 60.0
-    with ProcessPoolExecutor() as pool:
-        futures = [pool.submit(_pair_worker, p) for p in pairs]
-        results = [f.result() for f in futures]
+    futures = [pool.submit(_pair_worker, p) for p in pairs]
+    results = [f.result(timeout=60.0) for f in futures]
     return results, deadline

@@ -1,0 +1,14 @@
+"""Journal negatives: the fenced writer is the sanctioned write path.
+
+Write-mode opens and fsync-on-append are legal here
+(``config.SWEEP_WRITE_OWNERS``); SWP002 must stay silent.
+"""
+
+import os
+
+
+def append(path, line):
+    with open(path, "ab") as handle:
+        handle.write(line.encode())
+        handle.flush()
+        os.fsync(handle.fileno())

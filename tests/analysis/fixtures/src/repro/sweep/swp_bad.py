@@ -1,0 +1,23 @@
+"""SWP vectors: unbounded waits and ad-hoc durable writes in sweep/."""
+
+import os
+
+
+def drain(result_q, worker, gate, future, lock):
+    payload = result_q.get()  # dvmlint-expect: SWP001
+    worker.join()  # dvmlint-expect: SWP001
+    gate.wait()  # dvmlint-expect: SWP001
+    value = future.result()  # dvmlint-expect: SWP001
+    lock.acquire()  # dvmlint-expect: SWP001
+    return payload, value
+
+
+def persist(path, record):
+    with open(path, "a") as handle:  # dvmlint-expect: SWP002
+        handle.write(record)
+    path.write_text(record)  # dvmlint-expect: SWP002
+    path.write_bytes(record.encode())  # dvmlint-expect: SWP002
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT)  # dvmlint-expect: SWP002
+    os.close(fd)
+    with path.open(mode="wb") as handle:  # dvmlint-expect: SWP002
+        handle.write(record.encode())

@@ -28,7 +28,7 @@ class TestCli:
 
     def test_ignore_everything_passes(self, capsys):
         assert main([*FIXTURE_ARGS, "--no-baseline", "--ignore",
-                     "DET,FAULT,OBS,ENV,MP,GEN,PARSE"]) == 0
+                     "DET,FAULT,OBS,ENV,MP,GEN,SWP,PARSE"]) == 0
 
     def test_json_format(self, capsys):
         main([*FIXTURE_ARGS, "--no-baseline", "--format", "json"])

@@ -73,7 +73,7 @@ class TestCorpus:
 class TestCatalog:
     def test_at_least_five_rule_families(self):
         families = {rule.id.rstrip("0123456789") for rule in all_rules()}
-        assert {"DET", "FAULT", "OBS", "ENV", "MP"} <= families
+        assert {"DET", "FAULT", "OBS", "ENV", "MP", "SWP"} <= families
 
     def test_rules_carry_catalog_metadata(self):
         for rule in all_rules():
@@ -83,4 +83,4 @@ class TestCatalog:
     def test_every_family_exercised_by_corpus(self, fixture_result):
         seen = {f.rule.rstrip("0123456789")
                 for f in fixture_result.findings}
-        assert {"DET", "FAULT", "OBS", "ENV", "MP"} <= seen
+        assert {"DET", "FAULT", "OBS", "ENV", "MP", "SWP"} <= seen

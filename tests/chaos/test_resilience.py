@@ -6,10 +6,10 @@ import json
 
 import pytest
 
-from repro.common import integrity
 from repro.common.errors import TransientError, WorkerCrashError
-from repro.sim.resilience import (CHECKPOINT_KIND, ResilienceReport,
-                                  RetryPolicy, SweepCheckpoint, retry_call)
+from repro.sim.resilience import (ResilienceReport, RetryPolicy,
+                                  SweepCheckpoint, retry_call)
+from repro.sweep.journal import JOURNAL_SCHEMA
 
 
 class TestRetryPolicy:
@@ -104,6 +104,8 @@ class TestSweepCheckpoint:
         assert path.exists()      # not corrupt, merely inapplicable
 
     def test_corrupt_checkpoint_quarantined(self, tmp_path):
+        # Corruption that destroys even the header is beyond salvage:
+        # the whole journal is quarantined, never trusted.
         path = tmp_path / "sweep.ckpt.json"
         ckpt = SweepCheckpoint(path, sweep_key="k1")
         ckpt.record("bfs", "FR", self.entries("a"))
@@ -111,6 +113,25 @@ class TestSweepCheckpoint:
         assert SweepCheckpoint(path, sweep_key="k1").load() == {}
         assert not path.exists()
         assert (tmp_path / "sweep.ckpt.json.corrupt").exists()
+
+    def test_torn_tail_truncated_prefix_survives(self, tmp_path):
+        # The PR-8 behavior change: a torn trailing record no longer
+        # poisons the journal — it is truncated and every record before
+        # it resumes.  (The pre-PR-8 whole-file checkpoint lost
+        # everything on any corruption.)
+        path = tmp_path / "sweep.ckpt.json"
+        ckpt = SweepCheckpoint(path, sweep_key="k1")
+        ckpt.record("bfs", "FR", self.entries("a"))
+        ckpt.record("cf", "NF", self.entries("b"))
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-20])         # tear the final record
+        fresh = SweepCheckpoint(path, sweep_key="k1")
+        assert fresh.load() == {"bfs/FR": self.entries("a")}
+        assert fresh.torn_records == 1
+        # The truncation is durable: a second load sees a clean journal.
+        again = SweepCheckpoint(path, sweep_key="k1")
+        assert again.load() == {"bfs/FR": self.entries("a")}
+        assert again.torn_records == 0
 
     def test_missing_checkpoint_is_empty(self, tmp_path):
         assert SweepCheckpoint(tmp_path / "none.json", "k").load() == {}
@@ -121,15 +142,23 @@ class TestSweepCheckpoint:
         ckpt.record("bfs", "FR", self.entries("a"))
         ckpt.complete()
         assert not path.exists()
+        assert not ckpt.gen_path.exists()   # fence removed with it
         ckpt.complete()           # idempotent
 
-    def test_journal_is_enveloped(self, tmp_path):
+    def test_journal_records_are_sealed(self, tmp_path):
+        # Append-only JSONL: a header record carrying the sweep key and
+        # schema, then one self-validating (sha-sealed) record per task.
         path = tmp_path / "sweep.ckpt.json"
         SweepCheckpoint(path, sweep_key="k1").record(
             "bfs", "FR", self.entries("a"))
-        doc = json.loads(path.read_text())
-        assert doc["kind"] == CHECKPOINT_KIND
-        assert doc["schema"] == integrity.SCHEMA_VERSION
+        lines = [json.loads(line) for line in
+                 path.read_text().splitlines()]
+        header, record = lines
+        assert header["kind"] == "sweep-journal"
+        assert header["schema"] == JOURNAL_SCHEMA
+        assert header["sweep_key"] == "k1"
+        assert record["key"] == "bfs/FR"
+        assert all("sha" in doc for doc in lines)
 
 
 class TestResilienceReport:

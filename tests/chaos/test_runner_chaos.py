@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import subprocess
 import sys
 from pathlib import Path
@@ -85,9 +86,11 @@ class TestWorkerFaults:
 
 
 class TestCacheIntegrity:
-    def corrupt(self, root, prefix, mutate):
-        victims = [p for p in sorted(Path(root).iterdir())
-                   if p.name.startswith(prefix)]
+    def corrupt(self, root, prefix, mutate, suffix=""):
+        # Artifacts live in two-hex-char shard subdirectories now, so
+        # search recursively, not just the cache root.
+        victims = [p for p in sorted(Path(root).rglob(f"{prefix}*{suffix}"))
+                   if p.is_file() and p.name.startswith(prefix)]
         assert victims, f"no {prefix} artifacts to corrupt"
         mutate(victims[0])
         return victims[0]
@@ -95,23 +98,38 @@ class TestCacheIntegrity:
     def test_corrupt_metrics_quarantined_and_recomputed(self, baseline,
                                                         tmp_path):
         bench_runner(cache_dir=str(tmp_path)).run_pairs(pairs=PAIRS)
-        self.corrupt(tmp_path, "metrics-",
-                     lambda p: p.write_text(p.read_text()[:25]))
+        self.corrupt(tmp_path, "metrics-", suffix=".json",
+                     mutate=lambda p: p.write_text(p.read_text()[:25]))
         runner = bench_runner(cache_dir=str(tmp_path))
         assert_identical(runner.run_pairs(pairs=PAIRS), baseline)
         assert runner.resilience.quarantined == 1
         assert any(p.name.endswith(".corrupt")
-                   for p in tmp_path.iterdir())
+                   for p in tmp_path.rglob("*"))
 
     def test_corrupt_trace_quarantined_and_recomputed(self, baseline,
-                                                      tmp_path):
+                                                      tmp_path, monkeypatch):
+        # Memmap off: this test targets the archival npz tier (the
+        # memmapped store has its own corruption test below).
+        monkeypatch.setenv("REPRO_SWEEP_MEMMAP", "0")
         bench_runner(cache_dir=str(tmp_path)).run_pairs(pairs=PAIRS)
-        self.corrupt(tmp_path, "trace-",
-                     lambda p: p.write_bytes(b"\x00garbage\x00"))
+        self.corrupt(tmp_path, "trace-", suffix=".npz",
+                     mutate=lambda p: p.write_bytes(b"\x00garbage\x00"))
         # Drop the metrics artifacts so recomputation must reload traces.
-        for p in tmp_path.iterdir():
-            if p.name.startswith("metrics-"):
-                p.unlink()
+        for p in list(tmp_path.rglob("metrics-*")):
+            p.unlink()
+        runner = bench_runner(cache_dir=str(tmp_path))
+        assert_identical(runner.run_pairs(pairs=PAIRS), baseline)
+        assert runner.resilience.quarantined >= 1
+
+    def test_corrupt_memmap_store_quarantined(self, baseline, tmp_path):
+        bench_runner(cache_dir=str(tmp_path)).run_pairs(pairs=PAIRS)
+        stores = sorted(p for p in tmp_path.rglob("trace-*.mm")
+                        if p.is_dir())
+        assert stores, "no memmapped trace stores published"
+        (stores[0] / "streams.npy").write_bytes(b"\x00garbage\x00")
+        # Drop the metrics artifacts so recomputation must reload traces.
+        for p in list(tmp_path.rglob("metrics-*")):
+            p.unlink()
         runner = bench_runner(cache_dir=str(tmp_path))
         assert_identical(runner.run_pairs(pairs=PAIRS), baseline)
         assert runner.resilience.quarantined >= 1
@@ -120,8 +138,8 @@ class TestCacheIntegrity:
         # A PR-1-era bare-dict metrics file is a schema mismatch.
         bench_runner(cache_dir=str(tmp_path)).run_pairs(pairs=PAIRS)
         self.corrupt(
-            tmp_path, "metrics-",
-            lambda p: p.write_text(json.dumps({"cycles": 1.0})))
+            tmp_path, "metrics-", suffix=".json",
+            mutate=lambda p: p.write_text(json.dumps({"cycles": 1.0})))
         runner = bench_runner(cache_dir=str(tmp_path))
         assert_identical(runner.run_pairs(pairs=PAIRS), baseline)
         assert runner.resilience.quarantined == 1
@@ -175,13 +193,17 @@ class TestCheckpointResume:
             bench_runner(cache_dir=str(tmp_path)).run_pairs(pairs=PAIRS)
         faults.configure(None)
         journal = [p for p in tmp_path.iterdir()
-                   if p.name.startswith("sweep-")]
+                   if p.name.startswith("sweep-")
+                   and not p.name.endswith(".gen")]
         assert len(journal) == 1
         # Remove per-metric artifacts so only the journal can explain a
         # skipped recomputation.
-        for p in tmp_path.iterdir():
-            if p.name.startswith(("metrics-", "trace-")):
+        for p in list(tmp_path.rglob("metrics-*")) \
+                + list(tmp_path.rglob("trace-*")):
+            if p.is_file():
                 p.unlink()
+            elif p.is_dir():
+                shutil.rmtree(p)
         computed = []
         original = ExperimentRunner.run
 

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
 from repro.core.config import HardwareScale
@@ -51,14 +49,19 @@ class TestRunPairs:
 class TestDiskCache:
     def test_round_trip(self, serial_metrics, tmp_path):
         first = bench_runner(cache_dir=str(tmp_path)).run_pairs(pairs=PAIRS)
-        names = sorted(os.listdir(tmp_path))
+        # Artifacts land in two-hex-char shard subdirectories.
+        names = sorted(p.name for p in tmp_path.rglob("*") if p.is_file())
         assert sum(n.startswith("trace-") and n.endswith(".npz")
                    for n in names) == len(PAIRS)
         # every binary trace carries a checksum sidecar
-        assert sum(n.startswith("trace-") and n.endswith(".sha256")
+        assert sum(n.startswith("trace-") and n.endswith(".npz.sha256")
                    for n in names) == len(PAIRS)
         assert sum(n.startswith("metrics-") for n in names) == len(PAIRS) * 7
-        # a completed sweep leaves no checkpoint journal behind
+        # plus the published memmapped column store per trace
+        stores = [p for p in tmp_path.rglob("trace-*.mm") if p.is_dir()]
+        assert len(stores) == len(PAIRS)
+        # a completed sweep leaves no checkpoint journal behind (the
+        # journal and its .gen fence live flat at the cache root)
         assert not any(n.startswith("sweep-") for n in names)
         second = bench_runner(cache_dir=str(tmp_path)).run_pairs(pairs=PAIRS)
         for key in first:

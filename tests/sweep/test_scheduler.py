@@ -1,0 +1,208 @@
+"""SweepService scheduling semantics: stealing, hedging, domains, dedup.
+
+Probe tasks (a pure function of their seed) make every property
+checkable against an exactly-computable expectation: any lost,
+duplicated, or double-counted task changes the merged result.
+"""
+
+from __future__ import annotations
+
+import collections
+import time
+
+import pytest
+
+from repro.common import faults
+from repro.sim.resilience import ResilienceReport, RetryPolicy
+from repro.sweep.scheduler import SweepService, _Worker
+from repro.sweep.tasks import TaskSpec, _execute_probe
+
+FAST_RETRY = RetryPolicy(base_delay=0.0, max_delay=0.0)
+
+
+@pytest.fixture(autouse=True)
+def fast_heartbeat(monkeypatch):
+    monkeypatch.setenv("REPRO_SWEEP_HEARTBEAT", "0.05")
+
+
+def probe_tasks(count: int, spin: int = 200, shard: str | None = None):
+    return [TaskSpec(key=f"probe/{seed}", kind="probe",
+                     payload=dict(seed=seed, spin=spin),
+                     shard=shard if shard is not None else str(seed % 8))
+            for seed in range(count)]
+
+
+def expected(count: int, spin: int = 200) -> dict:
+    return {f"probe/{seed}": _execute_probe({}, dict(seed=seed,
+                                                     spin=spin))[0]
+            for seed in range(count)}
+
+
+class Harness:
+    """A SweepService wired to record exactly what the caller saw."""
+
+    def __init__(self, tasks, workers, **kw):
+        self.results: dict[str, list] = {}
+        self.done_keys: list[str] = []
+        self.absorbed: list[str] = []
+        self.report = ResilienceReport()
+        self.service = SweepService(
+            tasks=tasks, runner_spec={}, report=self.report,
+            on_done=self._on_done, serial_fn=self._serial,
+            on_violation=lambda task, exc: None,
+            absorb=self._absorb, workers=workers, retry=FAST_RETRY, **kw)
+
+    def _on_done(self, task, entries):
+        self.done_keys.append(task.key)
+        self.results[task.key] = [[name, dict(payload)]
+                                  for name, payload in entries]
+
+    def _serial(self, task):
+        entries, _report = _execute_probe({}, task.payload)
+        return entries
+
+    def _absorb(self, payload):
+        self.absorbed.append(payload["key"])
+        return payload["entries"]
+
+    def run(self):
+        self.service.run()
+        return self.results
+
+
+class TestScheduling:
+    def test_parallel_matches_exact_expectation(self):
+        harness = Harness(probe_tasks(80), workers=4)
+        assert harness.run() == expected(80)
+        # Every task completed exactly once at the caller's surface.
+        assert sorted(harness.done_keys) == sorted(expected(80))
+        assert len(harness.absorbed) == len(set(harness.absorbed))
+
+    def test_single_worker_goes_straight_to_serial_tier(self):
+        harness = Harness(probe_tasks(5), workers=1)
+        assert harness.run() == expected(5)
+        assert harness.report.serial_degradations == 5
+        assert harness.report.steals == 0
+
+    def test_hot_shard_is_stolen(self):
+        # Every task shares one shard, so affinity queues them all on a
+        # single slot; the other three workers can only make progress by
+        # stealing — and the merged result must not care.
+        harness = Harness(probe_tasks(12, spin=200_000, shard="hot"),
+                          workers=4)
+        assert harness.run() == expected(12, spin=200_000)
+        assert harness.report.steals > 0
+
+    def test_backpressure_bound_respected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_QUEUE_BOUND", "2")
+        harness = Harness(probe_tasks(40), workers=3)
+        assert harness.service.queue_bound == 2
+        assert harness.run() == expected(40)
+
+
+class TestHedging:
+    def test_forced_hedge_first_finisher_wins(self):
+        # One straggler among cheap tasks: the worker that clears the
+        # fast ones goes idle while the other is stuck, which is the
+        # only state a hedge twin can be dispatched from.
+        faults.configure("hedge_race:1.0", seed=1)
+        tasks = [TaskSpec(key="probe/0", kind="probe",
+                          payload=dict(seed=0, spin=3_000_000), shard="0")]
+        tasks += [TaskSpec(key=f"probe/{seed}", kind="probe",
+                           payload=dict(seed=seed, spin=1_000),
+                           shard=str(seed))
+                  for seed in range(1, 6)]
+        want = {t.key: _execute_probe({}, t.payload)[0] for t in tasks}
+        harness = Harness(tasks, workers=2)
+        assert harness.run() == want
+        assert harness.report.hedges >= 1
+        # The hedge loser's payload drained and was discarded wholesale:
+        # counted as a duplicate, never absorbed, never re-completed.
+        assert harness.report.duplicate_results >= 1
+        assert len(harness.absorbed) == len(set(harness.absorbed))
+        assert sorted(harness.done_keys) == sorted(want)
+
+
+class _StubProcess:
+    """An alive-until-killed process handle for white-box liveness tests."""
+
+    def __init__(self):
+        self.killed = False
+
+    def is_alive(self):
+        return not self.killed
+
+    def kill(self):
+        self.killed = True
+
+    def join(self, timeout=None):
+        pass
+
+
+class TestStartupGrace:
+    """A worker that has never beaten is *booting*, not hung: only the
+    (much longer) startup grace may kill it.  Regression for the tight
+    beat grace racing process startup — forking a large parent took
+    longer than ``2 x heartbeat`` and every worker was killed at birth,
+    collapsing whole sweeps to the serial tier."""
+
+    def _service_with_busy_worker(self, monkeypatch, *, beat,
+                                  spawned_ago):
+        harness = Harness(probe_tasks(4), workers=2)
+        svc = harness.service
+        monkeypatch.setattr(svc, "_spawn", lambda worker: None)
+        svc.beats = [0.0, 0.0]
+        svc.slots = [_Worker(slot=0), _Worker(slot=1)]
+        svc.deques = [collections.deque(), collections.deque()]
+        svc.domain_rebuilds = [0]
+        svc.domain_dead = [False]
+        svc.backlog = collections.deque()
+        now = time.monotonic()
+        for worker in svc.slots:
+            worker.process = _StubProcess()
+            worker.spawned = now - spawned_ago
+        busy = svc.slots[0]
+        busy.busy = "probe/0"
+        busy.started = now - spawned_ago
+        svc.beats[0] = beat
+        svc.inflight["probe/0"] = {0}
+        return svc
+
+    def test_booting_worker_outlives_the_beat_grace(self, monkeypatch):
+        svc = self._service_with_busy_worker(monkeypatch, beat=0.0,
+                                             spawned_ago=1.0)
+        assert 1.0 > svc.grace          # far past the tight beat grace
+        svc._check_liveness()
+        assert not svc.slots[0].dead
+        assert svc.report.hung_workers == 0
+        assert svc.report.pair_timeouts == 0
+
+    def test_boot_wedge_still_killed_past_startup_grace(self,
+                                                        monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_STARTUP_GRACE", "0.2")
+        svc = self._service_with_busy_worker(monkeypatch, beat=0.0,
+                                             spawned_ago=1.0)
+        svc._check_liveness()
+        assert svc.slots[0].dead
+        assert svc.report.hung_workers == 1
+
+    def test_tight_grace_applies_after_first_beat(self, monkeypatch):
+        svc = self._service_with_busy_worker(
+            monkeypatch, beat=time.monotonic() - 1.0, spawned_ago=1.0)
+        svc._check_liveness()
+        assert svc.slots[0].dead
+        assert svc.report.hung_workers == 1
+
+
+class TestFailureDomains:
+    def test_exhausted_domains_degrade_to_serial(self, monkeypatch):
+        # Domain size 1 + every dispatch killing its worker: each of the
+        # two single-slot domains burns its one rebuild, the supervised
+        # tier fences both domains, and the serial tier (which cannot
+        # break) finishes the whole sweep bit-identically.
+        monkeypatch.setenv("REPRO_SWEEP_DOMAIN", "1")
+        faults.configure("worker_exit:1.0", seed=0)
+        harness = Harness(probe_tasks(8), workers=2, max_pool_rebuilds=1)
+        assert harness.run() == expected(8)
+        assert harness.report.pool_rebuilds == 2
+        assert harness.report.serial_degradations == 8
