@@ -11,6 +11,7 @@ Usage::
     python -m repro pair bfs/FR --bench  # re-run one quarantined pair
     python -m repro sweep pairs --bench  # supervised sweep service entry
     python -m repro sweep --chaos-smoke  # scheduler chaos gate (CI)
+    python -m repro top                  # live dashboard over the bus
 
 With ``REPRO_OBS=1`` each artifact's observations (metrics registry,
 Chrome/Perfetto trace, NDJSON event stream) are flushed into
@@ -23,6 +24,7 @@ from __future__ import annotations
 import sys
 
 from repro import obs
+from repro.common.errors import ConfigError
 from repro.experiments import (
     ablations,
     fault_model,
@@ -56,6 +58,16 @@ ARTIFACTS = {
 
 
 def main(argv: list[str]) -> int:
+    try:
+        return _dispatch(argv)
+    except ConfigError as exc:
+        # The CLI boundary: library code raises ConfigError (never
+        # SystemExit); here it becomes a usage message and exit code.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(argv: list[str]) -> int:
     args = [a for a in argv if not a.startswith("--")]
     profile = "bench" if "--bench" in argv else "full"
     if not args or args[0] in ("list", "help", "-h"):
@@ -65,6 +77,9 @@ def main(argv: list[str]) -> int:
     if args[0] == "obs":
         from repro.obs import report
         return report.main(argv[1:])
+    if args[0] == "top":
+        from repro.obs import top
+        return top.main(argv[1:])
     if args[0] == "pair":
         from repro.sim.runner import pair_main
         return pair_main(argv[1:])
@@ -72,6 +87,7 @@ def main(argv: list[str]) -> int:
         from repro.sweep import cli as sweep_cli
         rc = sweep_cli.main(argv[1:])
         obs.flush(tag="sweep")
+        _metrics_snapshot()
         return rc
     if args[0] == "fuzz":
         from repro.gen import cli as fuzz_cli
@@ -92,6 +108,32 @@ def main(argv: list[str]) -> int:
         obs.flush(tag=name)
         print()
     return 0
+
+
+def _metrics_snapshot() -> None:
+    """Write the final ``metrics.prom`` for an observed sweep.
+
+    Folds the full bus stream once after the sweep ends, so CI can
+    upload a closing Prometheus snapshot even when no live ``repro
+    top`` watcher ran.  Silent no-op when the bus was off.
+    """
+    from repro.obs import bus as obs_bus
+    from repro.obs import core as obs_core
+    from repro.obs import top
+    if not obs_core.ENABLED:
+        return
+    path = obs_bus.bus_path()
+    if path is None or not path.exists():
+        return
+    events = obs_bus.read_events(path)
+    # Several sweeps may share one stream (the chaos smoke runs one per
+    # fault site); the closing snapshot describes the last one.
+    last_run = next((e["run_id"] for e in reversed(events)
+                     if e.get("kind") == "sweep-begin"), None)
+    if last_run is not None:
+        events = [e for e in events if e.get("run_id") == last_run]
+    model = top.TopModel.fold(events)
+    top.write_snapshot(model, obs_core.out_dir() / top.METRICS_FILENAME)
 
 
 if __name__ == "__main__":

@@ -145,3 +145,8 @@ GEN = Scope(include=GEN_SCOPE)
 GEN_DRAWS = Scope(include=GEN_SCOPE, exclude=(GEN_RNG_OWNER,))
 SWEEP = Scope(include=SWEEP_SCOPE)
 SWEEP_WRITES = Scope(include=SWEEP_SCOPE, exclude=SWEEP_WRITE_OWNERS)
+#: The scheduler, whose state transitions (anything bumping a
+#: ``...report.<counter>``) must narrate themselves onto the event bus
+#: (OBS002) — a silent transition is invisible to ``repro top`` and the
+#: streaming consumers.
+SCHED_TRANSITIONS = Scope(include=("src/repro/sweep/scheduler*.py",))

@@ -5,8 +5,17 @@ PR 4's observability subsystem guarantees that a disabled run executes
 sits behind one module-level boolean load (``if obs_core.ENABLED:``).
 The recording helpers are null-safe, so an unguarded call *works* — it
 just silently costs a function call and a registry lookup per event,
-eroding the contract one call site at a time.  This rule keeps the
-guard mandatory where it matters.
+eroding the contract one call site at a time.  OBS001 keeps the guard
+mandatory where it matters.
+
+OBS002 is the inverse contract, one layer up: the sweep scheduler's
+observable *surface* must stay complete.  Every scheduler state
+transition is marked by a ``ResilienceReport`` counter bump
+(``self.report.steals += 1`` and friends); since PR 9 each such
+transition must also narrate itself onto the event bus (``self._emit``)
+so live consumers — ``repro top``, ``SweepWatch`` — see the same story
+the post-mortem report tells.  A counter bumped in a function that
+emits nothing is a transition the dashboards silently miss.
 """
 
 from __future__ import annotations
@@ -15,7 +24,8 @@ import ast
 
 from repro.analysis import config
 from repro.analysis.core import ModuleContext, Rule, register
-from repro.analysis.rules._ast_util import attr_access, call_name, guarded_by
+from repro.analysis.rules._ast_util import (attr_access, call_name,
+                                            function_contexts, guarded_by)
 
 
 @register
@@ -59,3 +69,50 @@ class UnguardedObsCall(Rule):
                     f"{config.OBS_CORE_MODULE}.enabled":
                 return True
         return False
+
+
+#: Call names that count as narrating onto the event bus.
+_EMIT_NAMES = frozenset({"_emit", "emit"})
+
+
+@register
+class SilentSchedulerTransition(Rule):
+    """OBS002: scheduler state transition without a bus event."""
+
+    id = "OBS002"
+    title = "scheduler state transition emits no bus event"
+    rationale = ("every ResilienceReport counter bump marks a scheduler "
+                 "state transition; a function that bumps a counter but "
+                 "never emits onto the event bus is a transition "
+                 "`repro top` and SweepWatch consumers silently miss")
+    scope = config.SCHED_TRANSITIONS
+
+    def check_module(self, ctx: ModuleContext):
+        for scope, nodes in function_contexts(ctx):
+            if not isinstance(scope, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                continue
+            transitions = [n for n in nodes if self._transition(n)]
+            if not transitions or any(self._emits(n) for n in nodes):
+                continue
+            for node in transitions:
+                counter = node.target.attr
+                yield ctx.finding(self, node,
+                                  f"report.{counter} bumped in "
+                                  f"{scope.name}() with no bus emit; "
+                                  "narrate the transition (self._emit(...)"
+                                  ") so live consumers see it")
+
+    @staticmethod
+    def _transition(node: ast.AST) -> bool:
+        """``<anything>.report.<counter> += ...``"""
+        return (isinstance(node, ast.AugAssign)
+                and isinstance(node.target, ast.Attribute)
+                and isinstance(node.target.value, ast.Attribute)
+                and node.target.value.attr == "report")
+
+    @staticmethod
+    def _emits(node: ast.AST) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _EMIT_NAMES)

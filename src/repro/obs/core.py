@@ -156,6 +156,32 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the power-of-two bins.
+
+        Returns the upper bound of the bin containing the ``q``-th
+        ranked observation, clamped to the exact ``min``/``max`` — so
+        p0/p100 are exact and interior quantiles are right to within a
+        factor of two, which is what a latency *order of magnitude*
+        report needs.
+        """
+        if not self.count:
+            return 0.0
+        q = min(max(q, 0.0), 1.0)
+        rank = q * self.count
+        cumulative = 0
+        value = float(self.max or 0)
+        for i, n in enumerate(self.bins):
+            cumulative += n
+            if n and cumulative >= rank:
+                value = float(1 if i == 0 else (1 << i) - 1)
+                break
+        if self.max is not None:
+            value = min(value, float(self.max))
+        if self.min is not None:
+            value = max(value, float(self.min))
+        return value
+
     def nonzero_bins(self) -> list[tuple[int, int, int]]:
         """``(lo, hi, count)`` for each populated bin (hi exclusive)."""
         out = []

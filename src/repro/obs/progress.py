@@ -27,20 +27,38 @@ import threading
 import time
 
 from repro.common import env
+from repro.common.errors import ConfigError
 from repro.obs import core
 
 #: Minimum seconds between heartbeat lines (float; 0 = every update).
 HEARTBEAT_ENV_VAR = "REPRO_OBS_HEARTBEAT"
 
+#: Rotate ``heartbeat.log`` once it exceeds this many bytes.
+HEARTBEAT_MAX_BYTES_ENV_VAR = "REPRO_OBS_HEARTBEAT_MAX_BYTES"
+
+#: Default rotation cap: one long sweep's worth of lines, bounded.
+DEFAULT_HEARTBEAT_MAX_BYTES = 1 << 20
+
 
 def heartbeat_interval() -> float:
-    """The configured minimum interval between heartbeat lines."""
+    """The configured minimum interval between heartbeat lines.
+
+    Raises :class:`~repro.common.errors.ConfigError` on a malformed
+    value — library code never exits the process; the CLI boundary
+    (``repro.__main__``) turns it into a usage message and exit code.
+    """
     raw = env.raw(HEARTBEAT_ENV_VAR, "") or ""
     try:
         return max(0.0, float(raw)) if raw else 0.0
     except ValueError:
-        raise SystemExit(f"{HEARTBEAT_ENV_VAR} must be a number, "
-                         f"got {raw!r}") from None
+        raise ConfigError(f"{HEARTBEAT_ENV_VAR} must be a number, "
+                          f"got {raw!r}") from None
+
+
+def heartbeat_max_bytes() -> int:
+    """The ``heartbeat.log`` rotation threshold in bytes (min 4 KiB)."""
+    return max(env.integer(HEARTBEAT_MAX_BYTES_ENV_VAR,
+                           DEFAULT_HEARTBEAT_MAX_BYTES), 4096)
 
 
 class Heartbeat:
@@ -61,8 +79,15 @@ class Heartbeat:
 
     def update(self, done: int, *, cache_hits: int = 0,
                cache_misses: int = 0, retries: int = 0,
-               faults: int = 0) -> str | None:
-        """Emit one heartbeat line; returns it, or None when throttled."""
+               faults: int = 0, queue_depth: int | None = None,
+               steals: int | None = None,
+               hedges: int | None = None) -> str | None:
+        """Emit one heartbeat line; returns it, or None when throttled.
+
+        ``queue_depth`` / ``steals`` / ``hedges`` come from the sweep
+        scheduler's live counters; serial runs (no scheduler) omit them
+        and the line keeps its classic shape.
+        """
         now = self.clock()
         final = done >= self.total
         if (not final and self._last_emit is not None
@@ -74,9 +99,14 @@ class Heartbeat:
             eta = f"{elapsed / done * (self.total - done):.0f}s"
         else:
             eta = "done" if final else "?"
+        sched = ""
+        if queue_depth is not None or steals is not None \
+                or hedges is not None:
+            sched = (f" | q {queue_depth or 0} | steals {steals or 0}"
+                     f" | hedges {hedges or 0}")
         line = (f"[obs] {self.label} {done}/{self.total} pairs"
                 f" | cache {cache_hits}h/{cache_misses}m"
-                f" | retries {retries} | faults {faults}"
+                f" | retries {retries} | faults {faults}{sched}"
                 f" | elapsed {elapsed:.0f}s | eta {eta}")
         print(line, file=self.stream, flush=True)
         self._log(line)
@@ -88,12 +118,29 @@ class Heartbeat:
             if not core.ENABLED:
                 return
             directory = core.ensure_out_dir()
+        path = os.path.join(str(directory), "heartbeat.log")
         try:
-            with open(os.path.join(str(directory), "heartbeat.log"),
-                      "a") as fh:
+            self._rotate(path)
+            with open(path, "a") as fh:
                 fh.write(line + "\n")
         except OSError:
             pass        # telemetry must never take a sweep down
+
+    @staticmethod
+    def _rotate(path: str) -> None:
+        """Size-capped rotation: keep one previous generation.
+
+        ``heartbeat.log`` used to grow unbounded across long sweeps; now
+        a log past ``REPRO_OBS_HEARTBEAT_MAX_BYTES`` is renamed to
+        ``heartbeat.log.1`` (clobbering the one before it) so the pair
+        is bounded at twice the cap.
+        """
+        try:
+            if os.path.getsize(path) < heartbeat_max_bytes():
+                return
+        except OSError:
+            return      # missing file: nothing to rotate
+        os.replace(path, path + ".1")
 
 
 class Pulse:

@@ -91,6 +91,8 @@ def histogram_sections(registry: Registry) -> str:
         "avc.miss_permille": "AVC per-run miss rate (permille)",
         "fault.latency_cycles": "Fault-service latency (engine stall "
                                 "cycles per fault)",
+        "sweep.hang_detection_ms": "Hang-detection latency (ms from "
+                                   "dispatch to supervisor kill)",
     }
     blocks = []
     for key in sorted(registry.histograms):
@@ -124,6 +126,23 @@ def span_summary(events: list[dict]) -> str:
                         title="Span summary (per-process wall time)")
 
 
+def hang_detection_summary(registry: Registry) -> str | None:
+    """p50/p99 of supervisor hang-detection latency, when recorded.
+
+    The scheduler observes ``sweep.hang_detection_ms`` per stale-beat /
+    deadline kill (PR 8's ``detection_latencies``, surfaced as an obs
+    histogram); the power-of-two bins give order-of-magnitude quantiles,
+    clamped to the exact min/max.
+    """
+    hist = registry.histograms.get("sweep.hang_detection_ms")
+    if hist is None or not hist.count:
+        return None
+    return (f"Hang detection: {hist.count} kills | "
+            f"p50 {hist.quantile(0.5):.0f}ms | "
+            f"p99 {hist.quantile(0.99):.0f}ms | "
+            f"max {hist.max}ms")
+
+
 def counters_table(registry: Registry) -> str:
     """All counters, sorted by name."""
     if not registry.counters:
@@ -145,6 +164,9 @@ def render_report(directory: Path | str) -> str:
         span_summary(events),
         counters_table(registry),
     ]
+    hang = hang_detection_summary(registry)
+    if hang is not None:
+        sections.append(hang)
     heartbeat = directory / "heartbeat.log"
     if heartbeat.exists():
         lines = heartbeat.read_text().splitlines()

@@ -29,6 +29,7 @@ Two export formats, both written by :func:`repro.obs.flush`:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import threading
@@ -40,6 +41,23 @@ from repro.obs import core
 
 #: Chrome trace event keys required for a Perfetto-loadable stream.
 REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+#: Flow-event phases (``s`` start, ``t`` step, ``f`` finish) linking
+#: spans across processes; matched by (cat, name, id) in Perfetto.
+FLOW_PHASES = ("s", "t", "f")
+
+
+def flow_id(token: str) -> int:
+    """A deterministic flow-event id derived from a content token.
+
+    The scheduler and the worker compute the same id from the same
+    dispatch token (``key#a<attempt>``) without any coordination, so the
+    parent-side flow start and the worker-side flow finish pair up in
+    the merged trace.  Never builtin ``hash()``, which is salted per
+    process.
+    """
+    digest = hashlib.sha256(token.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 class _Span:
@@ -113,6 +131,51 @@ class TraceCollector:
             "args": args,
         })
 
+    def complete(self, name: str, cat: str, start: float, end: float,
+                 **args) -> None:
+        """Record one complete span from explicitly captured timestamps.
+
+        For spans whose endpoints are not lexically nested — the
+        scheduler's queue-wait and task-run spans start at one loop
+        iteration and end many iterations later — ``start``/``end`` are
+        :func:`now` values captured at the transition points.
+        """
+        args = dict(args)
+        args["depth"] = len(self._stack)
+        self.events.append({
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": round((start - self.epoch) * 1e6, 1),
+            "dur": round(max(end - start, 0.0) * 1e6, 1),
+            "pid": self.pid,
+            "tid": 1,
+            "args": args,
+        })
+
+    def flow(self, phase: str, name: str, cat: str, fid: int,
+             ts: float | None = None) -> None:
+        """Record one flow event (``s``/``t``/``f``) with id ``fid``.
+
+        Perfetto draws an arrow between the slices enclosing a flow
+        start and its finish when (cat, name, id) match — this is how
+        the scheduler's dispatch span links to the worker's task span
+        in the stitched cross-process trace.
+        """
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": phase,
+            "id": fid,
+            "ts": round(((self._clock() if ts is None else ts)
+                         - self.epoch) * 1e6, 1),
+            "pid": self.pid,
+            "tid": 1,
+        }
+        if phase == "f":
+            event["bp"] = "e"       # bind to the enclosing slice
+        self.events.append(event)
+
     def drain(self) -> list[dict]:
         """Take (and clear) the collected events."""
         events, self.events = self.events, []
@@ -140,6 +203,27 @@ def instant(name: str, cat: str = "run", **args) -> None:
     """An instant event on the global collector (no-op when disabled)."""
     if core.ENABLED:
         COLLECTOR.instant(name, cat, **args)
+
+
+def now() -> float:
+    """The collector's clock, for :func:`complete` endpoints
+    (``0.0`` when disabled, so disabled callers store a constant)."""
+    if not core.ENABLED:
+        return 0.0
+    return COLLECTOR._clock()
+
+
+def complete(name: str, cat: str, start: float, end: float, **args) -> None:
+    """A complete span on the global collector (no-op when disabled)."""
+    if core.ENABLED:
+        COLLECTOR.complete(name, cat, start, end, **args)
+
+
+def flow(phase: str, name: str, cat: str, fid: int,
+         ts: float | None = None) -> None:
+    """A flow event on the global collector (no-op when disabled)."""
+    if core.ENABLED:
+        COLLECTOR.flow(phase, name, cat, fid, ts)
 
 
 # -- export -----------------------------------------------------------------
@@ -205,10 +289,13 @@ def validate_chrome(payload: dict) -> list[str]:
             if key not in event:
                 problems.append(f"event {i}: missing key {key!r}")
         ph = event.get("ph")
-        if ph not in ("X", "B", "E", "i", "I", "M", "C"):
+        if ph not in ("X", "B", "E", "i", "I", "M", "C") \
+                and ph not in FLOW_PHASES:
             problems.append(f"event {i}: unknown phase {ph!r}")
         if ph == "X" and "dur" not in event:
             problems.append(f"event {i}: complete event without 'dur'")
+        if ph in FLOW_PHASES and "id" not in event:
+            problems.append(f"event {i}: flow event without 'id'")
         if not isinstance(event.get("ts", 0), (int, float)):
             problems.append(f"event {i}: non-numeric 'ts'")
     return problems

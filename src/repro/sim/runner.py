@@ -149,6 +149,9 @@ class ExperimentRunner:
     _batch_pair: tuple | None = field(default=None, init=False)
     _cache: ShardedCache | None = field(default=None, init=False)
     _cache_swept: bool = field(default=False, init=False)
+    #: The running SweepService during a parallel tier, for the live
+    #: heartbeat's queue-depth/steal/hedge columns; None while serial.
+    _active_service: object = field(default=None, init=False)
 
     #: Backoff sleep; class-level so tests can stub it without touching
     #: the picklable constructor spec.
@@ -481,6 +484,7 @@ class ExperimentRunner:
             if ckpt is not None:
                 ckpt.record(pair[0], pair[1], entries)
             if heartbeat is not None:
+                service = self._active_service
                 heartbeat.update(
                     len(completed),
                     cache_hits=self.resilience.cache_hits,
@@ -488,7 +492,13 @@ class ExperimentRunner:
                     retries=self.resilience.retries,
                     faults=sum(m.get("faults", 0)
                                for done in completed.values()
-                               for _name, m in done))
+                               for _name, m in done),
+                    queue_depth=(service.queue_depth()
+                                 if service is not None else None),
+                    steals=(self.resilience.steals
+                            if service is not None else None),
+                    hedges=(self.resilience.hedges
+                            if service is not None else None))
             faults.maybe_raise("sweep_abort")
 
         pending = [pair for pair in pairs if pair not in completed]
@@ -679,7 +689,7 @@ class ExperimentRunner:
                  for pair in pending]
         configs = self.configs()
         selected = {name: configs[name] for name in names}
-        SweepService(
+        service = SweepService(
             tasks=tasks,
             runner_spec=self._spec(),
             report=self.resilience,
@@ -695,7 +705,12 @@ class ExperimentRunner:
             pair_timeout=self.pair_timeout,
             max_pool_rebuilds=self.max_pool_rebuilds,
             sleep=self._sleep,
-        ).run()
+        )
+        self._active_service = service
+        try:
+            service.run()
+        finally:
+            self._active_service = None
 
 
     # -- generated scenarios (repro/gen) --------------------------------------

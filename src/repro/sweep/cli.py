@@ -115,6 +115,18 @@ def run_probe_sweep(count: int, workers: int, *, spin: int = 200,
         entries, _report = _execute_probe({}, task.payload)
         return entries
 
+    def absorb(payload: dict) -> list:
+        # Fold the worker's shipped observations (its task span and the
+        # flow finish) into the parent collector, so the flushed trace
+        # stitches the scheduler's dispatch spans to the workers'.
+        from repro.obs import core as obs_core
+        from repro.obs import trace as obs_trace
+        shipped = payload.get("obs")
+        if shipped:
+            obs_core.REGISTRY.merge(shipped.get("registry") or {})
+            obs_trace.COLLECTOR.absorb(shipped.get("events") or [])
+        return payload["entries"]
+
     service = SweepService(
         tasks=[TaskSpec(key=f"probe/{seed}", kind="probe",
                         payload=dict(seed=seed, spin=spin),
@@ -125,7 +137,7 @@ def run_probe_sweep(count: int, workers: int, *, spin: int = 200,
         on_done=on_done,
         serial_fn=serial,
         on_violation=lambda task, exc: None,    # probes cannot violate
-        absorb=lambda payload: payload["entries"],
+        absorb=absorb,
         workers=workers,
         pair_timeout=pair_timeout,
     )

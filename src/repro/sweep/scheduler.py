@@ -63,6 +63,9 @@ from dataclasses import dataclass, field
 
 from repro.common import env, faults
 from repro.common.errors import PageFault, ProtectionFault, TransientError
+from repro.obs import bus as obs_bus
+from repro.obs import core as obs_core
+from repro.obs import trace as obs_trace
 from repro.sim.resilience import ResilienceReport, RetryPolicy
 from repro.sweep.tasks import TaskSpec, _sweep_worker_main
 
@@ -102,6 +105,8 @@ class _Worker:
     spawned: float = 0.0             # process start time (boot grace)
     deadline: float | None = None    # wall-clock budget expiry
     dead: bool = False
+    attempt: int = 0                 # dispatch seq of the in-flight task
+    trace_started: float = 0.0       # dispatch time on the trace clock
 
     @property
     def idle(self) -> bool:
@@ -163,6 +168,32 @@ class SweepService:
         self.detection_latencies: list[float] = []
         self._ctx = multiprocessing.get_context("fork")
         self._mp_pool_rebuilds = 0
+        # The streaming telemetry bus (obs/bus.py).  Content-derived
+        # run id, so re-running the same task set is attributable; the
+        # bus is the NULL_BUS unless observability is on, making every
+        # _emit below one no-op method call in production sweeps.
+        self.run_id = hashlib.sha256(
+            "\n".join(sorted(self.by_key)).encode()).hexdigest()[:12]
+        self.bus = obs_bus.sweep_bus(self.run_id)
+        self._bus_on = self.bus is not obs_bus.NULL_BUS
+        self._stolen: set[str] = set()
+        self._queued_at: dict[str, float] = {}
+        self._tick_every = max(self.heartbeat, 0.25)
+        self._last_tick = 0.0
+
+    # -- telemetry ------------------------------------------------------------
+
+    def _emit(self, kind: str, **fields) -> None:
+        """Narrate one lifecycle transition onto the event bus."""
+        self.bus.emit(kind, **fields)
+
+    def queue_depth(self) -> int:
+        """Tasks waiting in the backlog plus the per-worker deques
+        (live consumers: the heartbeat line and ``repro top``)."""
+        backlog = len(getattr(self, "backlog", ()))
+        deques = getattr(self, "deques", None)
+        queued = sum(len(d) for d in deques) if deques else 0
+        return backlog + queued
 
     # -- public entry ---------------------------------------------------------
 
@@ -171,9 +202,16 @@ class SweepService:
         (plus ``KeyboardInterrupt``).  On normal return every task is
         done, violated, or finished by the serial tier."""
         nslots = max(1, min(self.workers, len(self.tasks)))
-        if nslots > 1 and len(self.tasks) > 1:
-            self._run_supervised(nslots)
-        self._run_serial_tier()
+        self._emit("sweep-begin", tasks=len(self.tasks),
+                   workers=self.workers, slots=nslots)
+        try:
+            if nslots > 1 and len(self.tasks) > 1:
+                self._run_supervised(nslots)
+            self._run_serial_tier()
+            self._emit("sweep-end", done=len(self.done),
+                       shelved=len(self.shelved))
+        finally:
+            self.bus.close()
 
     # -- supervised (parallel) tier -------------------------------------------
 
@@ -248,7 +286,9 @@ class SweepService:
                 # sees fresh beats (no spurious kills) and drains
                 # everything that completed meanwhile.
                 self.report.scheduler_stalls += 1
+                self._emit("stalled", grace=self.grace)
                 self.sleep(self.grace)
+            self._tick()
             self._admit()
             healthy = self._healthy_slots()
             if not healthy:
@@ -263,6 +303,23 @@ class SweepService:
                 break
             if not progressed:
                 self.sleep(tick)
+
+    def _tick(self) -> None:
+        """Rate-limited scheduler snapshot for live dashboards.
+
+        Gated on the bus being real so a production (unobserved) sweep
+        never pays the resident-count scan.
+        """
+        if not self._bus_on:
+            return
+        now = time.monotonic()
+        if now - self._last_tick < self._tick_every:
+            return
+        self._last_tick = now
+        self._emit("tick", resident=self._resident(),
+                   backlog=len(self.backlog), done=len(self.done),
+                   idle=sum(1 for w in self.slots if w.idle),
+                   dead=sum(1 for w in self.slots if w.dead))
 
     # -- admission ------------------------------------------------------------
 
@@ -291,13 +348,16 @@ class SweepService:
             self._admit_progress = now
         elif now - self._admit_progress > self.admit_timeout:
             while self.backlog:
-                self.shelved.add(self.backlog.popleft().key)
+                key = self.backlog.popleft().key
+                self.shelved.add(key)
+                self._emit("shelved", key=key, reason="admit-timeout")
 
     def _enqueue(self, key: str, *, front: bool = False) -> None:
         """Queue one task key on its (healthy) affinity slot's deque."""
         healthy = self._healthy_slots()
         if not healthy:
             self.shelved.add(key)
+            self._emit("shelved", key=key, reason="no-healthy-domain")
             return
         task = self.by_key[key]
         home = self._stable_worker(task, healthy)
@@ -305,6 +365,10 @@ class SweepService:
             self.deques[home.slot].appendleft(key)
         else:
             self.deques[home.slot].append(key)
+        if obs_core.ENABLED:
+            self._queued_at[key] = obs_trace.now()
+        self._emit("admitted", key=key, slot=home.slot,
+                   shard=task.shard or task.key)
 
     def _stable_worker(self, task: TaskSpec, healthy: list) -> _Worker:
         index = _stable_slot(task.shard or task.key, len(healthy))
@@ -332,7 +396,12 @@ class SweepService:
         worker.started = time.monotonic()
         worker.deadline = (worker.started + self.pair_timeout
                            if self.pair_timeout is not None else None)
+        worker.attempt = attempt
+        worker.trace_started = obs_trace.now() if obs_core.ENABLED else 0.0
         self.inflight.setdefault(key, set()).add(worker.slot)
+        self._emit("started", key=key, slot=worker.slot, attempt=attempt,
+                   stolen=key in self._stolen)
+        self._stolen.discard(key)
 
     def _next_key(self, worker: _Worker) -> str | None:
         """The worker's next task: own deque first, then steal."""
@@ -348,6 +417,10 @@ class SweepService:
             if key in self.done or key in self.shelved:
                 continue
             self.report.steals += 1
+            self._stolen.add(key)
+            self._emit("stolen", key=key, slot=worker.slot)
+            obs_trace.instant("steal", cat="sched", key=key,
+                              slot=worker.slot)
             if faults.should_fire("steal_race"):
                 # Chaos: the steal "raced" and left a duplicate behind —
                 # two workers will run this task; completion-side dedup
@@ -373,6 +446,13 @@ class SweepService:
                     break
                 progressed = True
                 self._complete(worker, payload)
+                # Hedge checks are event-driven, not just polled: a
+                # completion is exactly when a twin slot frees up while
+                # another worker may still be mid-straggle.  Checking
+                # here closes the race where the supervisor sleeps
+                # through near-simultaneous finishes and never observes
+                # the busy/idle split the hedge needs.
+                self._maybe_hedge()
         return progressed
 
     def _complete(self, worker: _Worker, payload: dict) -> None:
@@ -392,14 +472,19 @@ class SweepService:
             # payload *wholesale* — entries, counters, and obs events —
             # so nothing is ever double-counted.
             self.report.duplicate_results += 1
+            self._emit("duplicate", key=key, slot=worker.slot)
             return
         error = payload.get("error")
         if isinstance(error, (PageFault, ProtectionFault)):
             self.done.add(key)
             self.attempts.pop(key, None)
+            self._emit("quarantined", key=key, slot=worker.slot,
+                       error=type(error).__name__)
             self.on_violation(self.by_key[key], error)
             return
         if error is not None:
+            self._emit("failed", key=key, slot=worker.slot,
+                       error=type(error).__name__)
             self._task_failed(key, transient=isinstance(error,
                                                         TransientError))
             return
@@ -407,8 +492,34 @@ class SweepService:
             self.durations.append(duration)
         self.done.add(key)
         self.hedged.discard(key)
+        if obs_core.ENABLED:
+            self._stitch(worker, key, payload.get("attempt"), duration)
         entries = self.absorb(payload)
+        self._emit("completed", key=key, slot=worker.slot,
+                   attempt=payload.get("attempt"),
+                   duration=round(duration, 4) if duration else None)
         self.on_done(self.by_key[key], entries)
+
+    def _stitch(self, worker: _Worker, key: str, attempt,
+                duration: float | None) -> None:
+        """Emit the scheduler-side half of the stitched cross-worker
+        trace: queue-time and dispatch spans on the parent track, plus
+        the flow *start* whose matching finish the worker recorded
+        inside its ``task`` span — Perfetto draws the arrow between
+        them, so one trace shows where sweep wall-clock actually went.
+        """
+        end = obs_trace.now()
+        queued_at = self._queued_at.pop(key, None)
+        started = worker.trace_started
+        if not started or duration is None:
+            return      # completion raced a kill/requeue; no clean span
+        if queued_at is not None and queued_at <= started:
+            obs_trace.complete("task-queued", "sched", queued_at, started,
+                               key=key, slot=worker.slot)
+        obs_trace.complete("task-run", "sched", started, end, key=key,
+                           slot=worker.slot, attempt=attempt)
+        obs_trace.flow("s", "task-flow", "sched",
+                       obs_trace.flow_id(f"{key}#a{attempt}"), ts=started)
 
     def _task_failed(self, key: str, *, transient: bool) -> None:
         """One attempt failed; retry with backoff or shelve for serial."""
@@ -426,9 +537,11 @@ class SweepService:
                 delay = self.retry.delay(attempt, tag=key)
                 if delay > 0:
                     self.sleep(delay)
+            self._emit("retried", key=key, attempt=attempt)
             self._enqueue(key)
         else:
             self.shelved.add(key)
+            self._emit("shelved", key=key, reason="retries-exhausted")
 
     # -- liveness and domains -------------------------------------------------
 
@@ -462,10 +575,16 @@ class SweepService:
             if not alive:
                 self._worker_died(worker, hung=False)
             elif hung or timed_out:
-                self.detection_latencies.append(now - worker.started)
+                latency = now - worker.started
+                self.detection_latencies.append(latency)
+                if obs_core.ENABLED:
+                    obs_core.histogram("sweep.hang_detection_ms").observe(
+                        int(latency * 1000))
                 self.report.pair_timeouts += 1
                 if hung:
                     self.report.hung_workers += 1
+                self._emit("beat-stale", key=worker.busy, slot=worker.slot,
+                           hung=hung, latency=round(latency, 3))
                 self._worker_died(worker, hung=True)
 
     def _worker_died(self, worker: _Worker, *, hung: bool) -> None:
@@ -479,6 +598,7 @@ class SweepService:
         if process is not None and process.is_alive():
             process.kill()
             process.join(timeout=5.0)
+        self._emit("killed", key=key, slot=worker.slot, hung=hung)
         self._discard_queues(worker)
         if key is not None:
             holders = self.inflight.get(key)
@@ -490,9 +610,12 @@ class SweepService:
                 attempt = self.attempts.get(key, 0) + 1
                 self.attempts[key] = attempt
                 if attempt < self.retry.max_attempts:
+                    self._emit("retried", key=key, attempt=attempt)
                     self._enqueue(key, front=True)
                 else:
                     self.shelved.add(key)
+                    self._emit("shelved", key=key,
+                               reason="retries-exhausted")
         self._heal_domain(self._domain(worker.slot))
 
     def _discard_queues(self, worker: _Worker) -> None:
@@ -526,6 +649,9 @@ class SweepService:
         if self.domain_rebuilds[domain] < self.max_pool_rebuilds:
             self.domain_rebuilds[domain] += 1
             self.report.pool_rebuilds += 1
+            self._emit("domain-rebuilt", domain=domain,
+                       rebuilds=self.domain_rebuilds[domain],
+                       slots=[w.slot for w in dead])
             for worker in dead:
                 self._spawn(worker)
             return
@@ -533,6 +659,7 @@ class SweepService:
         # healthy-domain slots are dispatched to), though tasks already
         # in flight on them are left to finish — their results count.
         self.domain_dead[domain] = True
+        self._emit("domain-fenced", domain=domain)
         orphaned = []
         for worker in members:
             orphaned.extend(self.deques[worker.slot])
@@ -576,6 +703,9 @@ class SweepService:
                 return
             self.hedged.add(key)
             self.report.hedges += 1
+            self._emit("hedged", key=key, slot=twin.slot, forced=forced)
+            obs_trace.instant("hedge", cat="sched", key=key,
+                              slot=twin.slot)
             task = self.by_key[key]
             self.seq[key] = self.seq.get(key, 0) + 1
             try:
@@ -588,6 +718,9 @@ class SweepService:
             twin.started = now
             twin.deadline = (now + self.pair_timeout
                              if self.pair_timeout is not None else None)
+            twin.attempt = self.seq[key]
+            twin.trace_started = (obs_trace.now() if obs_core.ENABLED
+                                  else 0.0)
             self.inflight.setdefault(key, set()).add(twin.slot)
 
     # -- loop bookkeeping ------------------------------------------------------
@@ -640,11 +773,16 @@ class SweepService:
             if task.key in self.done:
                 continue
             self.report.serial_degradations += 1
+            self._emit("serial", key=task.key)
             try:
                 entries = self.serial_fn(task)
             except (PageFault, ProtectionFault) as exc:
                 self.done.add(task.key)
+                self._emit("quarantined", key=task.key, slot=None,
+                           error=type(exc).__name__)
                 self.on_violation(task, exc)
                 continue
             self.done.add(task.key)
+            self._emit("completed", key=task.key, slot=None,
+                       attempt=None, duration=None, tier="serial")
             self.on_done(task, entries)

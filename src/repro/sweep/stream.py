@@ -1,0 +1,176 @@
+"""Partial sweep results while the sweep is still running.
+
+ROADMAP item 5 asks for a streaming results API so downstream consumers
+— figure renderers, dashboards, the fuzz matrix — can act on completed
+pairs *during* a multi-minute sweep instead of waiting for the final
+merge.  :class:`SweepWatch` is that API.  It owns no state of its own;
+it tails the two crash-consistent streams the sweep already writes:
+
+* the **event bus** (:mod:`repro.obs.bus`) for lifecycle transitions —
+  ``iter_events()`` yields every validated bus record as it lands;
+* the **journal** (:mod:`repro.sweep.journal`) for completed results —
+  ``iter_results()`` yields ``(task key, entries)`` as each durable
+  journal record appears, applying the journal's own validation rules
+  incrementally: self-digest per line, header ``sweep_key`` hygiene,
+  zombie-generation drop, and the torn-tail rule (an unterminated final
+  line is "still being written", never yielded).
+
+Both iterators are pure readers over append-only files, so a consumer
+can run in a different process — or on a different machine over a
+shared filesystem — with no coordination with the sweep.  A consumer
+rendering partial Figure 8 rows is four lines::
+
+    watch = SweepWatch(journal_path=out / "sweep.journal",
+                       sweep_key=key)
+    for task_key, entries in watch.iter_results():
+        workload, dataset = task_key.split("/", 1)
+        figure.update_row(workload, dataset, entries)
+
+Polling is bounded (``poll`` seconds per probe, ``timeout``/``stop``
+to end the watch), never blocking-forever: the sweep owns completion,
+the watcher merely observes it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.obs import bus as obs_bus
+from repro.sweep import journal as journal_mod
+
+
+class SweepWatch:
+    """Tail a running sweep's bus and journal for live consumption.
+
+    ``bus_path`` defaults to the configured bus stream
+    (:func:`repro.obs.bus.bus_path`); ``journal_path`` has no default —
+    results can only be watched where the sweep journals.  ``run_id``
+    filters bus events to one sweep when several share a stream file;
+    ``sweep_key`` enforces the journal-header hygiene the journal's own
+    ``load()`` applies (a journal written for a different sweep yields
+    nothing rather than mixing results).
+    """
+
+    def __init__(self, bus_path: str | os.PathLike | None = None,
+                 journal_path: str | os.PathLike | None = None, *,
+                 run_id: str | None = None, sweep_key: str | None = None,
+                 poll: float = 0.2, sleep=time.sleep,
+                 clock=time.monotonic):
+        if bus_path is None:
+            bus_path = obs_bus.bus_path()
+        self.bus_path = Path(bus_path) if bus_path is not None else None
+        self.journal_path = (Path(journal_path)
+                             if journal_path is not None else None)
+        self.run_id = run_id
+        self.sweep_key = sweep_key
+        self.poll = poll
+        self._sleep = sleep
+        self._clock = clock
+
+    # -- events ---------------------------------------------------------------
+
+    def iter_events(self, *, follow: bool = True,
+                    timeout: float | None = None, stop=None):
+        """Yield validated bus records as the scheduler appends them.
+
+        Torn or corrupt lines are skipped and an unterminated tail is
+        never yielded (see :func:`repro.obs.bus.tail_events`).  With
+        ``follow`` the iterator polls until ``stop()`` returns true or
+        ``timeout`` seconds elapse; ``follow=False`` drains what exists
+        and returns.
+        """
+        if self.bus_path is None:
+            return
+        yield from obs_bus.tail_events(
+            self.bus_path, run_id=self.run_id, follow=follow,
+            poll=self.poll, stop=stop, timeout=timeout,
+            sleep=self._sleep, clock=self._clock)
+
+    # -- results --------------------------------------------------------------
+
+    def iter_results(self, *, follow: bool = True,
+                     timeout: float | None = None, stop=None):
+        """Yield ``(task key, entries)`` per durable journal record.
+
+        Incremental replay of the journal with the same trust rules as
+        :meth:`repro.sweep.journal.SweepJournal.load`: every line must
+        self-validate, the header must name this watch's ``sweep_key``
+        (when one is set), zombie-generation records are dropped, and a
+        torn tail is treated as not-yet-written.  Each key is yielded at
+        most once — a re-journaled key after a torn-tail repair is a
+        recompute of the same result, not news.
+
+        The iterator ends when the journal disappears after having been
+        seen (the sweep merged and called ``complete()``), when
+        ``stop()`` returns true, or when ``timeout`` elapses.
+        """
+        if self.journal_path is None:
+            return
+        path = self.journal_path
+        offset = 0
+        buffer = b""
+        seen_file = False
+        seen_header = False
+        header_ok = self.sweep_key is None
+        high_gen = 0
+        yielded: set[str] = set()
+        deadline = (self._clock() + timeout
+                    if timeout is not None else None)
+        while True:
+            chunk = b""
+            if path.exists():
+                seen_file = True
+                try:
+                    with open(path, "rb") as handle:
+                        handle.seek(0, os.SEEK_END)
+                        size = handle.tell()
+                        if size < offset:
+                            # Torn-tail truncation by the writer: replay
+                            # from the top (``yielded`` dedups).
+                            offset = 0
+                            buffer = b""
+                            seen_header = False
+                            header_ok = self.sweep_key is None
+                            high_gen = 0
+                        handle.seek(offset)
+                        chunk = handle.read()
+                        offset += len(chunk)
+                except OSError:
+                    chunk = b""
+            elif seen_file:
+                return      # journal merged and removed: sweep complete
+            if chunk:
+                buffer += chunk
+                *lines, buffer = buffer.split(b"\n")
+                for line in lines:
+                    if not line:
+                        continue
+                    record = journal_mod._open_record(line)
+                    if record is None:
+                        continue
+                    if not seen_header:
+                        seen_header = True
+                        if record.get("kind") == "sweep-journal":
+                            header_ok = (
+                                self.sweep_key is None
+                                or record.get("sweep_key") == self.sweep_key)
+                            high_gen = record.get("gen", 0) or 0
+                            continue
+                    if not header_ok:
+                        continue
+                    gen = record.get("gen", 0) or 0
+                    if gen < high_gen:
+                        continue        # fenced-off zombie writer
+                    high_gen = max(high_gen, gen)
+                    key = record.get("key")
+                    if key is None or key in yielded:
+                        continue
+                    yielded.add(key)
+                    yield key, record.get("entries")
+            if not follow or (stop is not None and stop()):
+                return
+            if deadline is not None and self._clock() >= deadline:
+                return
+            self._sleep(self.poll)

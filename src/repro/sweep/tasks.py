@@ -187,7 +187,15 @@ def _sweep_worker_main(slot: int, task_q, result_q, beats,
             faults.maybe_raise(
                 "worker_crash",
                 lambda: WorkerCrashError(f"injected worker crash on {key}"))
-            entries, report = EXECUTORS[kind](runner_spec, payload)
+            # The worker half of the stitched cross-process trace: the
+            # flow *finish* binds to this task span, and its id matches
+            # the flow start the scheduler emits for the same
+            # ``key#a<attempt>`` dispatch — Perfetto draws the arrow.
+            with obs_trace.span("task", cat="sched", key=key,
+                                attempt=attempt):
+                obs_trace.flow("f", "task-flow", "sched",
+                               obs_trace.flow_id(f"{key}#a{attempt}"))
+                entries, report = EXECUTORS[kind](runner_spec, payload)
             result["entries"] = entries
             result["report"] = report
         except (PageFault, ProtectionFault) as exc:

@@ -27,3 +27,17 @@ def supervise(task):
 
 def _noop(result_q, task):
     result_q.put(task)
+
+
+class _NarratedScheduler:
+    """OBS002 negative: every counter bump also emits onto the bus."""
+
+    def __init__(self, report, bus):
+        self.report = report
+        self.bus = bus
+
+    def _hedge(self, key, slot):
+        self.report.hedges += 1
+        self.bus.emit("hedged", key=key, slot=slot)
+        return key
+

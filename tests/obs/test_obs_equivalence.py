@@ -86,6 +86,39 @@ class TestBitIdentical:
         pids = {e["pid"] for e in obs.snapshot()["events"]}
         assert len(pids) >= 2
 
+    def test_parallel_sweep_bit_identical_with_bus(self, tmp_path,
+                                                   monkeypatch):
+        """The event bus is pure telemetry: a sweep narrated onto the
+        bus merges bit-identically to one with the bus vetoed."""
+        from repro.obs import bus as obs_bus
+
+        pairs = [("bfs", "FR"), ("pagerank", "FR")]
+
+        def parallel_metrics():
+            obs.reset()
+            runner = ExperimentRunner(profile="bench",
+                                      scale=HardwareScale.bench())
+            out = runner.run_pairs(pairs=pairs, workers=2)
+            return {"/".join(k): v.to_dict() for k, v in out.items()}
+
+        monkeypatch.setenv(core.OBS_ENV_VAR, "1")
+        monkeypatch.setenv(core.OBS_DIR_ENV_VAR, str(tmp_path))
+        monkeypatch.setenv(obs_bus.BUS_ENV_VAR, "0")      # vetoed
+        core.refresh_from_env()
+        vetoed = parallel_metrics()
+        assert not (tmp_path / obs_bus.BUS_FILENAME).exists()
+        monkeypatch.delenv(obs_bus.BUS_ENV_VAR)           # default: on
+        bus_on = parallel_metrics()
+        assert json.dumps(bus_on, sort_keys=True) \
+            == json.dumps(vetoed, sort_keys=True)
+        # The enabled run narrated the whole task lifecycle.
+        records = obs_bus.read_events(tmp_path / obs_bus.BUS_FILENAME)
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "sweep-begin" and kinds[-1] == "sweep-end"
+        for kind in ("admitted", "started", "completed"):
+            assert kind in kinds
+        assert len({r["run_id"] for r in records}) == 1
+
 
 class TestTelemetryOutputHygiene:
     def test_heartbeat_goes_to_stderr_not_stdout(self, obs_enabled, capsys):

@@ -6,7 +6,9 @@ import io
 
 import pytest
 
-from repro.obs.progress import Heartbeat, heartbeat_interval
+from repro.common.errors import ConfigError
+from repro.obs.progress import (Heartbeat, heartbeat_interval,
+                                heartbeat_max_bytes)
 
 
 class FakeClock:
@@ -56,11 +58,43 @@ class TestHeartbeat:
                        interval=0)
         assert hb.update(1) is not None
 
+    def test_scheduler_columns(self, tmp_path):
+        clock = FakeClock()
+        hb = Heartbeat(15, stream=io.StringIO(), clock=clock, interval=0,
+                       log_dir=tmp_path)
+        clock.now += 10
+        line = hb.update(5, cache_hits=42, cache_misses=7, retries=1,
+                         faults=3, queue_depth=9, steals=2, hedges=1)
+        assert line == ("[obs] sweep 5/15 pairs | cache 42h/7m | retries 1"
+                        " | faults 3 | q 9 | steals 2 | hedges 1"
+                        " | elapsed 10s | eta 20s")
+
+    def test_log_rotation(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_HEARTBEAT_MAX_BYTES", "4096")
+        hb = Heartbeat(10_000, stream=io.StringIO(), clock=FakeClock(),
+                       interval=0, log_dir=tmp_path)
+        log = tmp_path / "heartbeat.log"
+        for done in range(1, 200):
+            hb.update(done)
+        assert log.exists() and (tmp_path / "heartbeat.log.1").exists()
+        # Neither generation may exceed the cap by more than one line.
+        assert log.stat().st_size < 4096 + 256
+        assert (tmp_path / "heartbeat.log.1").stat().st_size < 4096 + 256
+
     def test_interval_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_OBS_HEARTBEAT", "2.5")
         assert heartbeat_interval() == 2.5
         monkeypatch.setenv("REPRO_OBS_HEARTBEAT", "junk")
-        with pytest.raises(SystemExit):
+        # Library code raises ConfigError (never SystemExit); the CLI
+        # boundary in repro.__main__ turns it into an exit code.
+        with pytest.raises(ConfigError):
             heartbeat_interval()
         monkeypatch.delenv("REPRO_OBS_HEARTBEAT")
         assert heartbeat_interval() == 0.0
+
+    def test_max_bytes_env(self, monkeypatch):
+        assert heartbeat_max_bytes() == 1 << 20
+        monkeypatch.setenv("REPRO_OBS_HEARTBEAT_MAX_BYTES", "65536")
+        assert heartbeat_max_bytes() == 65536
+        monkeypatch.setenv("REPRO_OBS_HEARTBEAT_MAX_BYTES", "1")
+        assert heartbeat_max_bytes() == 4096      # floor

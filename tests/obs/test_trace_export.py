@@ -64,6 +64,65 @@ class TestSpans:
         assert collector.events[0]["pid"] == 999
 
 
+class TestFlowEvents:
+    def test_flow_id_is_deterministic_and_process_safe(self):
+        fid = trace.flow_id("bfs/FR#a1")
+        assert isinstance(fid, int)
+        assert fid == trace.flow_id("bfs/FR#a1")
+        assert fid != trace.flow_id("bfs/FR#a2")
+
+    def test_flow_pair_links_scheduler_to_worker(self):
+        collector = TraceCollector(clock=FakeClock())
+        fid = trace.flow_id("k#a1")
+        start = collector._clock()
+        collector.flow("s", "task-flow", "sched", fid, ts=start)
+        with collector.span("task", cat="sched", key="k"):
+            collector.flow("f", "task-flow", "sched", fid)
+        events = collector.events
+        flows = [e for e in events if e["ph"] in trace.FLOW_PHASES]
+        assert [e["ph"] for e in flows] == ["s", "f"]
+        assert all(e["id"] == fid for e in flows)
+        assert all((e["cat"], e["name"]) == ("sched", "task-flow")
+                   for e in flows)
+        # Binding point "enclosing": the finish attaches to the slice
+        # it was emitted inside, not the next one.
+        assert "bp" not in flows[0]
+        assert flows[1]["bp"] == "e"
+
+    def test_complete_records_unnested_span(self):
+        collector = TraceCollector(clock=FakeClock())
+        start = collector._clock()
+        end = collector._clock()
+        collector.complete("task-queued", "sched", start, end, key="k")
+        (event,) = collector.events
+        assert event["ph"] == "X"
+        assert event["dur"] > 0
+        assert event["args"]["key"] == "k"
+
+    def test_validator_accepts_flows_and_wants_ids(self):
+        collector = TraceCollector(clock=FakeClock())
+        collector.flow("s", "task-flow", "sched", 42)
+        payload = chrome_trace(collector.drain(), run_id="f")
+        assert validate_chrome(payload) == []
+        bad = {"traceEvents": [{"name": "task-flow", "ph": "s", "ts": 0,
+                                "pid": 1, "tid": 1}]}
+        assert any("flow event without 'id'" in p
+                   for p in validate_chrome(bad))
+
+    def test_comparable_keeps_flow_identity(self):
+        collector = TraceCollector(clock=FakeClock())
+        collector.flow("s", "task-flow", "sched", 42)
+        (clean,) = comparable(collector.drain())
+        assert clean["id"] == 42 and "ts" not in clean
+
+    def test_module_flow_helpers_noop_when_disabled(self):
+        core.configure(enabled=False)
+        assert trace.now() == 0.0
+        trace.complete("task-run", "sched", 0.0, 0.0)
+        trace.flow("s", "task-flow", "sched", 1)
+        assert trace.COLLECTOR.events == []
+
+
 class TestChromeExport:
     def _events(self):
         collector = TraceCollector(clock=FakeClock())
@@ -104,6 +163,34 @@ class TestChromeExport:
         assert all("ts" not in e and "dur" not in e and "pid" not in e
                    for e in clean)
         assert [e["name"] for e in clean] == [e["name"] for e in events]
+
+
+class TestStitchedSweep:
+    """Tentpole: one Perfetto trace spanning scheduler and workers."""
+
+    def test_parallel_sweep_stitches_worker_spans(self, tmp_path,
+                                                  monkeypatch):
+        from repro import obs
+        from repro.sweep.cli import run_probe_sweep
+
+        # Workers re-read the obs switch from the environment, so the
+        # stitched trace needs env-level enablement, not configure().
+        monkeypatch.setenv(core.OBS_ENV_VAR, "1")
+        monkeypatch.setenv(core.OBS_DIR_ENV_VAR, str(tmp_path))
+        core.refresh_from_env()
+        obs.reset()
+        run_probe_sweep(24, workers=2)
+        events = trace.COLLECTOR.drain()
+        # Spans from the scheduler process AND shipped worker spans.
+        assert len({e["pid"] for e in events}) >= 2
+        names = {e["name"] for e in events}
+        assert {"task-queued", "task-run", "task"} <= names
+        # Every flow start (scheduler side) meets a flow finish
+        # (worker side) under the same deterministic id.
+        starts = {e["id"] for e in events if e["ph"] == "s"}
+        finishes = {e["id"] for e in events if e["ph"] == "f"}
+        assert starts and starts == finishes
+        assert validate_chrome(chrome_trace(events, run_id="s")) == []
 
 
 class TestExportDeterminism:
