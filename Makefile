@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos sweep-smoke fuzz-smoke fuzz-matrix bench bench-smoke bench-figures lint analyze analyze-baseline experiments examples clean
+.PHONY: install test chaos sweep-smoke fuzz-smoke fuzz-matrix bench bench-smoke bench-figures lint analyze analyze-sarif analyze-baseline experiments examples clean
 
 # Seed matrix for the chaos battery (comma-separated injector seeds).
 REPRO_CHAOS_SEEDS ?= 0,1,2,3
@@ -76,10 +76,18 @@ lint:
 	ruff check src tests benchmarks examples
 
 # Repo-specific invariants (dvmlint): determinism, fault-path protocol,
-# obs guards, env discipline, worker-state shipping.  See
-# docs/static-analysis.md.
+# obs guards, env discipline, worker-state shipping, plus the
+# whole-program families (DET1xx taint, RACE0xx fork-boundary state,
+# EXN0xx never-raise contracts).  Incremental by default via the
+# content-hash cache under build/; see docs/static-analysis.md.
 analyze:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis
+
+# SARIF 2.1.0 report for code-scanning upload (build/dvmlint.sarif).
+analyze-sarif:
+	mkdir -p build
+	PYTHONPATH=src $(PYTHON) -m repro.analysis --format sarif \
+		> build/dvmlint.sarif
 
 # Rewrite the checked-in baseline from current findings; the baseline
 # diff is the review artifact for intentionally grandfathered findings.
@@ -99,4 +107,4 @@ examples:
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
-	rm -rf .pytest_cache .hypothesis benchmarks/.benchmarks
+	rm -rf .pytest_cache .hypothesis benchmarks/.benchmarks build

@@ -1,0 +1,168 @@
+"""Content-hash incremental cache for analysis results.
+
+Repeat ``make analyze`` runs over an unchanged tree should be
+near-instant: every finding dvmlint produces is a pure function of
+
+* the file's bytes (module rules, suppressions),
+* every file's bytes (project rules see the whole tree),
+* the analyzer's own source (a rule edit must invalidate everything),
+* and the selected ruleset.
+
+So the cache keys per-file entries by content hash and the project-rule
+entry by a *tree fingerprint* over every file's hash, both salted with
+an engine fingerprint (a hash of the ``repro.analysis`` package source)
+and the ruleset signature.  Entries store post-suppression findings —
+the cache replays exactly what the rules produced, and the baseline is
+re-applied fresh (it's cheap and may change independently).
+
+The file is JSON under ``build/`` (swept by ``make clean``, excluded
+from discovery), written atomically (tmp + ``os.replace``); a corrupt
+or version-skewed cache is ignored and rebuilt, never trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.analysis import config
+from repro.analysis.core import Finding
+
+#: Cache format version; bump on schema changes.
+CACHE_VERSION = 3
+
+_FINDING_FIELDS = ("rule", "severity", "path", "line", "col", "message",
+                   "snippet")
+
+
+def file_sha(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()[:24]
+
+
+def engine_fingerprint() -> str:
+    """Hash of the analyzer's own source: any rule/engine edit
+    invalidates every cached result."""
+    package_dir = Path(__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(package_dir.rglob("*.py")):
+        digest.update(path.relative_to(package_dir).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:24]
+
+
+def ruleset_signature(rules) -> str:
+    """Hash of the selected rules and their effective severities."""
+    blob = json.dumps([(r.id, r.severity) for r in rules],
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+def tree_fingerprint(shas: dict[str, str], engine: str,
+                     ruleset: str) -> str:
+    """Fingerprint over every discovered file's content hash."""
+    blob = json.dumps([engine, ruleset, sorted(shas.items())],
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+def finding_to_entry(finding: Finding) -> dict:
+    return {name: getattr(finding, name) for name in _FINDING_FIELDS}
+
+
+def entry_to_finding(entry: dict) -> Finding:
+    return Finding(**{name: entry[name] for name in _FINDING_FIELDS})
+
+
+class Cache:
+    """One loaded cache file plus the write-back state for this run."""
+
+    def __init__(self, path: Path, engine: str, ruleset: str):
+        self.path = path
+        self.engine = engine
+        self.ruleset = ruleset
+        self.hits = 0
+        self.misses = 0
+        #: Sections for *other* rulesets, carried through save() so the
+        #: default run and a ``--select``-narrowed run (CI's relaxed
+        #: tests/ pass) don't clobber each other's entries.
+        self._others: dict = {}
+        self._old = self._load(path, engine, ruleset)
+        self._new: dict = {"files": {}, "project": None}
+
+    def _load(self, path: Path, engine: str, ruleset: str) -> dict:
+        empty = {"files": {}, "project": None}
+        try:
+            raw = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return empty
+        if not isinstance(raw, dict) \
+                or raw.get("version") != CACHE_VERSION \
+                or raw.get("engine") != engine \
+                or not isinstance(raw.get("caches"), dict):
+            return empty
+        self._others = {sig: section
+                        for sig, section in raw["caches"].items()
+                        if sig != ruleset and isinstance(section, dict)}
+        section = raw["caches"].get(ruleset)
+        if not isinstance(section, dict):
+            return empty
+        files = section.get("files")
+        return {"files": files if isinstance(files, dict) else {},
+                "project": section.get("project")}
+
+    # -- per-file entries --
+
+    def lookup_file(self, relpath: str, sha: str) -> dict | None:
+        """The cached entry for this exact content, or ``None``."""
+        entry = self._old["files"].get(relpath)
+        if isinstance(entry, dict) and entry.get("sha") == sha:
+            self.hits += 1
+            self._new["files"][relpath] = entry
+            return entry
+        self.misses += 1
+        return None
+
+    def store_file(self, relpath: str, sha: str, *, parsed: bool,
+                   findings, suppressed) -> None:
+        self._new["files"][relpath] = {
+            "sha": sha, "parsed": parsed,
+            "findings": [finding_to_entry(f) for f in findings],
+            "suppressed": [finding_to_entry(f) for f in suppressed],
+        }
+
+    # -- the project-rule entry --
+
+    def lookup_project(self, tree_fp: str) -> dict | None:
+        entry = self._old["project"]
+        if isinstance(entry, dict) and entry.get("tree") == tree_fp:
+            self._new["project"] = entry
+            return entry
+        return None
+
+    def store_project(self, tree_fp: str, findings, suppressed) -> None:
+        self._new["project"] = {
+            "tree": tree_fp,
+            "findings": [finding_to_entry(f) for f in findings],
+            "suppressed": [finding_to_entry(f) for f in suppressed],
+        }
+
+    def save(self) -> None:
+        caches = dict(self._others)
+        caches[self.ruleset] = {"files": self._new["files"],
+                                "project": self._new["project"]}
+        doc = {"version": CACHE_VERSION, "engine": self.engine,
+               "caches": caches}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(doc, sort_keys=True,
+                                  separators=(",", ":")) + "\n")
+        os.replace(tmp, self.path)
+
+
+def open_cache(root: Path, rules) -> Cache:
+    return Cache(root / config.CACHE_FILE, engine_fingerprint(),
+                 ruleset_signature(rules))

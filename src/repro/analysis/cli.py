@@ -8,8 +8,25 @@ from pathlib import Path
 
 from repro.analysis import config
 from repro.analysis.core import all_rules
-from repro.analysis.engine import run_analysis
+from repro.analysis.engine import restrict_to_paths, run_analysis
 from repro.analysis.reporters import FORMATS, RENDERERS
+
+
+def changed_paths(root: Path) -> set[str]:
+    """Repo-relative paths changed vs HEAD, plus untracked files."""
+    import subprocess
+    paths: set[str] = set()
+    for args in (("git", "diff", "--name-only", "HEAD"),
+                 ("git", "ls-files", "--others", "--exclude-standard")):
+        try:
+            out = subprocess.run(args, cwd=root, capture_output=True,
+                                 text=True, check=True).stdout
+        except (OSError, subprocess.CalledProcessError) as exc:
+            raise RuntimeError(
+                f"--changed needs a git checkout: {exc}") from exc
+        paths.update(line.strip() for line in out.splitlines()
+                     if line.strip())
+    return paths
 
 
 def _find_root(start: Path) -> Path:
@@ -55,6 +72,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "artifact for intentional new findings")
     parser.add_argument("--strict", action="store_true",
                         help="treat warnings as failures")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the incremental result cache "
+                             f"(<root>/{config.CACHE_FILE})")
+    parser.add_argument("--changed", action="store_true",
+                        help="report only findings in files changed vs "
+                             "git HEAD (plus untracked files); the "
+                             "analysis still runs over the full tree so "
+                             "whole-program rules stay sound")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
     return parser
@@ -89,8 +114,14 @@ def main(argv: list[str] | None = None) -> int:
             select=_split(args.select), ignore=_split(args.ignore),
             baseline_path=args.baseline,
             use_baseline=not args.no_baseline,
-            update_baseline=args.baseline_update)
+            update_baseline=args.baseline_update,
+            use_cache=not args.no_cache)
+        if args.changed:
+            restrict_to_paths(result, changed_paths(root))
     except FileNotFoundError as exc:
+        print(f"dvmlint: {exc}", file=sys.stderr)
+        return 2
+    except RuntimeError as exc:
         print(f"dvmlint: {exc}", file=sys.stderr)
         return 2
     RENDERERS[args.format](result, sys.stdout)

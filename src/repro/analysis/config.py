@@ -103,6 +103,92 @@ GEN_RNG_OWNER = "src/repro/gen/seeds.py"
 #: the reverse), or fuzz repros would drag sweeps/caches into the loop.
 GEN_FORBIDDEN_IMPORTS = ("repro.sim.runner", "repro.experiments")
 
+# -- whole-program analysis anchors (graph / contexts / dataflow) -----------
+
+#: Modules whose top-level functions and methods execute in the
+#: *scheduler parent* process: the supervised scheduler itself and the
+#: CLI entrypoints.  Context classification (:mod:`..contexts`) seeds
+#: parent reachability here.
+CONTEXT_PARENT_PATHS = (
+    "src/repro/sweep/scheduler.py",
+    "src/repro/__main__.py",
+)
+
+#: Attribute-call resolution hints for the call graph: a call through an
+#: attribute the AST cannot type (``self.bus.emit(...)``) resolves to
+#: these qualified functions when the receiver's name mentions the key's
+#: second element.  Targets that don't exist in the analyzed tree are
+#: ignored, so the hints are safe on partial trees (fixtures).
+ATTR_CALL_HINTS = {
+    ("emit", "bus"): ("repro.obs.bus.EventBus.emit",
+                      "repro.obs.bus._NullBus.emit"),
+    ("beat", "pulse"): ("repro.obs.progress.Pulse.beat",),
+}
+
+#: Taint sinks for the DET1xx interprocedural nondeterminism rules, by
+#: import-resolved dotted-call prefix.
+TAINT_SINK_PREFIXES = {
+    "repro.sweep.journal.": "journal",
+    "repro.sweep.tracestore.": "tracestore",
+    "hashlib.": "digest",
+}
+
+#: Taint sinks matched by (attribute name, receiver-name substring):
+#: ``journal.append(...)``, ``self.bus.emit(...)`` and friends, where
+#: the receiver's static type is unknown but its name states its role.
+TAINT_SINK_ATTRS = {
+    ("append", "journal"): "journal",
+    ("record", "journal"): "journal",
+    ("emit", "bus"): "bus-event",
+}
+
+#: Classes whose construction is a result sink (every argument becomes
+#: simulated output): nondeterminism must never reach their fields.
+TAINT_SINK_CLASSES = {
+    "repro.hw.iommu.TimingStats": "timing-stats",
+}
+
+#: Functions whose arguments become cache keys / content fingerprints
+#: (matched by bare-name substring).
+TAINT_KEY_FUNCTIONS = ("cache_key", "fingerprint", "content_token")
+
+#: The interprocedural taint rules inspect library code only; telemetry
+#: (``obs/``) carries wall timestamps by design, and the analyzer itself
+#: hashes file contents all day.
+TAINT_SCOPE_EXCLUDE = ("src/repro/obs/", "src/repro/analysis/")
+
+#: Module-level state the RACE0xx rules treat as sanctioned shared
+#: state: observability registries are shipped back per task and merged
+#: by the parent, ``common/`` owns the injector/env machinery that is
+#: deliberately re-keyed per task, and the journal/tracestore *are* the
+#: sanctioned durable protocols.
+RACE_SANCTIONED_PATHS = (
+    "src/repro/obs/",
+    "src/repro/common/",
+    "src/repro/sweep/journal.py",
+    "src/repro/sweep/tracestore.py",
+    "src/repro/analysis/",
+)
+
+#: Documented never-raise contracts, verified interprocedurally by the
+#: EXN0xx family: (rule id, module-dotted-prefix, method bare names).
+#: Prefix matching keeps ``scheduler_bad.py``-style fixture variants in
+#: scope, mirroring the SCHED_TRANSITIONS glob.
+NEVER_RAISE_CONTRACTS = (
+    ("EXN001", "repro.obs.bus", ("emit", "close")),
+    ("EXN002", "repro.obs.progress", ("update", "beat")),
+    ("EXN003", "repro.sweep.scheduler", ("_emit", "_tick")),
+)
+
+#: Attribute calls assumed non-raising *by contract* rather than by
+#: analysis: the EXN family verifies the definition site, so call sites
+#: may rely on it (compositional checking).  Keyed like ATTR_CALL_HINTS.
+EXN_CONTRACT_ATTRS = {
+    ("emit", "bus"): True,
+    ("close", "bus"): True,
+    ("beat", "pulse"): True,
+}
+
 #: Paths never scanned, relative to the analysis root.  The fixture tree
 #: under ``tests/analysis/fixtures`` is a corpus of *intentional*
 #: violations (each rule's positive/negative test vectors) and is
@@ -125,6 +211,10 @@ DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
 #: Default baseline location, relative to the root.
 BASELINE_FILE = ".dvmlint-baseline.json"
 
+#: Default incremental-cache location, relative to the root (under
+#: ``build/`` so ``make clean`` and the discovery excludes cover it).
+CACHE_FILE = "build/dvmlint-cache.json"
+
 #: Per-rule severity overrides (rule id -> "error" | "warning").  Rules
 #: default to the severity declared on their class; entries here let the
 #: repo soften or harden a rule without touching its implementation.
@@ -145,6 +235,8 @@ GEN = Scope(include=GEN_SCOPE)
 GEN_DRAWS = Scope(include=GEN_SCOPE, exclude=(GEN_RNG_OWNER,))
 SWEEP = Scope(include=SWEEP_SCOPE)
 SWEEP_WRITES = Scope(include=SWEEP_SCOPE, exclude=SWEEP_WRITE_OWNERS)
+TAINT = Scope(include=("src/",), exclude=TAINT_SCOPE_EXCLUDE)
+RACES = Scope(include=("src/",), exclude=RACE_SANCTIONED_PATHS)
 #: The scheduler, whose state transitions (anything bumping a
 #: ``...report.<counter>``) must narrate themselves onto the event bus
 #: (OBS002) — a silent transition is invisible to ``repro top`` and the

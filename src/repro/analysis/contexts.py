@@ -1,0 +1,112 @@
+"""Execution-context classification: parent / worker / both / library.
+
+The supervised sweep forks worker processes (`spawn`d from
+``_sweep_worker_main``); the scheduler parent and those workers share
+*code* but not *memory*, and several invariant families hinge on which
+side a function can execute on:
+
+* RACE0xx needs to know which functions can touch a module-level name
+  from the parent **and** from a worker (lost updates, fork-captured
+  snapshots),
+* EXN0xx verifies never-raise contracts that matter precisely because
+  they run on the scheduler's supervision path,
+* DET1xx cares most about flows that end in durable artifacts written
+  by workers.
+
+Classification is reachability over the whole-program call graph
+(:mod:`.graph`):
+
+* **worker roots** — the configured worker entry names
+  (:data:`~repro.analysis.config.WORKER_ENTRY_NAMES`) plus anything the
+  graph saw spawned (``Process(target=...)``, ``pool.submit(...)``),
+* **parent roots** — top-level functions and methods defined in the
+  scheduler and CLI modules (:data:`~repro.analysis.config.CONTEXT_PARENT_PATHS`).
+
+Both traversals follow call edges and reference edges, with one
+asymmetry: the parent-side walk does **not** descend into worker entry
+functions — the parent *references* ``_sweep_worker_main`` when it
+builds a ``Process``, but never executes it.  Functions reachable from
+neither side are labeled ``library`` (utilities, dead code, read-side
+tooling) and get the benefit of the doubt from the race rules.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import config
+from repro.analysis.graph import (ProjectGraph, project_graph,
+                                  project_state)
+from repro.analysis.core import ProjectContext
+
+#: Context labels, from most to least specific.
+PARENT = "parent"
+WORKER = "worker"
+BOTH = "both"
+LIBRARY = "library"
+
+
+def worker_roots(graph: ProjectGraph) -> list[str]:
+    """Qualnames seeding worker-side reachability, sorted."""
+    roots = set(graph.spawn_targets)
+    for name in sorted(config.WORKER_ENTRY_NAMES):
+        roots.update(info.qualname for info in graph.functions_named(name))
+    return sorted(roots)
+
+
+def parent_roots(graph: ProjectGraph) -> list[str]:
+    """Qualnames seeding parent-side reachability, sorted."""
+    entries = {name for name in config.WORKER_ENTRY_NAMES}
+    roots = []
+    for qual, info in sorted(graph.functions.items()):
+        if info.relpath in config.CONTEXT_PARENT_PATHS \
+                and info.name not in entries:
+            roots.append(qual)
+    return roots
+
+
+def _reach(graph: ProjectGraph, roots: list[str], *,
+           blocked: frozenset[str] = frozenset()) -> set[str]:
+    """Everything reachable from ``roots`` over call + reference edges,
+    never *entering* a blocked function (roots are never blocked)."""
+    seen: set[str] = set()
+    queue = list(roots)
+    while queue:
+        qual = queue.pop(0)
+        if qual in seen:
+            continue
+        seen.add(qual)
+        for nxt in graph.callees(qual) + graph.references(qual):
+            if nxt in seen:
+                continue
+            info = graph.functions.get(nxt)
+            if info is not None and info.name in blocked:
+                continue
+            queue.append(nxt)
+    return seen
+
+
+def classify(graph: ProjectGraph) -> dict[str, str]:
+    """Label every function qualname parent/worker/both/library."""
+    workers = _reach(graph, worker_roots(graph))
+    blocked = frozenset(config.WORKER_ENTRY_NAMES)
+    parents = _reach(graph, parent_roots(graph), blocked=blocked)
+    labels: dict[str, str] = {}
+    for qual in sorted(graph.functions):
+        in_worker = qual in workers
+        in_parent = qual in parents
+        if in_worker and in_parent:
+            labels[qual] = BOTH
+        elif in_worker:
+            labels[qual] = WORKER
+        elif in_parent:
+            labels[qual] = PARENT
+        else:
+            labels[qual] = LIBRARY
+    return labels
+
+
+def context_labels(project: ProjectContext) -> dict[str, str]:
+    """The (memoized) context labeling for one ProjectContext."""
+    state = project_state(project)
+    if "contexts" not in state:
+        state["contexts"] = classify(project_graph(project))
+    return state["contexts"]

@@ -2,8 +2,11 @@
 
 from repro.analysis.rules import determinism  # noqa: F401
 from repro.analysis.rules import envvars  # noqa: F401
+from repro.analysis.rules import exn  # noqa: F401
 from repro.analysis.rules import faultpath  # noqa: F401
 from repro.analysis.rules import gen  # noqa: F401
 from repro.analysis.rules import mp  # noqa: F401
 from repro.analysis.rules import obsguard  # noqa: F401
+from repro.analysis.rules import races  # noqa: F401
 from repro.analysis.rules import sweep  # noqa: F401
+from repro.analysis.rules import taintflow  # noqa: F401

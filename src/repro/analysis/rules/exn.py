@@ -1,0 +1,108 @@
+"""EXN0xx: interprocedural verification of never-raise contracts.
+
+Three paths in this repo document a "never raises" contract, because an
+exception there takes down something the exception was too unimportant
+to justify killing:
+
+* **EXN001** — bus emission (``obs/bus.py``): "Emission never raises on
+  I/O trouble — telemetry must not take a sweep down."  An escape here
+  kills the scheduler loop mid-sweep.
+* **EXN002** — heartbeat/progress (``obs/progress.py``): heartbeats run
+  inside workers and on the supervision path; a raising heartbeat turns
+  a cosmetic stream problem into a dead worker the supervisor then
+  quarantines.
+* **EXN003** — scheduler narration (``sweep/scheduler.py`` ``_emit`` /
+  ``_tick``): the narration wrappers sit inside the scheduling loop;
+  they may drop telemetry, never abort the sweep.
+
+The may-raise engine (:mod:`repro.analysis.dataflow`) computes, for
+every function, the exception types that can escape it — composing
+resolved project calls, honoring ``try``/``except`` lexically, and
+consulting a table of known-raising operations.  Unresolved calls are
+assumed safe, so this verifies the contracts against *known-risky*
+operations (file I/O, ``print``, ``json``); it is a bug-finder with a
+documented blind spot, not a totality proof.
+
+Findings anchor at the first risky operation (the line to guard), not
+at the ``def``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import config
+from repro.analysis.core import (Finding, ProjectContext, ProjectRule,
+                                 register)
+from repro.analysis.dataflow import may_raise
+from repro.analysis.graph import project_graph
+
+
+class _ContractRule(ProjectRule):
+    """Verify one configured never-raise contract interprocedurally."""
+
+    scope = config.SRC_ONLY
+    contract_desc = ""
+
+    def check_project(self, project: ProjectContext):
+        contracts = [entry for entry in config.NEVER_RAISE_CONTRACTS
+                     if entry[0] == self.id]
+        if not contracts:
+            return
+        graph = project_graph(project)
+        escapes = may_raise(project)
+        for qual, info in sorted(graph.functions.items()):
+            for _, prefix, names in contracts:
+                if not info.module.startswith(prefix) \
+                        or info.name not in names:
+                    continue
+                raised = escapes.get(qual, {})
+                if not raised:
+                    continue
+                first = min(raised.values())
+                listed = ", ".join(
+                    f"{exc} (line {line})"
+                    for exc, line in sorted(raised.items(),
+                                            key=lambda kv: (kv[1], kv[0])))
+                yield Finding(
+                    rule=self.id, severity=self.severity,
+                    path=info.relpath, line=first, col=1,
+                    message=(f"`{qual}` may raise {listed} but is on the "
+                             f"{self.contract_desc} never-raise path; "
+                             "catch at the risky call and degrade to a "
+                             "no-op instead"),
+                    snippet=info.ctx.line_text(first))
+
+
+@register
+class BusEmissionMayRaise(_ContractRule):
+    """EXN001: bus emit/close can raise."""
+
+    id = "EXN001"
+    title = "bus emission path may raise"
+    rationale = ("the bus is telemetry, never the source of truth: an "
+                 "exception escaping emit()/close() takes the sweep "
+                 "down to save an event stream nobody needed")
+    contract_desc = "bus-emission"
+
+
+@register
+class HeartbeatMayRaise(_ContractRule):
+    """EXN002: heartbeat/progress path can raise."""
+
+    id = "EXN002"
+    title = "heartbeat/progress path may raise"
+    rationale = ("heartbeats run on the worker supervision path; a "
+                 "raising heartbeat turns a broken stderr pipe into a "
+                 "quarantined worker and a rebuilt pool")
+    contract_desc = "heartbeat"
+
+
+@register
+class NarrationMayRaise(_ContractRule):
+    """EXN003: scheduler narration path can raise."""
+
+    id = "EXN003"
+    title = "scheduler narration path may raise"
+    rationale = ("narration wrappers sit inside the scheduling loop; "
+                 "they may drop telemetry but must never abort the "
+                 "sweep or poison task state transitions")
+    contract_desc = "scheduler-narration"

@@ -1,0 +1,124 @@
+"""DET1xx: interprocedural nondeterminism taint into result artifacts.
+
+The per-file DET rules catch a ``time.time()`` *inside* simulation code;
+they cannot catch a wall-clock value returned by a helper three calls
+away and written into a journal record.  These rules run the forward
+taint engine (:mod:`repro.analysis.dataflow`) over the whole-program
+graph and flag any nondeterministic source — wall clock, OS entropy,
+unseeded RNG, process identity, salted ``hash()``, set iteration order —
+reaching a *result sink*:
+
+* **DET101** — journal records (the sweep's source of truth; replays and
+  crash-recovery diff journal bytes),
+* **DET102** — tracestore columns and ``TimingStats`` fields (the
+  published result artifacts the bit-identity guarantee is *about*),
+* **DET103** — bus events, excluding wall-clock (the bus stamps wall
+  time by design; process identity or entropy in an event breaks
+  content-keyed dedup and cross-run attribution),
+* **DET104** — cache keys and content digests (a nondeterministic key
+  silently forks the cache: every run misses, or worse, collides).
+
+Findings anchor at the sink call site — where the tainted value enters
+the artifact — which is also where the fix belongs (pass simulated time,
+a seeded draw, or a sorted ordering instead).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import config
+from repro.analysis.core import (Finding, ProjectContext, ProjectRule,
+                                 register)
+from repro.analysis.dataflow import SOURCE_LABELS, taint_flows
+
+#: sink kind -> (rule id, sink description used in messages).
+_SINK_RULES = {
+    "journal": ("DET101", "a journal record"),
+    "tracestore": ("DET102", "a tracestore column"),
+    "timing-stats": ("DET102", "a TimingStats field"),
+    "bus-event": ("DET103", "a bus event"),
+    "cache-key": ("DET104", "a cache key"),
+    "digest": ("DET104", "a content digest"),
+}
+
+
+class _TaintRule(ProjectRule):
+    """Shared machinery: report the engine's flows for this rule's sinks."""
+
+    scope = config.TAINT
+    #: Source labels this sink legitimately carries (not reported).
+    allowed_labels: frozenset = frozenset()
+
+    def check_project(self, project: ProjectContext):
+        line_text = {ctx.relpath: ctx.line_text
+                     for ctx in project.modules}
+        for flow in taint_flows(project):
+            rule_id, sink_desc = _SINK_RULES.get(flow.sink, (None, ""))
+            if rule_id != self.id or flow.label in self.allowed_labels:
+                continue
+            if not self.scope.matches(flow.relpath):
+                continue
+            source = SOURCE_LABELS.get(flow.label, flow.label)
+            via = f" (through `{flow.via}`)" if flow.via else ""
+            text = line_text.get(flow.relpath, lambda _line: "")
+            yield Finding(
+                rule=self.id, severity=self.severity, path=flow.relpath,
+                line=flow.line, col=flow.col,
+                message=(f"{source} flows into {sink_desc}{via}; "
+                         f"{self.remedy}"),
+                snippet=text(flow.line))
+
+
+@register
+class TaintIntoJournal(_TaintRule):
+    """DET101: nondeterminism reaching journal records."""
+
+    id = "DET101"
+    title = "nondeterministic value flows into a journal record"
+    rationale = ("the journal is the sweep's source of truth: replay, "
+                 "crash recovery, and the differential oracle all diff "
+                 "its bytes, so records must be pure functions of inputs "
+                 "and seeds")
+    remedy = ("journal bytes must derive only from task inputs and "
+              "seeds (use simulated time or a seeded generator)")
+
+
+@register
+class TaintIntoResults(_TaintRule):
+    """DET102: nondeterminism reaching tracestore/TimingStats."""
+
+    id = "DET102"
+    title = "nondeterministic value flows into a published result"
+    rationale = ("tracestore columns and TimingStats are the artifacts "
+                 "the scalar/fastpath bit-identity guarantee compares; "
+                 "one tainted field makes every differential run a "
+                 "false mismatch")
+    remedy = ("published results must be bit-identical across runs "
+              "(derive the value from simulated state, not the host)")
+
+
+@register
+class TaintIntoBusEvents(_TaintRule):
+    """DET103: process-identity/entropy reaching bus events."""
+
+    id = "DET103"
+    title = "process-unstable value flows into a bus event"
+    rationale = ("bus events carry wall timestamps by design, but "
+                 "entropy, unseeded draws, or id()-derived values break "
+                 "content-keyed dedup and make stitched traces "
+                 "unattributable across runs")
+    remedy = ("identify events by run_id/seq/task key, never by "
+              "process-local identity")
+    allowed_labels = frozenset({"wall-clock"})
+
+
+@register
+class TaintIntoCacheKeys(_TaintRule):
+    """DET104: nondeterminism reaching cache keys / digests."""
+
+    id = "DET104"
+    title = "nondeterministic value flows into a cache key or digest"
+    rationale = ("a key derived from wall time, addresses, or iteration "
+                 "order forks the cache per run — permanent misses at "
+                 "best, cross-run collisions at worst")
+    remedy = ("derive keys from canonicalized content only "
+              "(sort_keys=True, sorted() iteration, seeded ids)")

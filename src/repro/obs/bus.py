@@ -143,7 +143,10 @@ class EventBus:
             handle = self._handle or self._open()
             handle.write(seal(record))
             handle.flush()
-        except (OSError, ValueError):      # ValueError: closed handle
+        except (OSError, TypeError, ValueError):
+            # ValueError: closed handle; TypeError: a caller passed an
+            # unserializable field and json.dumps refused it — drop the
+            # event, never the sweep.
             self._dead = True
             self.close()
             return None

@@ -108,7 +108,12 @@ class Heartbeat:
                 f" | cache {cache_hits}h/{cache_misses}m"
                 f" | retries {retries} | faults {faults}{sched}"
                 f" | elapsed {elapsed:.0f}s | eta {eta}")
-        print(line, file=self.stream, flush=True)
+        try:
+            print(line, file=self.stream, flush=True)
+        except (OSError, ValueError):
+            # Broken pipe / closed stream mid-sweep: the heartbeat is
+            # cosmetic; a dead stderr must not kill the worker.
+            pass
         self._log(line)
         return line
 
@@ -117,13 +122,14 @@ class Heartbeat:
         if directory is None:
             if not core.ENABLED:
                 return
-            directory = core.ensure_out_dir()
-        path = os.path.join(str(directory), "heartbeat.log")
         try:
+            if directory is None:
+                directory = core.ensure_out_dir()     # mkdir may fail
+            path = os.path.join(str(directory), "heartbeat.log")
             self._rotate(path)
             with open(path, "a") as fh:
                 fh.write(line + "\n")
-        except OSError:
+        except (OSError, ValueError):
             pass        # telemetry must never take a sweep down
 
     @staticmethod

@@ -61,7 +61,8 @@ from repro.obs import progress as obs_progress
 from repro.obs import trace as obs_trace
 from repro.sim.metrics import Metrics
 from repro.sim.resilience import (ResilienceReport, RetryPolicy,
-                                  SweepCheckpoint, retry_call)
+                                  StaleWriterError, SweepCheckpoint,
+                                  retry_call)
 from repro.sim.system import HeterogeneousSystem, SystemParams
 from repro.sweep import tracestore
 from repro.sweep.cache import ShardedCache
@@ -480,9 +481,19 @@ class ExperimentRunner:
             if obs_core.ENABLED else None
 
         def finish_pair(pair, entries):
+            nonlocal ckpt
             completed[pair] = entries
             if ckpt is not None:
-                ckpt.record(pair[0], pair[1], entries)
+                try:
+                    ckpt.record(pair[0], pair[1], entries)
+                except StaleWriterError:
+                    # A newer sweep incarnation resumed this journal and
+                    # fenced this writer off.  The in-memory results stay
+                    # valid, so finish the sweep from memory and stop
+                    # checkpointing — the journal (and its cleanup in
+                    # complete()) now belongs to the new owner.
+                    self.resilience.fenced_records += 1
+                    ckpt = None
             if heartbeat is not None:
                 service = self._active_service
                 heartbeat.update(

@@ -1,0 +1,8 @@
+"""CLI entry fixture: seeds parent-context reachability for the
+whole-program context classifier (``CONTEXT_PARENT_PATHS``)."""
+
+from repro.sweep import workers
+
+
+def status():
+    return len(workers.drain())

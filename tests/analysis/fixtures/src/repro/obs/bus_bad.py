@@ -1,0 +1,38 @@
+"""EXN001 positive vectors: bus emission paths that can raise.
+
+The module name shares the ``repro.obs.bus`` prefix, so the EXN001
+never-raise contract applies to every ``emit``/``close`` defined here.
+Markers sit on the first risky line — where the finding anchors.
+"""
+
+import json
+
+
+class FragileBus:
+    def __init__(self, handle):
+        self._handle = handle
+        self.seq = 0
+
+    def emit(self, kind, **fields):
+        line = kind + "\n"
+        self._handle.write(line)  # dvmlint-expect: EXN001
+        self.seq += 1
+
+    def close(self):
+        if self._handle is None:
+            raise RuntimeError("already closed")  # dvmlint-expect: EXN001
+        self._handle = None
+
+
+class LeakyBus:
+    """Catches too little: TypeError from json.dumps still escapes."""
+
+    def __init__(self):
+        self._sink = []
+
+    def emit(self, kind, **fields):
+        try:
+            blob = json.dumps(dict(fields, kind=kind), sort_keys=True)  # dvmlint-expect: EXN001
+            self._sink.append(blob)
+        except (OSError, ValueError):
+            pass

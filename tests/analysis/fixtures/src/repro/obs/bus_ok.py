@@ -1,0 +1,35 @@
+"""EXN001 negative vectors: emission paths that honor the contract."""
+
+import json
+
+
+class GuardedBus:
+    def __init__(self, handle):
+        self._handle = handle
+        self._dead = False
+
+    def emit(self, kind, **fields):
+        if self._dead:
+            return
+        try:
+            blob = json.dumps(dict(fields, kind=kind), sort_keys=True)
+            self._handle.write(blob + "\n")
+            self._handle.flush()
+        except (OSError, TypeError, ValueError):
+            self._dead = True
+
+    def close(self):
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            try:
+                handle.flush()
+            except (OSError, ValueError):
+                pass
+
+
+class NullBusLike:
+    def emit(self, kind, **fields):
+        return None
+
+    def close(self):
+        pass

@@ -1,0 +1,39 @@
+"""EXN002 vectors: heartbeat/progress paths (``repro.obs.progress``
+prefix), positive and negative."""
+
+
+class ChattyHeartbeat:
+    def __init__(self, stream):
+        self.stream = stream
+        self.done = 0
+
+    def update(self, done):
+        self.done = done
+        print(f"[obs] {done} done", file=self.stream, flush=True)  # dvmlint-expect: EXN002
+
+
+class FlushingPulse:
+    def __init__(self, stream):
+        self.stream = stream
+
+    def beat(self, slot):
+        self.stream.flush()  # dvmlint-expect: EXN002
+
+
+class QuietHeartbeat:
+    def __init__(self, stream):
+        self.stream = stream
+
+    def update(self, done):
+        try:
+            print(f"[obs] {done} done", file=self.stream, flush=True)
+        except (OSError, ValueError):
+            pass
+
+
+class CountingPulse:
+    def __init__(self):
+        self.slots = {}
+
+    def beat(self, slot):
+        self.slots[slot] = self.slots.get(slot, 0) + 1

@@ -1,0 +1,35 @@
+"""EXN003 vectors: scheduler narration (``repro.sweep.scheduler``
+prefix), positive and negative — including the compositional case
+where ``_tick`` is clean *because* it guards its call into ``_emit``.
+"""
+
+import json
+
+
+class NarratingService:
+    def __init__(self):
+        self._events = []
+
+    def _emit(self, kind, **fields):
+        payload = json.dumps(dict(fields, kind=kind), sort_keys=True)  # dvmlint-expect: EXN003
+        self._events.append(payload)
+
+    def _tick(self):
+        # Clean: the escape set of the resolved ``self._emit`` call is
+        # fully caught here.
+        try:
+            self._emit("tick", resident=len(self._events))
+        except (TypeError, ValueError):
+            pass
+
+
+class GuardedService:
+    def __init__(self):
+        self._events = []
+
+    def _emit(self, kind, **fields):
+        try:
+            payload = json.dumps(dict(fields, kind=kind), sort_keys=True)
+        except (TypeError, ValueError):
+            return
+        self._events.append(payload)

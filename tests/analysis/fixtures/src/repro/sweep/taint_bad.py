@@ -1,0 +1,50 @@
+"""DET1xx positive vectors: nondeterminism reaching result artifacts.
+
+Each flow here crosses at least one call boundary or binding, so the
+per-file DET rules cannot see it — only the whole-program taint engine
+can.  Markers sit on the line the finding anchors to: the sink call
+site (or, for flows through a helper, the call *into* the helper).
+"""
+
+import hashlib
+import os
+import random
+import time
+
+from repro.hw.iommu import TimingStats
+from repro.sweep import tracestore
+
+
+def _stamp():
+    return time.time()
+
+
+def record_completion(journal, payload):
+    entry = dict(payload, at=_stamp())
+    journal.append(entry)  # dvmlint-expect: DET101
+
+
+def _publish(journal, entry):
+    journal.append(entry)
+
+
+def log_result(journal, value):
+    _publish(journal, dict(v=value, salt=random.random()))  # dvmlint-expect: DET101
+
+
+def publish_stats(walks):
+    return TimingStats(total_walks=walks, jitter=random.random())  # dvmlint-expect: DET102
+
+
+def publish_rows(rows):
+    tracestore.append_rows(rows, stamp=os.urandom(4).hex())  # dvmlint-expect: DET003,DET102
+
+
+def narrate(bus, kind):
+    bus.emit(kind, token=random.random())  # dvmlint-expect: DET103
+
+
+def run_token(parts):
+    seen = set(parts)
+    blob = ",".join(seen)
+    return hashlib.sha1(blob.encode())  # dvmlint-expect: DET104

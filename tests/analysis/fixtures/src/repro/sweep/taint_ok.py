@@ -1,0 +1,34 @@
+"""DET1xx negative vectors: sanctioned or laundered flows.
+
+Wall time may reach bus events (they are stamped by design), sorted()
+launders set-iteration order, seeded generators are deterministic, and
+simulated time arriving as a parameter is the caller's problem — the
+taint engine must stay quiet on all of these.
+"""
+
+import hashlib
+import random
+import time
+
+
+def narrate_done(bus, duration):
+    # Wall time into a bus event is the sanctioned design.
+    bus.emit("completed", duration=round(duration, 4), t=time.time())
+
+
+def run_token(parts):
+    # sorted() pins the iteration order; the digest is content-pure.
+    ordered = sorted(set(parts))
+    blob = ",".join(ordered)
+    return hashlib.sha1(blob.encode())
+
+
+def record_seeded(journal, seed, payload):
+    # A draw from a caller-seeded generator is a pure function of seed.
+    rng = random.Random(seed)
+    journal.append(dict(payload, draw=rng.random()))
+
+
+def record_simulated(journal, sim_now, payload):
+    # Simulated time arrives as data; nothing nondeterministic here.
+    journal.append(dict(payload, at=sim_now))

@@ -1,0 +1,54 @@
+"""RACE0xx vectors: module state across the parent/worker fork boundary.
+
+``_sweep_worker_main`` makes its callees worker-context; ``drain`` is
+reached from the CLI fixture (``src/repro/__main__.py``) and is
+parent-context, which puts ``PENDING`` in the parent-touched set.  The
+mutation sites live one call level below the worker entry, exactly
+where the per-file MP001 rule goes blind.
+"""
+
+PENDING = {}
+RESULTS = []
+_MODE = "idle"
+_LOG = []
+
+
+def drain():
+    """Parent-side consumer: mutation in parent context is sanctioned."""
+    out = dict(PENDING)
+    PENDING.clear()
+    return out
+
+
+def _sweep_worker_main(task_q):
+    for task in task_q:
+        _note(task)
+        _stash(task)
+        _go_busy()
+        _tally([task])
+
+
+def _note(task):
+    PENDING[task] = "seen"  # dvmlint-expect: RACE001
+
+
+def _stash(task):
+    RESULTS.append(task)  # dvmlint-expect: RACE002
+
+
+def _go_busy():
+    global _MODE  # dvmlint-expect: RACE003
+    _MODE = "busy"
+
+
+def _tally(tasks):
+    # Worker-context, but the container is local: no finding.
+    counts = {}
+    counts["n"] = len(tasks)
+    return counts
+
+
+def format_task(task):
+    """Library helper — reachable from neither context: no finding."""
+    _LOG.append(task)
+    return str(task)

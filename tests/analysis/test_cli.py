@@ -28,7 +28,7 @@ class TestCli:
 
     def test_ignore_everything_passes(self, capsys):
         assert main([*FIXTURE_ARGS, "--no-baseline", "--ignore",
-                     "DET,FAULT,OBS,ENV,MP,GEN,SWP,PARSE"]) == 0
+                     "DET,FAULT,OBS,ENV,MP,GEN,SWP,RACE,EXN,PARSE"]) == 0
 
     def test_json_format(self, capsys):
         main([*FIXTURE_ARGS, "--no-baseline", "--format", "json"])
@@ -40,7 +40,10 @@ class TestCli:
         out = capsys.readouterr().out
         for rule_id in ("DET001", "DET005", "FAULT001", "FAULT002",
                         "OBS001", "ENV001", "ENV002", "ENV003",
-                        "MP001", "MP002", "GEN001", "GEN002", "GEN003"):
+                        "MP001", "MP002", "GEN001", "GEN002", "GEN003",
+                        "DET101", "DET102", "DET103", "DET104",
+                        "RACE001", "RACE002", "RACE003",
+                        "EXN001", "EXN002", "EXN003"):
             assert rule_id in out
 
     def test_baseline_update_round_trip(self, tmp_path, capsys):

@@ -4,8 +4,9 @@ import io
 import json
 import re
 
-from repro.analysis.reporters import (render_github, render_json,
-                                      render_text)
+from repro.analysis.reporters import (SARIF_SCHEMA, SARIF_VERSION,
+                                      render_github, render_json,
+                                      render_sarif, render_text)
 
 from tests.analysis.conftest import analyze_fixtures
 
@@ -38,16 +39,19 @@ class TestText:
 class TestJson:
     def test_document_schema(self, fixture_result):
         doc = json.loads(render(render_json, fixture_result))
-        assert set(doc) == {"version", "findings", "suppressed",
+        assert set(doc) == {"version", "rules", "findings", "suppressed",
                             "baselined", "summary"}
         assert doc["version"] == 1
+        assert doc["rules"] == sorted(doc["rules"])
+        assert "DET001" in doc["rules"] and "RACE001" in doc["rules"]
         for finding in (doc["findings"] + doc["suppressed"]
                         + doc["baselined"]):
             assert set(finding) == _FINDING_KEYS
             assert re.fullmatch(r"[0-9a-f]{16}", finding["fingerprint"])
         summary = doc["summary"]
         assert set(summary) == {"files", "errors", "warnings",
-                                "suppressed", "baselined"}
+                                "suppressed", "baselined",
+                                "cache_hits", "cache_misses"}
         assert summary["errors"] == sum(
             1 for f in doc["findings"] if f["severity"] == "error")
 
@@ -73,3 +77,50 @@ class TestGithub:
                                       findings=[noisy])
         out = render(render_github, result)
         assert "100%25 broken%0Asecond line" in out
+
+    def test_property_value_escaping(self, fixture_result):
+        """``,`` and ``:`` inside property values must not terminate the
+        workflow command's own key=value list."""
+        from dataclasses import replace
+        noisy = replace(fixture_result.findings[0],
+                        path="src/a,b::c.py", message="fine")
+        result = type(fixture_result)(root=fixture_result.root,
+                                      findings=[noisy])
+        out = render(render_github, result)
+        assert "file=src/a%2Cb%3A%3Ac.py,line=" in out
+
+
+class TestSarif:
+    def test_document_shape(self, fixture_result):
+        doc = json.loads(render(render_sarif, fixture_result))
+        assert doc["version"] == SARIF_VERSION
+        assert doc["$schema"] == SARIF_SCHEMA
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "dvmlint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == list(fixture_result.rules)
+        expected = (len(fixture_result.findings)
+                    + len(fixture_result.suppressed)
+                    + len(fixture_result.baselined))
+        assert len(run["results"]) == expected
+
+    def test_results_reference_catalog_and_fingerprints(
+            self, fixture_result):
+        doc = json.loads(render(render_sarif, fixture_result))
+        (run,) = doc["runs"]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        for entry in run["results"]:
+            assert entry["ruleId"] in rule_ids
+            assert re.fullmatch(
+                r"[0-9a-f]{16}",
+                entry["partialFingerprints"]["dvmlint/v1"])
+            region = entry["locations"][0]["physicalLocation"]["region"]
+            assert region["startLine"] >= 1
+
+    def test_suppressions_marked(self, fixture_result):
+        assert fixture_result.suppressed, "corpus has inline suppressions"
+        doc = json.loads(render(render_sarif, fixture_result))
+        (run,) = doc["runs"]
+        kinds = [s["kind"] for entry in run["results"]
+                 for s in entry.get("suppressions", ())]
+        assert "inSource" in kinds

@@ -73,7 +73,8 @@ class TestCorpus:
 class TestCatalog:
     def test_at_least_five_rule_families(self):
         families = {rule.id.rstrip("0123456789") for rule in all_rules()}
-        assert {"DET", "FAULT", "OBS", "ENV", "MP", "SWP"} <= families
+        assert {"DET", "FAULT", "OBS", "ENV", "MP", "SWP",
+                "RACE", "EXN"} <= families
 
     def test_rules_carry_catalog_metadata(self):
         for rule in all_rules():
@@ -83,4 +84,27 @@ class TestCatalog:
     def test_every_family_exercised_by_corpus(self, fixture_result):
         seen = {f.rule.rstrip("0123456789")
                 for f in fixture_result.findings}
-        assert {"DET", "FAULT", "OBS", "ENV", "MP", "SWP"} <= seen
+        assert {"DET", "FAULT", "OBS", "ENV", "MP", "SWP",
+                "RACE", "EXN"} <= seen
+
+    def test_new_families_have_positive_and_negative_vectors(
+            self, fixture_result):
+        """Each whole-program family fires at least 3 times on the
+        corpus — and only on its ``_bad``/vector modules, proving the
+        matching ``_ok`` negatives stay quiet (the corpus harness
+        separately asserts the exact marker set)."""
+        by_family: dict[str, set[str]] = {}
+        for f in fixture_result.findings:
+            by_family.setdefault(
+                f.rule.rstrip("0123456789"), set()).add(f.path)
+        for family in ("RACE", "EXN"):
+            hits = [f for f in fixture_result.findings
+                    if f.rule.startswith(family)]
+            assert len(hits) >= 3, family
+        det1xx = [f for f in fixture_result.findings
+                  if f.rule in ("DET101", "DET102", "DET103", "DET104")]
+        assert len(det1xx) >= 3
+        quiet = {"src/repro/sweep/taint_ok.py",
+                 "src/repro/obs/bus_ok.py"}
+        flagged = {f.path for f in fixture_result.findings}
+        assert not (quiet & flagged)
